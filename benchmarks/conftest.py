@@ -1,0 +1,26 @@
+"""Benchmark-harness helpers.
+
+Each benchmark regenerates one paper table/figure (fast mode), prints the
+same rows/series the paper reports, and asserts the figure's directional
+claim. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def regenerate(benchmark, exp_id, fast=True):
+    """Run one experiment under pytest-benchmark and print its table."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(exp_id,), kwargs={"fast": fast}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.rows, f"{exp_id} produced no rows"
+    return result

@@ -1,0 +1,46 @@
+"""Benchmarks for the design-choice ablations (DESIGN.md section 5)."""
+
+from conftest import regenerate
+
+
+def test_ablation_queue_depth(benchmark):
+    result = regenerate(benchmark, "abl-queue")
+    fallback_pct = {row[0]: row[3] for row in result.rows}
+    depths = sorted(fallback_pct)
+    # Shallower queues fall back to IPIs more.
+    assert fallback_pct[depths[0]] > fallback_pct[depths[-1]]
+    assert fallback_pct[64] < 5.0  # the paper's choice works at this load
+
+
+def test_ablation_reclaim_delay(benchmark):
+    result = regenerate(benchmark, "abl-reclaim")
+    held = [row[2] for row in result.rows]
+    # Longer delays never hold less memory.
+    assert held == sorted(held)
+
+
+def test_ablation_sweep_triggers(benchmark):
+    result = regenerate(benchmark, "abl-sweep")
+    by_label = {row[0]: row for row in result.rows}
+    both = by_label["tick + context switch"]
+    tick_only = by_label["tick only"]
+    # Context-switch sweeps tighten the staleness bound...
+    assert both[1] < tick_only[1]
+    # ...and tick-only still respects the 1 ms bound (plus small slack).
+    assert tick_only[2] <= 1100.0
+
+
+def test_ablation_pcid(benchmark):
+    result = regenerate(benchmark, "abl-pcid")
+    req = {row[0]: row[1] for row in result.rows}
+    # PCID mode must not change Apache throughput materially (section 4.5).
+    assert abs(req["on"] - req["off"]) / req["off"] < 0.1
+
+
+def test_ablation_flush_threshold(benchmark):
+    result = regenerate(benchmark, "abl-flushthresh")
+    flushes = {row[0]: row[2] for row in result.rows}
+    thresholds = sorted(flushes)
+    # Past the unmap size, handlers stop full-flushing.
+    assert flushes[thresholds[0]] > 0
+    assert flushes[thresholds[-1]] == 0

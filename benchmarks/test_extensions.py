@@ -1,0 +1,46 @@
+"""Benchmarks for the extension experiments: THP, the six-way mechanism
+comparison, and the model self-check."""
+
+from conftest import regenerate
+
+
+def test_thp_huge_vs_base_pages(benchmark):
+    result = regenerate(benchmark, "thp")
+    by_label = {row[0]: row for row in result.rows}
+    base = by_label["512 x 4 KiB pages"]
+    huge = by_label["1 x 2 MiB huge page"]
+    # Huge pages collapse the unmap cost for both mechanisms...
+    assert huge[1] < base[1] / 4  # linux
+    assert huge[2] < base[2] / 4  # latr
+    # ...and LATR wins in both shapes.
+    assert base[3] > 0 and huge[3] > 0
+
+
+def test_mechanism_comparison(benchmark):
+    result = regenerate(benchmark, "mech-compare")
+    by_mech = {row[0]: row for row in result.rows}
+    # LATR (software) within 25% of the hardware designs on munmap latency.
+    assert by_mech["latr"][3] < 1.25 * by_mech["didi"][3]
+    assert by_mech["latr"][3] < 1.25 * by_mech["unitd"][3]
+    # Linux is the only mechanism still sending IPIs.
+    assert by_mech["linux"][6] > 0
+    for mech in ("barrelfish", "abis", "didi", "unitd", "latr"):
+        assert by_mech[mech][6] == 0
+
+
+def test_model_check(benchmark):
+    result = regenerate(benchmark, "model-check")
+    for row in result.rows:
+        label, model, measured = row[0], row[1], row[2]
+        if "shootdown us" in label or "critical path" in label:
+            assert model == __import__("pytest").approx(measured, rel=0.3), label
+
+
+def test_tail_latency(benchmark):
+    result = regenerate(benchmark, "tail")
+    by_label = {row[0]: row for row in result.rows}
+    linux = by_label["apache request (linux)"]
+    latr = by_label["apache request (latr)"]
+    # LATR improves both the median and the p99 request latency.
+    assert latr[1] < linux[1]
+    assert latr[2] < linux[2]

@@ -1,0 +1,25 @@
+"""Benchmarks regenerating Figures 1 and 9 (Apache throughput)."""
+
+from conftest import regenerate
+
+
+def test_fig1_apache_linux_vs_latr(benchmark):
+    result = regenerate(benchmark, "fig1")
+    first, last = result.rows[0], result.rows[-1]
+    # At low core counts the mechanisms tie; at 12 cores LATR wins big.
+    assert abs(first[3] - first[1]) / first[1] < 0.15
+    assert last[3] > 1.3 * last[1]  # paper: +59.9%
+    # LATR also *handles more shootdowns* (paper: +46.3%).
+    assert last[4] > 1.2 * last[2]
+
+
+def test_fig9_apache_three_mechanisms(benchmark):
+    result = regenerate(benchmark, "fig9")
+    low, high = result.rows[0], result.rows[-1]
+    linux_low, abis_low = low[1], low[3]
+    linux_high, abis_high, latr_high = high[1], high[3], high[5]
+    # ABIS below Linux at low core counts (tracking overhead)...
+    assert abis_low < linux_low
+    # ...above Linux at high counts, but below LATR (paper: +37.9% LATR).
+    assert linux_high < abis_high < latr_high
+    assert latr_high > 1.15 * abis_high

@@ -1,0 +1,36 @@
+"""Benchmarks regenerating Figures 10, 11, 12 (application studies)."""
+
+from conftest import regenerate
+
+
+def test_fig10_parsec(benchmark):
+    result = regenerate(benchmark, "fig10")
+    by_name = {row[0]: row for row in result.rows}
+    # dedup is the big winner (paper: -9.6%), canneal the only loser
+    # (paper: +1.7%), and the average improves.
+    assert by_name["dedup"][1] < 0.97
+    assert 1.0 < by_name["canneal"][1] < 1.05
+    assert by_name["AVERAGE"][1] < 1.0
+
+
+def test_fig11_autonuma(benchmark):
+    result = regenerate(benchmark, "fig11")
+    by_name = {row[0]: row for row in result.rows}
+    graph = by_name["graph500"]
+    # graph500: LATR faster (paper -5.7%), migrations happening, zero IPIs.
+    assert graph[1] < 1.0
+    assert graph[2] > 500  # linux migrations/sec
+    assert graph[6] == 0.0  # latr ipi/s
+
+
+def test_fig12_low_shootdown_overhead(benchmark):
+    result = regenerate(benchmark, "fig12")
+    for row in result.rows:
+        # Paper: at most 1.7% overhead on any low-shootdown application.
+        assert row[1] < 1.05, f"{row[0]} overhead too high: {row[1]}"
+
+
+def test_memoverhead_bound(benchmark):
+    result = regenerate(benchmark, "memoverhead")
+    for row in result.rows:
+        assert row[2] < 25.0  # paper bound: ~21 MB

@@ -1,0 +1,35 @@
+"""Benchmarks regenerating Figures 6, 7, 8 (munmap microbenchmark)."""
+
+from conftest import regenerate
+
+
+def test_fig6_munmap_vs_cores_2socket(benchmark):
+    result = regenerate(benchmark, "fig6")
+    # Directional claims of Figure 6: LATR improves at every core count,
+    # and the improvement grows with cores.
+    improvements = [row[-1] for row in result.rows]
+    assert all(i > 0 for i in improvements)
+    assert improvements[-1] > improvements[0]
+    # At 16 cores the shootdown dominates Linux's munmap (paper: 71.6%).
+    last = result.rows[-1]
+    assert last[3] > 55.0  # linux shootdown share %
+
+
+def test_fig7_munmap_vs_cores_8socket(benchmark):
+    result = regenerate(benchmark, "fig7")
+    last = result.rows[-1]
+    cores, linux_us, _, _, latr_us, _, improvement = last
+    assert cores == 120
+    assert linux_us > 80.0        # paper: >120 us
+    assert latr_us < 45.0         # paper: <40 us
+    assert improvement > 55.0     # paper: 66.7%
+
+
+def test_fig8_munmap_vs_pages(benchmark):
+    result = regenerate(benchmark, "fig8")
+    improvements = [row[-1] for row in result.rows]
+    # Improvement shrinks with page count but stays positive (paper: 70.8%
+    # at one page down to 7.5% at 512).
+    assert improvements[0] > 50.0
+    assert improvements[-1] > 0.0
+    assert improvements[0] > improvements[-1]

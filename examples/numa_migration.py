@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""AutoNUMA page migration under lazy translation coherence (paper 4.3).
+
+A worker on socket 1 hammers a page that physically lives on socket 0.
+AutoNUMA samples the page (write-protecting it with PROT_NONE), the worker's
+next touches fault, and after two remote-node faults the page migrates.
+
+Under Linux the sampling pays a synchronous IPI shootdown; under LATR the
+PTE change itself is deferred to the first sweeping core and the migration
+is gated until every core has invalidated (the section 4.4 rule).
+
+Run:  python examples/numa_migration.py
+"""
+
+from repro import build_system
+from repro.kernel.autonuma import AutoNuma
+from repro.mm.addr import PAGE_SIZE
+from repro.sim.engine import MSEC
+
+
+def run(mechanism: str) -> dict:
+    system = build_system(mechanism, machine="commodity-2s16c", cores=16)
+    kernel = system.kernel
+    autonuma = AutoNuma.install(
+        kernel, scan_period_ns=2 * MSEC, scan_pages_per_round=4, chunk_pages=1
+    )
+    proc = kernel.create_process("app")
+    main_task = kernel.spawn_thread(proc, "main", 0)      # socket 0
+    worker_task = kernel.spawn_thread(proc, "worker", 8)  # socket 1
+    log = []
+
+    def scenario():
+        c0 = kernel.machine.core(0)
+        c8 = kernel.machine.core(8)
+        vrange = yield from kernel.syscalls.mmap(main_task, c0, PAGE_SIZE)
+        yield from kernel.syscalls.touch_pages(main_task, c0, vrange, write=True)
+        pte = proc.mm.page_table.walk(vrange.vpn_start)
+        log.append(f"t={system.sim.now/1e6:7.3f} ms  page allocated on node "
+                   f"{kernel.frames.node_of(pte.pfn)} (first touch by main on core 0)")
+        autonuma.register(proc)
+
+        while kernel.stats.counter("numa.migrations").value == 0:
+            yield from kernel.syscalls.touch_pages(
+                worker_task, c8, vrange, process_data=True
+            )
+            yield from c8.execute(150_000)
+            if system.sim.now > 400 * MSEC:
+                raise RuntimeError("no migration")
+        pte = proc.mm.page_table.walk(vrange.vpn_start)
+        log.append(f"t={system.sim.now/1e6:7.3f} ms  page migrated to node "
+                   f"{kernel.frames.node_of(pte.pfn)} (worker runs on core 8 / node 1)")
+
+    system.sim.spawn(scenario())
+    system.sim.run(until=500 * MSEC)
+
+    stats = kernel.stats
+    return {
+        "log": log,
+        "samples": stats.counter("numa.pages_sampled").value,
+        "hint_faults": stats.counter("numa.hint_faults").value,
+        "gate_waits": stats.counter("numa.gate_waits").value,
+        "ipis": stats.counter("ipi.sent").value,
+        "latr_states": stats.counter("latr.migration_states").value,
+    }
+
+
+def main():
+    for mech in ("linux", "latr"):
+        print(f"=== {mech} ===")
+        result = run(mech)
+        for line in result["log"]:
+            print(" ", line)
+        print(f"  pages sampled: {result['samples']}, hint faults: {result['hint_faults']}")
+        print(f"  IPIs for sampling: {result['ipis']}, LATR migration states: "
+              f"{result['latr_states']}, gate waits: {result['gate_waits']}")
+        print()
+    print("LATR samples without a single IPI; the migration waits (gate) until "
+          "every core swept -- correctness per paper section 4.4.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Trace a burst of munmaps through LATR's machinery, event by event.
+
+Attaches a Tracer to the kernel and prints the merged timeline: state
+posts on the initiating core, sweeps on the remote cores (batched full
+flushes once enough states pile up), and the reclamation daemon freeing
+two ticks later.
+
+Run:  python examples/trace_explorer.py
+"""
+
+from repro import build_system
+from repro.mm.addr import PAGE_SIZE
+from repro.sim.engine import MSEC
+from repro.sim.trace import Tracer
+
+
+def main():
+    system = build_system("latr", cores=4)
+    tracer = Tracer(system.sim)
+    system.kernel.tracer = tracer
+    kernel = system.kernel
+
+    proc = kernel.create_process("app")
+    tasks = [kernel.spawn_thread(proc, f"t{i}", i) for i in range(4)]
+
+    def burst():
+        t0, c0 = tasks[0], kernel.machine.core(0)
+        for _ in range(5):
+            vrange = yield from kernel.syscalls.mmap(t0, c0, 2 * PAGE_SIZE)
+            for t in tasks:
+                core = kernel.machine.core(t.home_core_id)
+                yield from kernel.syscalls.touch_pages(t, core, vrange, write=True)
+            yield from kernel.syscalls.munmap(t0, c0, vrange)
+            yield from c0.execute(50_000)
+
+    system.sim.spawn(burst())
+    system.sim.run(until=5 * MSEC)
+
+    print("LATR event timeline (5 munmaps of pages shared by 4 cores):\n")
+    print(tracer.dump(limit=60))
+    print("\nEvent counts:", tracer.counts())
+    print("\nReading the trace: every state.post returns control to the app in")
+    print("~150 ns; each remote core's sweep batches all pending states into")
+    print("one pass at its tick; reclaim events land two ticks after posting.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment (Figure 9) as a runnable example:
+Apache serving a 10 KB static page under three TLB-coherence mechanisms.
+
+Each request mmap()s the file, serves it, munmap()s it -- one shootdown per
+request. Watch Linux stop scaling once the synchronous shootdown saturates
+mmap_sem, ABIS trade IPIs for tracking overhead, and LATR scale through.
+
+Run:  python examples/webserver_showdown.py [--cores 12] [--duration-ms 80]
+"""
+
+import argparse
+
+from repro.workloads.apache import ApacheConfig, ApacheWorkload
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cores", type=int, default=12)
+    parser.add_argument("--duration-ms", type=int, default=80)
+    args = parser.parse_args()
+
+    core_counts = sorted({2, max(2, args.cores // 2), args.cores})
+    mechanisms = ("linux", "abis", "latr")
+
+    print(f"Apache throughput (requests/sec), duration {args.duration_ms} ms\n")
+    header = f"{'cores':>6}" + "".join(f"{m:>12}" for m in mechanisms)
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for cores in core_counts:
+        row = [f"{cores:>6}"]
+        for mech in mechanisms:
+            result = ApacheWorkload(
+                ApacheConfig(cores=cores, duration_ms=args.duration_ms, warmup_ms=15)
+            ).run(mech)
+            results[(cores, mech)] = result
+            row.append(f"{result.metric('requests_per_sec'):>12,.0f}")
+        print("".join(row))
+
+    top = args.cores
+    linux = results[(top, "linux")].metric("requests_per_sec")
+    abis = results[(top, "abis")].metric("requests_per_sec")
+    latr = results[(top, "latr")].metric("requests_per_sec")
+    print(f"\nAt {top} cores LATR beats Linux by {100 * (latr / linux - 1):.1f}% "
+          f"(paper: 59.9%) and ABIS by {100 * (latr / abis - 1):.1f}% (paper: 37.9%).")
+    print("\nWhy: per-request shootdown cost sits inside mmap_sem. Breakdown at "
+          f"{top} cores:")
+    for mech in mechanisms:
+        r = results[(top, mech)]
+        ipis = r.counters.get("ipi.sent", 0)
+        states = r.counters.get("latr.states_posted", 0)
+        print(f"  {mech:>10}: {ipis:>8} IPIs, {states:>8} LATR states, "
+              f"{r.metric('shootdowns_per_sec'):>10,.0f} shootdowns/s")
+
+
+if __name__ == "__main__":
+    main()

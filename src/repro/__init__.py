@@ -1,0 +1,100 @@
+"""repro: a full-system simulation reproduction of "LATR: Lazy Translation
+Coherence" (Kumar, Maass, et al., ASPLOS 2018).
+
+The package layers:
+
+* :mod:`repro.sim` -- discrete-event engine,
+* :mod:`repro.hw` -- NUMA machines, cores, TLBs, IPIs, caches,
+* :mod:`repro.mm` -- frames, page tables, VMAs, address spaces,
+* :mod:`repro.kernel` -- scheduler, syscalls, page faults, daemons,
+* :mod:`repro.coherence` -- the paper's LATR mechanism plus the Linux,
+  ABIS, and Barrelfish comparators,
+* :mod:`repro.workloads` -- microbenchmarks, Apache, PARSEC and NUMA
+  application models,
+* :mod:`repro.experiments` -- one runner per paper table/figure.
+
+Quickstart::
+
+    from repro import build_system
+    system = build_system("latr", machine="commodity-2s16c")
+    # system.kernel, system.sim, system.machine are ready to use
+"""
+
+from dataclasses import dataclass
+
+from .coherence import MECHANISMS, LatrCoherence, LinuxShootdown, make_mechanism
+from .hw import COMMODITY_2S16C, LARGE_NUMA_8S120C, Machine, MachineSpec, preset
+from .kernel import Kernel
+from .sim import Simulator
+
+__version__ = "1.0.0"
+
+
+@dataclass
+class System:
+    """A booted simulated system (convenience bundle)."""
+
+    sim: Simulator
+    machine: Machine
+    kernel: Kernel
+
+    @property
+    def stats(self):
+        return self.kernel.stats
+
+    @property
+    def syscalls(self):
+        return self.kernel.syscalls
+
+
+def build_system(
+    mechanism: str = "latr",
+    machine: str = "commodity-2s16c",
+    cores: int = None,
+    pcid: bool = False,
+    seed: int = 1,
+    frames_per_node: int = None,
+    **mechanism_kwargs,
+) -> System:
+    """Build and boot a simulated machine running one coherence mechanism.
+
+    Args:
+        mechanism: "linux", "latr", "abis", or "barrelfish".
+        machine: a Table 3 preset name ("commodity-2s16c", "large-numa-8s120c").
+        cores: optionally restrict the machine to this many cores.
+        pcid: enable PCID-tagged TLBs (paper section 4.5).
+        seed: deterministic RNG seed for workloads.
+        frames_per_node: physical memory size override (frames).
+        mechanism_kwargs: forwarded to the mechanism constructor (e.g.
+            ``queue_depth=`` for LATR ablations).
+    """
+    spec = preset(machine) if isinstance(machine, str) else machine
+    if cores is not None:
+        spec = spec.with_cores(cores)
+    sim = Simulator()
+    mech = make_mechanism(mechanism, **mechanism_kwargs)
+    hw = Machine(sim, spec, pcid_enabled=pcid)
+    kwargs = {}
+    if frames_per_node is not None:
+        kwargs["frames_per_node"] = frames_per_node
+    kernel = Kernel(hw, mech, seed=seed, **kwargs)
+    kernel.start()
+    return System(sim=sim, machine=hw, kernel=kernel)
+
+
+__all__ = [
+    "COMMODITY_2S16C",
+    "Kernel",
+    "LARGE_NUMA_8S120C",
+    "LatrCoherence",
+    "LinuxShootdown",
+    "Machine",
+    "MachineSpec",
+    "MECHANISMS",
+    "Simulator",
+    "System",
+    "build_system",
+    "make_mechanism",
+    "preset",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Analytical cost models (validated against the simulator in tests)."""
+
+from .model import (
+    ApacheBound,
+    ShootdownBreakdown,
+    apache_throughput_bound,
+    dominant_term,
+    latr_free_critical_path,
+    latr_memory_overhead_bytes,
+    latr_reclamation_bound_ns,
+    latr_staleness_bound_ns,
+    latr_sweep_cost_ns,
+    linux_shootdown,
+    migration_shootdown_share,
+)
+
+__all__ = [
+    "ApacheBound",
+    "ShootdownBreakdown",
+    "apache_throughput_bound",
+    "dominant_term",
+    "latr_free_critical_path",
+    "latr_memory_overhead_bytes",
+    "latr_reclamation_bound_ns",
+    "latr_staleness_bound_ns",
+    "latr_sweep_cost_ns",
+    "linux_shootdown",
+    "migration_shootdown_share",
+]

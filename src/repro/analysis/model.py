@@ -1,0 +1,186 @@
+"""Closed-form cost model of translation coherence.
+
+The simulator *executes* the mechanisms; this module *predicts* them with
+the paper's own arithmetic (section 2.1's three overheads: IPI send, remote
+handler, ACK wait). Uses:
+
+* sanity-check the simulator (tests assert model ~= simulation),
+* reason about configurations without simulating (e.g. "what does a
+  munmap cost on 4 sockets x 32 cores?"),
+* expose the structure of the result: which term dominates where.
+
+All functions take an explicit :class:`~repro.hw.latency.LatencyModel` and
+:class:`~repro.hw.topology.Topology`, so what-if analyses can vary either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..hw.latency import DEFAULT_LATENCY, LatencyModel
+from ..hw.spec import MachineSpec
+from ..hw.topology import Topology
+from ..mm.addr import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class ShootdownBreakdown:
+    """Linux's synchronous shootdown, term by term (paper section 2.1)."""
+
+    local_invalidation_ns: float
+    ipi_send_ns: float            # initiator occupancy, all unicasts
+    slowest_ack_wait_ns: float    # delivery + handler + ack for the last core
+    total_ns: float
+    #: CPU stolen from remote cores by the handlers (not on the critical
+    #: path, but the throughput cost Figures 1/10/11 measure).
+    remote_handler_ns: float
+
+
+def linux_shootdown(
+    spec: MachineSpec,
+    initiator_core: int = 0,
+    target_cores: Optional[List[int]] = None,
+    pages: int = 1,
+    latency: LatencyModel = DEFAULT_LATENCY,
+) -> ShootdownBreakdown:
+    """Predict one synchronous IPI shootdown on ``spec``."""
+    topo = Topology(spec)
+    if target_cores is None:
+        target_cores = [c for c in range(spec.total_cores) if c != initiator_core]
+    local = latency.local_invalidation(pages, spec.full_flush_threshold)
+    handler = latency.ipi_handler(pages, spec.full_flush_threshold)
+
+    send_total = 0
+    slowest = 0.0
+    for target in target_cores:
+        hops = topo.core_hops(initiator_core, target)
+        send_total += latency.ipi_send(hops)
+        # The IPI to `target` leaves after all earlier sends: its ACK
+        # arrives at send-so-far + delivery + handler + ack.
+        arrival = (
+            send_total
+            + latency.ipi_delivery(hops)
+            + handler
+            + latency.ack_transfer(hops)
+        )
+        slowest = max(slowest, arrival)
+    return ShootdownBreakdown(
+        local_invalidation_ns=local,
+        ipi_send_ns=send_total,
+        slowest_ack_wait_ns=max(0.0, slowest - send_total),
+        total_ns=local + slowest if target_cores else local,
+        remote_handler_ns=handler * len(target_cores),
+    )
+
+
+def latr_free_critical_path(
+    pages: int = 1,
+    spec: MachineSpec = None,
+    latency: LatencyModel = DEFAULT_LATENCY,
+) -> float:
+    """LATR's contribution to the munmap critical path: local invalidation
+    plus one state write (Figure 2b)."""
+    threshold = spec.full_flush_threshold if spec else 32
+    return latency.local_invalidation(pages, threshold) + latency.latr_state_write_ns
+
+
+def latr_staleness_bound_ns(spec: MachineSpec) -> int:
+    """Worst-case survival of a stale remote entry: one tick interval
+    (every running core sweeps at its next tick, paper section 3)."""
+    return spec.tick_interval_ns
+
+
+def latr_reclamation_bound_ns(spec: MachineSpec, reclaim_delay_ticks: int = 2) -> int:
+    """When lazily-freed memory is guaranteed reusable again."""
+    return reclaim_delay_ticks * spec.tick_interval_ns
+
+
+def latr_memory_overhead_bytes(
+    munmap_rate_per_sec: float,
+    pages_per_munmap: int,
+    spec: MachineSpec,
+    reclaim_delay_ticks: int = 2,
+) -> float:
+    """Section 6.4's bound: rate x pages x 4 KiB x reclamation delay."""
+    window_sec = latr_reclamation_bound_ns(spec, reclaim_delay_ticks) / 1e9
+    return munmap_rate_per_sec * pages_per_munmap * PAGE_SIZE * window_sec
+
+
+def latr_sweep_cost_ns(
+    active_states: int,
+    matching_states: int,
+    pages_per_state: int,
+    spec: MachineSpec,
+    latency: LatencyModel = DEFAULT_LATENCY,
+    cross_socket_pulls: int = 0,
+) -> float:
+    """One sweep pass: base + per-entry examination + invalidation work
+    (batched into a full flush past the 32-page rule, paper 4.1)."""
+    cost = latency.latr_sweep_base_ns + active_states * latency.latr_sweep_per_entry_ns
+    cost += cross_socket_pulls * latency.latr_state_pull(1)
+    total_pages = matching_states * pages_per_state
+    if total_pages > spec.full_flush_threshold:
+        cost += latency.tlb_full_flush_ns + matching_states * 30
+    else:
+        cost += total_pages * latency.tlb_invlpg_ns + matching_states * 30
+    return cost
+
+
+@dataclass(frozen=True)
+class ApacheBound:
+    """Which resource caps Apache throughput (Figure 1's two regimes)."""
+
+    cpu_bound_rps: float
+    lock_bound_rps: float
+    predicted_rps: float
+    binding: str  # "cpu" or "mmap_sem"
+
+
+def apache_throughput_bound(
+    cores: int,
+    request_work_ns: float,
+    per_request_cpu_extra_ns: float,
+    sem_occupancy_ns: float,
+) -> ApacheBound:
+    """Closed-loop throughput = min(aggregate CPU, address-space lock).
+
+    ``sem_occupancy_ns`` is the mmap_sem-held time per request (mmap +
+    faults + munmap incl. the shootdown under Linux); the lock admits at
+    most one request's VM work at a time, which is exactly why removing the
+    shootdown from the critical section (LATR) moves the knee.
+    """
+    cpu_bound = cores * 1e9 / (request_work_ns + per_request_cpu_extra_ns)
+    lock_bound = 1e9 / sem_occupancy_ns if sem_occupancy_ns > 0 else float("inf")
+    predicted = min(cpu_bound, lock_bound)
+    return ApacheBound(
+        cpu_bound_rps=cpu_bound,
+        lock_bound_rps=lock_bound,
+        predicted_rps=predicted,
+        binding="cpu" if cpu_bound <= lock_bound else "mmap_sem",
+    )
+
+
+def migration_shootdown_share(
+    pages: int,
+    spec: MachineSpec,
+    latency: LatencyModel = DEFAULT_LATENCY,
+) -> float:
+    """Fraction of an AutoNUMA migration spent on the shootdown (the
+    paper's 5.8% at 1 page .. 21.1% at 512 pages, sections 2.1/6.3)."""
+    shootdown = linux_shootdown(spec, pages=1).total_ns * pages
+    work = (
+        latency.migration_fixed_ns
+        + pages * latency.migration_per_page_ns
+    )
+    return shootdown / (shootdown + work)
+
+
+def dominant_term(breakdown: ShootdownBreakdown) -> str:
+    """Which of the three section-2.1 overheads dominates."""
+    terms = {
+        "local invalidation": breakdown.local_invalidation_ns,
+        "IPI send occupancy": breakdown.ipi_send_ns,
+        "ACK wait": breakdown.slowest_ack_wait_ns,
+    }
+    return max(terms, key=terms.get)

@@ -1,0 +1,82 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Examples::
+
+    python -m repro list
+    python -m repro fig6
+    python -m repro fig9 --fast
+    python -m repro all --fast -o results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import available_experiments, run_experiment
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="latr-repro",
+        description="Reproduce the tables and figures of 'LATR: Lazy Translation "
+        "Coherence' (ASPLOS 2018) on the simulated machine.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig6, tab5), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced sweeps/durations (for smoke runs and CI)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also append rendered tables to this file",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write each experiment's rows as <csv-dir>/<id>.csv",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for exp_id in available_experiments():
+            print(exp_id)
+        return 0
+
+    exp_ids = available_experiments() if args.experiment == "all" else [args.experiment]
+    sink = open(args.output, "a") if args.output else None
+    try:
+        for exp_id in exp_ids:
+            started = time.time()
+            result = run_experiment(exp_id, fast=args.fast)
+            text = result.render()
+            elapsed = time.time() - started
+            print(text)
+            print(f"[{exp_id} done in {elapsed:.1f}s]\n")
+            if sink:
+                sink.write(text + "\n\n")
+            if args.csv_dir:
+                import os
+
+                os.makedirs(args.csv_dir, exist_ok=True)
+                with open(os.path.join(args.csv_dir, f"{exp_id}.csv"), "w") as csv_file:
+                    csv_file.write(result.to_csv())
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    finally:
+        if sink:
+            sink.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

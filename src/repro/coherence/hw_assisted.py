@@ -1,0 +1,194 @@
+"""Hardware-assisted comparators from the paper's Table 2 / section 2.2.
+
+The paper argues LATR gets the benefits of hardware TLB coherence without
+the hardware. To make Table 2 executable we model the two most-cited
+hardware proposals:
+
+* **DiDi** (Villavieja et al., PACT'11): a shared second-level TLB
+  *directory* tracks which cores cache which PTE. A shootdown consults the
+  directory and invalidates remote TLB entries through a dedicated per-core
+  port, *without interrupting* the remote instruction stream. The
+  initiating core still waits for the invalidations to complete -- DiDi is
+  precise and cheap, but synchronous (Table 2: non-IPI, no remote
+  involvement, but not asynchronous, hardware changes required).
+
+* **UNITD** (Romanescu et al., HPCA'10): TLBs participate in the cache
+  coherence protocol; a PTE store automatically invalidates remote TLB
+  entries, so there is no software shootdown at all -- but each PTE write
+  becomes a coherence broadcast and every TLB needs a reverse-translation
+  CAM (the power/verification costs the paper cites).
+
+Both let experiments ask "how close does LATR get to hardware?" -- the
+ablation `mech-compare` runs all six mechanisms on the same microbenchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Set, Tuple
+
+from ..mm.addr import VirtRange
+from ..mm.frames import FrameBatch
+from ..mm.mmstruct import MmStruct
+from ..sim.engine import Signal
+from .base import MechanismProperties, ShootdownReason, TLBCoherence
+
+
+class DidiShootdown(TLBCoherence):
+    """Shared second-level TLB directory with remote-invalidation ports."""
+
+    name = "didi"
+    properties = MechanismProperties(
+        asynchronous=False,
+        non_ipi=True,
+        no_remote_core_involvement=True,
+        no_hardware_changes=False,
+    )
+
+    #: Directory lookup (per page): an LLC-adjacent SRAM access.
+    directory_lookup_ns = 45
+    #: Remote invalidation through the dedicated port, per core, by hops
+    #: (a directed coherence message, no interrupt entry).
+    invalidate_port_ns = (110, 260, 420)
+
+    def __init__(self):
+        super().__init__()
+        #: The directory: (mm_id, vpn) -> cores caching the translation.
+        self._directory: Dict[Tuple[int, int], Set[int]] = {}
+
+    def on_tlb_fill(self, core, mm: MmStruct, vpn: int) -> int:
+        self._directory.setdefault((mm.mm_id, vpn), set()).add(core.id)
+        # Directory update rides the existing fill; negligible extra cost.
+        return 0
+
+    def _invalidate_via_directory(
+        self, core, mm: MmStruct, vrange: VirtRange
+    ) -> Generator:
+        """Look up sharers, push invalidations, wait for completion."""
+        topo = self.kernel.machine.topology
+        lookup_cost = vrange.n_pages * self.directory_lookup_ns
+        worst = 0
+        invalidated = 0
+        for vpn in vrange.vpns():
+            sharers = self._directory.pop((mm.mm_id, vpn), set())
+            for core_id in sharers:
+                if core_id == core.id:
+                    continue
+                target = self.kernel.machine.core(core_id)
+                target.tlb.invalidate_page(mm.pcid, vpn)
+                hops = topo.core_hops(core.id, core_id)
+                worst = max(worst, self.invalidate_port_ns[min(hops, 2)])
+                invalidated += 1
+        self._stats.counter("didi.remote_invalidations").add(invalidated)
+        # The initiator waits for the slowest port round-trip (synchronous),
+        # but no remote core executes anything.
+        yield from core.execute(lookup_cost + worst)
+
+    def shootdown_free(
+        self,
+        core,
+        mm: MmStruct,
+        vrange: VirtRange,
+        pfns: List[int],
+        vrange_to_free: Optional[VirtRange],
+    ) -> Generator:
+        start = self.kernel.sim.now
+        yield from core.execute(self.local_invalidate(core, mm, vrange))
+        self._stats.counter("shootdown.initiated").add()
+        self._stats.rate("shootdowns").hit()
+        yield from self._invalidate_via_directory(core, mm, vrange)
+        self._stats.latency("shootdown.free").record(self.kernel.sim.now - start)
+        yield from core.execute(FrameBatch.units_of(pfns) * self._lat.page_free_ns)
+        self.kernel.release_frames(pfns)
+        if vrange_to_free is not None:
+            mm.release_vrange(vrange_to_free)
+
+    def shootdown_sync(
+        self, core, mm: MmStruct, vrange: VirtRange, reason: ShootdownReason
+    ) -> Generator:
+        yield from core.execute(self.local_invalidate(core, mm, vrange))
+        self._stats.counter(f"shootdown.sync.{reason.value}").add()
+        yield from self._invalidate_via_directory(core, mm, vrange)
+
+    def migration_unmap(
+        self,
+        core,
+        mm: MmStruct,
+        vrange: VirtRange,
+        apply_pte_change: Callable[[], None],
+    ) -> Generator:
+        apply_pte_change()
+        yield from core.execute(self.local_invalidate(core, mm, vrange))
+        self._stats.counter("shootdown.initiated").add()
+        self._stats.rate("shootdowns").hit()
+        yield from self._invalidate_via_directory(core, mm, vrange)
+        return Signal(self.kernel.sim).succeed(None)
+
+
+class UnitdCoherence(TLBCoherence):
+    """Hardware TLB coherence: PTE stores invalidate remote TLBs directly."""
+
+    name = "unitd"
+    properties = MechanismProperties(
+        asynchronous=False,  # coherence is instantaneous, not deferred
+        non_ipi=True,
+        no_remote_core_involvement=True,
+        no_hardware_changes=False,
+    )
+
+    #: Each PTE store becomes a coherence broadcast probing every TLB's
+    #: reverse-translation CAM (the cost the paper criticizes).
+    broadcast_per_page_ns = 85
+    #: CAM probe energy/latency tax on every TLB fill.
+    cam_fill_tax_ns = 12
+
+    def on_tlb_fill(self, core, mm: MmStruct, vpn: int) -> int:
+        return self.cam_fill_tax_ns
+
+    def _coherent_invalidate(self, core, mm: MmStruct, vrange: VirtRange) -> Generator:
+        """The PTE writes already broadcast; invalidate remote TLBs now."""
+        for other in self.kernel.machine.cores:
+            if other.id == core.id:
+                continue
+            other.tlb.invalidate_range(mm.pcid, vrange.vpn_start, vrange.vpn_end)
+        self._stats.counter("unitd.broadcasts").add(vrange.n_pages)
+        yield from core.execute(vrange.n_pages * self.broadcast_per_page_ns)
+
+    def shootdown_free(
+        self,
+        core,
+        mm: MmStruct,
+        vrange: VirtRange,
+        pfns: List[int],
+        vrange_to_free: Optional[VirtRange],
+    ) -> Generator:
+        start = self.kernel.sim.now
+        yield from core.execute(self.local_invalidate(core, mm, vrange))
+        self._stats.counter("shootdown.initiated").add()
+        self._stats.rate("shootdowns").hit()
+        yield from self._coherent_invalidate(core, mm, vrange)
+        self._stats.latency("shootdown.free").record(self.kernel.sim.now - start)
+        yield from core.execute(FrameBatch.units_of(pfns) * self._lat.page_free_ns)
+        self.kernel.release_frames(pfns)
+        if vrange_to_free is not None:
+            mm.release_vrange(vrange_to_free)
+
+    def shootdown_sync(
+        self, core, mm: MmStruct, vrange: VirtRange, reason: ShootdownReason
+    ) -> Generator:
+        yield from core.execute(self.local_invalidate(core, mm, vrange))
+        self._stats.counter(f"shootdown.sync.{reason.value}").add()
+        yield from self._coherent_invalidate(core, mm, vrange)
+
+    def migration_unmap(
+        self,
+        core,
+        mm: MmStruct,
+        vrange: VirtRange,
+        apply_pte_change: Callable[[], None],
+    ) -> Generator:
+        apply_pte_change()
+        yield from core.execute(self.local_invalidate(core, mm, vrange))
+        self._stats.counter("shootdown.initiated").add()
+        self._stats.rate("shootdowns").hit()
+        yield from self._coherent_invalidate(core, mm, vrange)
+        return Signal(self.kernel.sim).succeed(None)

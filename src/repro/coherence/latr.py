@@ -1,0 +1,335 @@
+"""LATR: lazy translation coherence (the paper's contribution).
+
+Free operations (section 4.2): the initiating core clears PTEs (done by the
+caller), invalidates its local TLB, writes a LATR state (132 ns, Table 5)
+instead of sending IPIs, and parks the freed frames/virtual range on the
+mm's lazy lists. Every core sweeps all cores' state queues at each scheduler
+tick or context switch (158 ns + per-entry work) and invalidates the ranges
+addressed to it. A background reclamation daemon frees the parked memory two
+tick intervals after posting, once the bitmask is empty.
+
+Migration operations (section 4.3): the PTE change itself is deferred; the
+*first* core that sweeps the state applies it (then invalidates), the rest
+only invalidate. The migration (page fault side) is gated until the bitmask
+empties (section 4.4).
+
+Queue-full falls back to the synchronous IPI round (section 8).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Set, Tuple
+
+from ..mm.addr import VirtRange
+from ..mm.frames import FrameBatch
+from ..mm.mmstruct import MmStruct
+from ..sim.engine import Signal, Timeout
+from .base import MECHANISM_PROPERTIES, ShootdownReason, TLBCoherence
+from .states import DEFAULT_QUEUE_DEPTH, LatrFlag, LatrState, LatrStateQueue
+
+#: Cacheline cost of one state record (68 B spans two 64 B lines).
+STATE_LINES = 2
+
+
+class LatrCoherence(TLBCoherence):
+    """The lazy mechanism."""
+
+    name = "latr"
+    properties = MECHANISM_PROPERTIES["LATR"]
+
+    def __init__(
+        self,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        reclaim_delay_ticks: int = 2,
+        sweep_on_context_switch: bool = True,
+        sweep_on_tick: bool = True,
+    ):
+        super().__init__()
+        self.queue_depth = queue_depth
+        self.reclaim_delay_ticks = reclaim_delay_ticks
+        self.sweep_on_context_switch = sweep_on_context_switch
+        self.sweep_on_tick = sweep_on_tick
+        self.queues: Dict[int, LatrStateQueue] = {}
+        #: Extra per-sweep cost for cache-thrashing applications whose state
+        #: queue lines never stay resident (workload profiles set this; the
+        #: paper's canneal overhead comes from exactly this effect).
+        self.cold_sweep_extra_ns = 0
+        #: FREE states awaiting reclamation, in posting order.
+        self._pending_reclaim: List[LatrState] = []
+        #: Active MIGRATION states indexed for the fault-path gate.
+        self._migration_states: List[LatrState] = []
+        self._reclaimd_started = False
+
+    # ---- wiring ---------------------------------------------------------------
+
+    def attach(self, kernel) -> None:
+        super().attach(kernel)
+        self.queues = {
+            core.id: LatrStateQueue(core.id, self.queue_depth)
+            for core in kernel.machine.cores
+        }
+
+    def start(self) -> None:
+        """Spawn the background reclamation daemon (kernel.start calls this)."""
+        if not self._reclaimd_started:
+            self._reclaimd_started = True
+            self.kernel.sim.spawn(self._reclaimd(), name="latr-reclaimd")
+
+    # ---- free operations (4.2) --------------------------------------------------
+
+    def shootdown_free(
+        self,
+        core,
+        mm: MmStruct,
+        vrange: VirtRange,
+        pfns: List[int],
+        vrange_to_free: Optional[VirtRange],
+    ) -> Generator:
+        start = self.kernel.sim.now
+        yield from core.execute(self.local_invalidate(core, mm, vrange))
+        targets = self.select_targets(core, mm)
+        if not targets:
+            # No remote core can cache these translations; the local TLB is
+            # already clean, so immediate reuse is safe (same as Linux's
+            # no-IPI path).
+            yield from core.execute(FrameBatch.units_of(pfns) * self._lat.page_free_ns)
+            self.kernel.release_frames(pfns)
+            if vrange_to_free is not None:
+                mm.release_vrange(vrange_to_free)
+            self._stats.latency("shootdown.free").record(self.kernel.sim.now - start)
+            return
+
+        state = LatrState(
+            vrange=vrange,
+            mm=mm,
+            cpu_bitmask={t.id for t in targets},
+            flag=LatrFlag.FREE,
+            owner_core=core.id,
+            posted_at=self.kernel.sim.now,
+            done=Signal(self.kernel.sim),
+            pfns=pfns,
+            vrange_to_free=vrange_to_free,
+        )
+        if not self.queues[core.id].post(state):
+            # Queue full: fall back to the synchronous IPI mechanism
+            # (paper section 8) and complete like Linux would.
+            self._stats.counter("latr.fallback_ipi").add()
+            yield from self.ipi_round(core, mm, vrange, targets, ShootdownReason.FALLBACK)
+            yield from core.execute(FrameBatch.units_of(pfns) * self._lat.page_free_ns)
+            self.kernel.release_frames(pfns)
+            if vrange_to_free is not None:
+                mm.release_vrange(vrange_to_free)
+            self._stats.latency("shootdown.free").record(self.kernel.sim.now - start)
+            return
+
+        # The lazy path: one state write, then return to the application.
+        yield from core.execute(self._lat.latr_state_write_ns)
+        if self.kernel.tracer is not None:
+            self.kernel.tracer.emit(
+                "latr", "state.post", core=core.id,
+                detail=f"pages={vrange.n_pages} targets={len(targets)}",
+            )
+        mm.defer_frames(state.pfns)
+        if vrange_to_free is not None:
+            mm.defer_vrange(vrange_to_free)
+        self._pending_reclaim.append(state)
+        self.kernel.machine.llc.record_state_traffic(STATE_LINES)
+        self._stats.counter("latr.states_posted").add()
+        self._stats.counter("shootdown.initiated").add()
+        self._stats.rate("shootdowns").hit()
+        self._stats.latency("shootdown.free").record(self.kernel.sim.now - start)
+        self._stats.latency("latr.state_write").record(self._lat.latr_state_write_ns)
+
+    # ---- migration operations (4.3) ----------------------------------------------
+
+    def migration_unmap(
+        self,
+        core,
+        mm: MmStruct,
+        vrange: VirtRange,
+        apply_pte_change: Callable[[], None],
+    ) -> Generator:
+        targets = self.select_targets(core, mm)
+        bitmask = {t.id for t in targets}
+        # The initiator participates too: its own TLB is invalidated at its
+        # next tick, after the first sweeper applied the PTE change (paper
+        # Figure 3b includes both cores in the bitmask).
+        if not core.lazy_tlb_mode:
+            bitmask.add(core.id)
+        state = LatrState(
+            vrange=vrange,
+            mm=mm,
+            cpu_bitmask=bitmask,
+            flag=LatrFlag.MIGRATION,
+            owner_core=core.id,
+            posted_at=self.kernel.sim.now,
+            done=Signal(self.kernel.sim),
+            apply_pte_change=apply_pte_change,
+            # Migration states pin no memory: their queue slot is reusable
+            # as soon as every core has invalidated (no reclaim step).
+            reclaimed=True,
+        )
+        if not bitmask:
+            # Nothing can cache the translation: apply immediately.
+            apply_pte_change()
+            state.pte_applied = True
+            state.active = False
+            state.done.succeed(state)
+            yield from core.execute(0)
+            return state.done
+        if not self.queues[core.id].post(state):
+            self._stats.counter("latr.fallback_ipi").add()
+            apply_pte_change()
+            yield from core.execute(self.local_invalidate(core, mm, vrange))
+            yield from self.ipi_round(core, mm, vrange, targets, ShootdownReason.FALLBACK)
+            return Signal(self.kernel.sim).succeed(None)
+        yield from core.execute(self._lat.latr_state_write_ns)
+        self._migration_states.append(state)
+        self.kernel.machine.llc.record_state_traffic(STATE_LINES)
+        self._stats.counter("latr.states_posted").add()
+        self._stats.counter("latr.migration_states").add()
+        self._stats.rate("shootdowns").hit()
+        return state.done
+
+    def migration_gate(self, mm: MmStruct, vpn: int) -> Optional[Signal]:
+        for state in self._migration_states:
+            if state.active and state.mm is mm and state.vrange.vpn_start <= vpn < state.vrange.vpn_end:
+                return state.done
+        return None
+
+    # ---- the sweep (4.1) -----------------------------------------------------------
+
+    def sweep(self, core) -> int:
+        """Sweep all cores' queues from ``core``; returns the cost in ns.
+
+        Cost model is Table 5's 158 ns base (the states are contiguous and
+        prefetched) plus per-active-entry examination, a cacheline pull the
+        first time this core reads a state written on another socket, and
+        the local invalidation work for matching entries.
+        """
+        lat = self._lat
+        spec = self.kernel.machine.spec
+        topo = self.kernel.machine.topology
+        now = self.kernel.sim.now
+        cost = lat.latr_sweep_base_ns + self.cold_sweep_extra_ns
+        examined = 0
+
+        # Pass 1: scan every core's queue, collect the states addressed to
+        # this core, and apply deferred migration PTE changes.
+        matching: List[LatrState] = []
+        total_pages = 0
+        for queue in self.queues.values():
+            for state in queue.active_states():
+                examined += 1
+                cost += lat.latr_sweep_per_entry_ns
+                hops = topo.core_hops(core.id, state.owner_core)
+                if hops > 0 and core.id not in state.pulled_by:
+                    state.pulled_by.add(core.id)
+                    cost += lat.latr_state_pull(hops)
+                    self.kernel.machine.llc.record_state_traffic(STATE_LINES)
+                if core.id not in state.cpu_bitmask:
+                    continue
+                if state.flag is LatrFlag.MIGRATION and not state.pte_applied:
+                    # First sweeper applies the deferred PTE change
+                    # ("Clear PTE" in Figure 3b).
+                    state.pte_applied = True
+                    state.apply_pte_change()
+                    cost += state.vrange.n_pages * lat.pte_set_ns
+                matching.append(state)
+                total_pages += state.vrange.n_pages
+
+        # Pass 2: invalidate. Like Linux's 32-page batching rule, a sweep
+        # with more work than the threshold does one full flush instead of
+        # per-page INVLPGs (paper 4.1: "LATR flushes the entire TLB during
+        # state sweep").
+        if total_pages > spec.full_flush_threshold:
+            core.tlb.flush()
+            cost += lat.tlb_full_flush_ns + len(matching) * 30
+            for state in matching:
+                state.clear_cpu(core.id, now)
+        else:
+            for state in matching:
+                core.tlb.invalidate_range(
+                    state.mm.pcid, state.vrange.vpn_start, state.vrange.vpn_end
+                )
+                cost += state.vrange.n_pages * lat.tlb_invlpg_ns + 30
+                state.clear_cpu(core.id, now)
+        invalidated_states = len(matching)
+
+        self._stats.counter("latr.sweeps").add()
+        if self.kernel.tracer is not None and invalidated_states:
+            self.kernel.tracer.emit(
+                "latr", "sweep", core=core.id,
+                detail=f"states={invalidated_states} pages={total_pages}",
+            )
+        self._stats.counter("latr.entries_examined").add(examined)
+        self._stats.counter("latr.entries_invalidated").add(invalidated_states)
+        self._stats.latency("latr.sweep").record(cost)
+        return cost
+
+    # ---- scheduler hooks ---------------------------------------------------------
+
+    def on_tick(self, core) -> None:
+        if self.sweep_on_tick:
+            core.steal_time(self.sweep(core))
+
+    def on_context_switch(self, core, old_mm, new_mm) -> None:
+        if self.sweep_on_context_switch:
+            core.steal_time(self.sweep(core))
+
+    def pending_lazy_operations(self) -> int:
+        return len(self._pending_reclaim) + sum(
+            1 for s in self._migration_states if s.active
+        )
+
+    # ---- reclamation daemon (4.2) ---------------------------------------------------
+
+    def lazy_bytes_outstanding(self) -> int:
+        """Physical memory currently parked on lazy lists (section 6.4)."""
+        from ..mm.addr import PAGE_SIZE
+
+        return sum(len(s.pfns) for s in self._pending_reclaim) * PAGE_SIZE
+
+    def _reclaimd(self) -> Generator:
+        """Background thread: frees lazy memory after two tick intervals.
+
+        Ticks are unsynchronized across cores, so one interval only
+        guarantees *some* cores swept; two intervals guarantee every running
+        core saw a tick after the post (paper section 3). We additionally
+        require the bitmask to be empty, which the tickless/idle rule makes
+        equivalent (idle cores were never in the mask).
+        """
+        tick = self.kernel.machine.spec.tick_interval_ns
+        delay = self.reclaim_delay_ticks * tick
+        while True:
+            yield Timeout(tick)
+            now = self.kernel.sim.now
+            still_pending: List[LatrState] = []
+            owner_costs: Dict[int, int] = {}
+            for state in self._pending_reclaim:
+                if state.active or now - state.posted_at < delay:
+                    still_pending.append(state)
+                    continue
+                self._reclaim_state(state, owner_costs)
+            self._pending_reclaim = still_pending
+            self._migration_states = [s for s in self._migration_states if s.active]
+            for core_id, cost in owner_costs.items():
+                self.kernel.machine.core(core_id).steal_time(cost)
+
+    def _reclaim_state(self, state: LatrState, owner_costs: Dict[int, int]) -> None:
+        lat = self._lat
+        mm = state.mm
+        mm.take_lazy_frames(state.pfns)
+        self.kernel.release_frames(state.pfns)
+        if state.vrange_to_free is not None:
+            mm.reclaim_vrange(state.vrange_to_free)
+        state.reclaimed = True
+        self._stats.counter("latr.states_reclaimed").add()
+        if self.kernel.tracer is not None:
+            self.kernel.tracer.emit(
+                "latr", "reclaim", core=state.owner_core,
+                detail=f"frames={len(state.pfns)} age_ns={self.kernel.sim.now - state.posted_at}",
+            )
+        self._stats.counter("latr.frames_reclaimed").add(len(state.pfns))
+        cost = FrameBatch.units_of(state.pfns) * lat.page_free_ns + lat.vma_op_ns
+        owner_costs[state.owner_core] = owner_costs.get(state.owner_core, 0) + cost

@@ -1,0 +1,131 @@
+"""LATR states: the per-core cyclic lock-free queues of shootdown records.
+
+Paper section 4.1: each core owns 64 states of 68 bytes. A state holds the
+virtual range, an mm identifier, the CPU bitmask of cores that still need to
+invalidate, flags distinguishing free from migration operations, and an
+active flag. Cores sweep *all* cores' queues at every scheduler tick or
+context switch, invalidate what concerns them, clear their bitmask bit with
+an atomic, and the last core deactivates the entry.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Set
+
+from ..mm.addr import VirtRange
+from ..mm.mmstruct import MmStruct
+from ..sim.engine import Signal
+
+#: Paper defaults.
+DEFAULT_QUEUE_DEPTH = 64
+STATE_BYTES = 68
+
+_state_seq = itertools.count(1)
+
+
+class LatrFlag(enum.Enum):
+    """The 'flags' field: why the shootdown happened (paper Figure 4)."""
+
+    FREE = "free"
+    MIGRATION = "migration"
+
+
+@dataclass
+class LatrState:
+    """One 68-byte LATR state record."""
+
+    vrange: VirtRange
+    mm: MmStruct
+    cpu_bitmask: Set[int]
+    flag: LatrFlag
+    owner_core: int
+    posted_at: int
+    #: Fires when the bitmask empties (all cores invalidated); used to gate
+    #: migrations (paper 4.4) and by the reclamation daemon.
+    done: Signal
+    #: Frames pinned until reclamation (FREE states).
+    pfns: List[int] = field(default_factory=list)
+    #: Virtual range to return to the allocator at reclamation (munmap only;
+    #: madvise keeps the VMA so nothing to return).
+    vrange_to_free: Optional[VirtRange] = None
+    #: Deferred PTE change (MIGRATION states): run by the first sweeper.
+    apply_pte_change: Optional[Callable[[], None]] = None
+    pte_applied: bool = False
+    #: Cores that already pulled this state's cachelines cross-socket
+    #: (timing bookkeeping for the sweep cost model).
+    pulled_by: Set[int] = field(default_factory=set)
+    active: bool = True
+    completed_at: Optional[int] = None
+    reclaimed: bool = False
+    seq: int = field(default_factory=lambda: next(_state_seq))
+
+    def clear_cpu(self, core_id: int, now: int) -> bool:
+        """Remove ``core_id`` from the bitmask; returns True when this was
+        the last core (the state deactivates, paper Figure 5 step 3)."""
+        self.cpu_bitmask.discard(core_id)
+        if not self.cpu_bitmask and self.active:
+            self.active = False
+            self.completed_at = now
+            self.done.succeed(self)
+            return True
+        return False
+
+
+class LatrStateQueue:
+    """A per-core cyclic queue of LATR states.
+
+    'Lock-free' in the paper means entries are claimed and cleared with
+    atomics; in the simulator the discrete-event loop serializes accesses,
+    so the queue is a plain ring with an explicit full condition: the slot
+    at the write cursor still being active means the queue is full and the
+    poster must fall back to IPIs (paper sections 4.2, 8).
+    """
+
+    def __init__(self, core_id: int, depth: int = DEFAULT_QUEUE_DEPTH):
+        if depth < 1:
+            raise ValueError("queue depth must be positive")
+        self.core_id = core_id
+        self.depth = depth
+        self._slots: List[Optional[LatrState]] = [None] * depth
+        self._cursor = 0
+        self.posts = 0
+        self.full_rejections = 0
+
+    def post(self, state: LatrState) -> bool:
+        """Install a state; False when the queue is full (caller falls back).
+
+        A slot is reusable once its state is inactive *and* reclaimed (for
+        FREE states the record must survive until the reclamation daemon has
+        freed the pages it references).
+        """
+        slot = self._slots[self._cursor]
+        if slot is not None and (slot.active or not slot.reclaimed):
+            self.full_rejections += 1
+            return False
+        self._slots[self._cursor] = state
+        self._cursor = (self._cursor + 1) % self.depth
+        self.posts += 1
+        return True
+
+    def active_states(self) -> Iterator[LatrState]:
+        for state in self._slots:
+            if state is not None and state.active:
+                yield state
+
+    def all_states(self) -> Iterator[LatrState]:
+        for state in self._slots:
+            if state is not None:
+                yield state
+
+    def occupancy(self) -> int:
+        return sum(
+            1
+            for s in self._slots
+            if s is not None and (s.active or not s.reclaimed)
+        )
+
+    def footprint_bytes(self) -> int:
+        return self.depth * STATE_BYTES

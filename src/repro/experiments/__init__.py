@@ -1,0 +1,11 @@
+"""One experiment runner per paper table/figure, plus ablations.
+
+Use ``python -m repro <id>`` or::
+
+    from repro.experiments import run_experiment
+    print(run_experiment("fig6", fast=True).render())
+"""
+
+from .runner import ExperimentResult, available_experiments, run_experiment
+
+__all__ = ["ExperimentResult", "available_experiments", "run_experiment"]

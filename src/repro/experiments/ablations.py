@@ -1,0 +1,223 @@
+"""Ablations of LATR's design choices (DESIGN.md section 5).
+
+These go beyond the paper's own figures: they quantify the trade-offs the
+paper only names -- the 64-entry queue depth (section 8), the two-tick
+reclamation delay (section 3), the sweep triggers (section 4.1), and PCID
+mode (section 4.5).
+"""
+
+from __future__ import annotations
+
+from .. import build_system
+from ..mm.addr import PAGE_SIZE
+from ..sim.engine import MSEC, AllOf
+from ..workloads.apache import ApacheConfig, ApacheWorkload
+from ..workloads.microbench import MicrobenchConfig, MunmapMicrobench
+from .runner import ExperimentResult, experiment
+
+
+@experiment("abl-queue")
+def ablation_queue_depth(fast: bool = False) -> ExperimentResult:
+    """Queue depth vs fallback-IPI rate under a high munmap rate."""
+    depths = (4, 16, 64) if fast else (2, 4, 8, 16, 32, 64, 128)
+    duration = 30 if fast else 80
+    rows = []
+    for depth in depths:
+        result = ApacheWorkload(
+            ApacheConfig(cores=8, duration_ms=duration, warmup_ms=10)
+        ).run("latr", queue_depth=depth)
+        posted = result.counters.get("latr.states_posted", 0)
+        fallbacks = result.counters.get("latr.fallback_ipi", 0)
+        total = posted + fallbacks
+        rows.append(
+            (
+                depth,
+                result.metric("requests_per_sec"),
+                fallbacks,
+                100.0 * fallbacks / total if total else 0.0,
+            )
+        )
+    return ExperimentResult(
+        exp_id="abl-queue",
+        title="Ablation: LATR state-queue depth (paper section 8 trade-off)",
+        headers=("queue depth", "apache req/s", "fallback IPIs", "fallback %"),
+        rows=rows,
+        paper_expectation=(
+            "the paper picks 64 states/core; shallow queues fall back to IPIs "
+            "under load, deep queues only add sweep work"
+        ),
+    )
+
+
+@experiment("abl-reclaim")
+def ablation_reclaim_delay(fast: bool = False) -> ExperimentResult:
+    """Reclamation delay vs transiently-held memory."""
+    delays = (1, 2, 4) if fast else (1, 2, 3, 4, 6, 8)
+    rows = []
+    for ticks in delays:
+        bench = MunmapMicrobench(
+            MicrobenchConfig(cores=8, pages=16, reps=120 if fast else 260)
+        )
+        result = bench.run("latr", reclaim_delay_ticks=ticks)
+        overhead = bench.lazy_memory_overhead("latr", reclaim_delay_ticks=ticks)
+        rows.append(
+            (
+                ticks,
+                result.metric("munmap_us"),
+                overhead.metric("peak_lazy_mb"),
+                overhead.counters.get("latr.fallback_ipi", 0),
+            )
+        )
+    return ExperimentResult(
+        exp_id="abl-reclaim",
+        title="Ablation: reclamation delay (ticks) vs held memory",
+        headers=("reclaim delay (ticks)", "munmap us", "peak lazy MB", "fallback IPIs"),
+        rows=rows,
+        paper_expectation=(
+            "2 ticks is the minimum safe delay with unsynchronized ticks; "
+            "longer delays hold more transient memory and, past the queue "
+            "depth, start forcing fallback IPIs (states pinned until reclaim)"
+        ),
+    )
+
+
+@experiment("abl-sweep")
+def ablation_sweep_triggers(fast: bool = False) -> ExperimentResult:
+    """Tick-only vs tick+context-switch sweeping: staleness bound."""
+    rows = []
+    for label, on_tick, on_ctx in (
+        ("tick + context switch", True, True),
+        ("tick only", True, False),
+    ):
+        system = build_system(
+            "latr", cores=4, sweep_on_tick=on_tick, sweep_on_context_switch=on_ctx
+        )
+        kernel = system.kernel
+        proc = kernel.create_process("p")
+        tasks = [kernel.spawn_thread(proc, f"t{i}", i) for i in range(4)]
+        staleness = []
+
+        def remote_ctx_switches(stop):
+            # Remote cores context-switch ~every 200 us (a blocking workload
+            # like canneal); with context-switch sweeps enabled this tightens
+            # the staleness bound well below the tick interval.
+            from repro.sim.engine import Timeout
+
+            while not stop:
+                yield Timeout(200_000)
+                for core in kernel.machine.cores[1:]:
+                    kernel.scheduler.synthetic_context_switch(core)
+
+        stop_flag = []
+        system.sim.spawn(remote_ctx_switches(stop_flag))
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            for _ in range(10 if fast else 40):
+                vrange = yield from kernel.syscalls.mmap(t0, c0, PAGE_SIZE)
+                spawned = [
+                    system.sim.spawn(
+                        kernel.syscalls.touch_pages(
+                            t, kernel.machine.core(t.home_core_id), vrange, write=True
+                        )
+                    )
+                    for t in tasks
+                ]
+                yield AllOf(spawned)
+                posted_at = system.sim.now
+                yield from kernel.syscalls.munmap(t0, c0, vrange)
+                # Wait for the posted state to complete and record staleness.
+                states = list(kernel.coherence._pending_reclaim)
+                if states:
+                    state = states[-1]
+                    yield state.done
+                    staleness.append(state.completed_at - posted_at)
+            stop_flag.append(True)
+
+        driver = system.sim.spawn(body())
+        system.sim.run(until=500 * MSEC)
+        mean_stale = sum(staleness) / len(staleness) / 1000.0 if staleness else 0.0
+        max_stale = max(staleness) / 1000.0 if staleness else 0.0
+        rows.append((label, mean_stale, max_stale, kernel.stats.counter("latr.sweeps").value))
+    return ExperimentResult(
+        exp_id="abl-sweep",
+        title="Ablation: sweep triggers vs invalidation latency",
+        headers=("sweep trigger", "mean staleness us", "max staleness us", "sweeps"),
+        rows=rows,
+        paper_expectation="ticks alone already bound staleness at ~1 ms; context switches tighten it",
+    )
+
+
+@experiment("abl-pcid")
+def ablation_pcid(fast: bool = False) -> ExperimentResult:
+    """PCID on/off (paper section 4.5): throughput and TLB behaviour."""
+    duration = 30 if fast else 80
+    rows = []
+    for pcid in (False, True):
+        result = ApacheWorkload(
+            ApacheConfig(cores=8, duration_ms=duration, warmup_ms=10, pcid=pcid)
+        ).run("latr")
+        rows.append((("on" if pcid else "off"), result.metric("requests_per_sec")))
+    return ExperimentResult(
+        exp_id="abl-pcid",
+        title="Ablation: PCID-tagged TLBs (paper section 4.5)",
+        headers=("pcid", "apache req/s"),
+        rows=rows,
+        paper_expectation="LATR works in both modes; context-switch sweeps are mandatory with PCIDs",
+        notes="single-process Apache keeps the PCID effect small by construction",
+    )
+
+
+@experiment("abl-flushthresh")
+def ablation_flush_threshold(fast: bool = False) -> ExperimentResult:
+    """Linux's 32-page full-flush heuristic (visible in Figure 8)."""
+    from dataclasses import replace
+
+    from ..hw.spec import COMMODITY_2S16C
+    from ..hw.machine import Machine
+    from ..kernel.kernel import Kernel
+    from ..coherence import make_mechanism
+    from ..sim.engine import Simulator
+
+    thresholds = (8, 32, 128) if fast else (8, 16, 32, 64, 128)
+    pages = 48
+    rows = []
+    for threshold in thresholds:
+        spec = replace(
+            COMMODITY_2S16C.with_cores(8), name=f"t{threshold}", full_flush_threshold=threshold
+        )
+        sim = Simulator()
+        machine = Machine(sim, spec)
+        kernel = Kernel(machine, make_mechanism("linux"))
+        kernel.start()
+        proc = kernel.create_process("p")
+        tasks = [kernel.spawn_thread(proc, f"t{i}", i) for i in range(8)]
+        samples = []
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            for _ in range(10 if fast else 30):
+                vrange = yield from kernel.syscalls.mmap(t0, c0, pages * PAGE_SIZE)
+                for t in tasks:
+                    core = kernel.machine.core(t.home_core_id)
+                    yield from kernel.syscalls.touch_pages(t, core, vrange, write=True)
+                start = sim.now
+                yield from kernel.syscalls.munmap(t0, c0, vrange)
+                samples.append(sim.now - start)
+
+        sim.spawn(body())
+        sim.run(until=2000 * MSEC)
+        full_flushes = sum(c.tlb.full_flushes for c in machine.cores)
+        rows.append(
+            (threshold, sum(samples) / len(samples) / 1000.0, full_flushes)
+        )
+    return ExperimentResult(
+        exp_id="abl-flushthresh",
+        title=f"Ablation: full-flush threshold, {pages}-page munmap, 8 cores (Linux)",
+        headers=("threshold (pages)", "munmap us", "full flushes"),
+        rows=rows,
+        paper_expectation=(
+            "thresholds below the unmap size switch the remote handlers to a "
+            "single cheap full flush (the kink in Figure 8)"
+        ),
+    )

@@ -1,0 +1,80 @@
+"""Analytical model vs simulator cross-check.
+
+Predicts the headline costs with the closed-form model
+(:mod:`repro.analysis.model`) and measures the same quantities in the
+simulator -- a self-validation table for the reproduction itself.
+"""
+
+from __future__ import annotations
+
+from ..analysis.model import (
+    dominant_term,
+    latr_free_critical_path,
+    linux_shootdown,
+    migration_shootdown_share,
+)
+from ..hw.spec import COMMODITY_2S16C, LARGE_NUMA_8S120C
+from ..workloads.microbench import MicrobenchConfig, MunmapMicrobench
+from .runner import ExperimentResult, experiment
+
+
+@experiment("model-check")
+def model_check(fast: bool = False) -> ExperimentResult:
+    reps = 10 if fast else 30
+    rows = []
+
+    configs = [
+        ("2s16c", COMMODITY_2S16C, "commodity-2s16c", 16),
+        ("8s120c", LARGE_NUMA_8S120C, "large-numa-8s120c", 120),
+    ]
+    for label, spec, machine, cores in configs:
+        predicted = linux_shootdown(spec, pages=1)
+        measured = MunmapMicrobench(
+            MicrobenchConfig(machine=machine, cores=cores, reps=reps)
+        ).run("linux")
+        rows.append(
+            (
+                f"linux shootdown us ({label})",
+                predicted.total_ns / 1000,
+                measured.metric("shootdown_us"),
+                dominant_term(predicted),
+            )
+        )
+
+    latr_pred = latr_free_critical_path(pages=1, spec=COMMODITY_2S16C)
+    latr_meas = MunmapMicrobench(MicrobenchConfig(cores=16, reps=reps)).run("latr")
+    rows.append(
+        (
+            "latr critical path us (2s16c)",
+            latr_pred / 1000,
+            latr_meas.metric("shootdown_us"),
+            "state write",
+        )
+    )
+    rows.append(
+        (
+            "migration shootdown share % (1 page)",
+            100 * migration_shootdown_share(1, COMMODITY_2S16C),
+            5.8,
+            "paper value in 'measured' column",
+        )
+    )
+    rows.append(
+        (
+            "migration shootdown share % (512 pages)",
+            100 * migration_shootdown_share(512, COMMODITY_2S16C),
+            21.1,
+            "paper value in 'measured' column",
+        )
+    )
+    return ExperimentResult(
+        exp_id="model-check",
+        title="Closed-form model vs simulator (self-validation)",
+        headers=("quantity", "model", "measured", "dominant term / note"),
+        rows=rows,
+        paper_expectation=(
+            "model and simulation agree within ~25%; the dominant overhead "
+            "shifts from ACK wait (small machines) to IPI send occupancy "
+            "(120 cores), which is why Figure 7 is superlinear"
+        ),
+    )

@@ -1,0 +1,116 @@
+"""Experiment machinery: result tables, registry, text rendering.
+
+Each paper table/figure has one module in this package registering a
+callable via :func:`experiment`. The CLI (``python -m repro <id>``) and the
+benchmark harness both go through :func:`run_experiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: a table plus provenance."""
+
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    #: What the paper reports for this table/figure (for EXPERIMENTS.md).
+    paper_expectation: str = ""
+    notes: str = ""
+
+    def render(self) -> str:
+        cols = len(self.headers)
+        widths = [len(str(h)) for h in self.headers]
+        formatted_rows = []
+        for row in self.rows:
+            cells = [self._fmt(cell) for cell in row]
+            formatted_rows.append(cells)
+            for i, cell in enumerate(cells):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [
+            f"== {self.exp_id}: {self.title} ==",
+            " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(self.headers)),
+            sep,
+        ]
+        for cells in formatted_rows:
+            lines.append(" | ".join(cells[i].ljust(widths[i]) for i in range(cols)))
+        if self.paper_expectation:
+            lines.append(f"paper: {self.paper_expectation}")
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:,.2f}"
+        if isinstance(cell, int):
+            return f"{cell:,}"
+        return str(cell)
+
+    def to_csv(self) -> str:
+        """Comma-separated rows (header first) for plotting pipelines."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(list(self.headers))
+        for row in self.rows:
+            writer.writerow(list(row))
+        return buf.getvalue()
+
+
+#: exp id -> callable(fast: bool) -> ExperimentResult
+_REGISTRY: Dict[str, Callable[[bool], ExperimentResult]] = {}
+
+
+def experiment(exp_id: str):
+    """Decorator registering an experiment under ``exp_id``."""
+
+    def wrap(fn: Callable[[bool], ExperimentResult]):
+        _REGISTRY[exp_id] = fn
+        return fn
+
+    return wrap
+
+
+def available_experiments() -> List[str]:
+    _load_all()
+    return sorted(_REGISTRY)
+
+
+def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
+    """Run one experiment by id ('fig6', 'tab5', ...)."""
+    _load_all()
+    try:
+        fn = _REGISTRY[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return fn(fast)
+
+
+def _load_all() -> None:
+    """Import every experiment module (they self-register)."""
+    from . import (  # noqa: F401
+        ablations,
+        fig_apache,
+        fig_microbench,
+        fig_numa,
+        fig_parsec,
+        fig_timelines,
+        mech_compare,
+        memoverhead,
+        model_check,
+        tail_latency,
+        thp,
+        tables,
+    )

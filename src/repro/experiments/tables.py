@@ -1,0 +1,175 @@
+"""Tables 1-5 of the paper."""
+
+from __future__ import annotations
+
+from ..coherence.base import MECHANISM_PROPERTIES, OPERATION_CLASSES
+from ..hw.spec import PRESETS
+from ..workloads.apache import APACHE_CACHE_PROFILES, ApacheConfig, ApacheWorkload
+from ..workloads.parsec import PARSEC_PROFILES, ParsecConfig, ParsecWorkload
+from .runner import ExperimentResult, experiment
+
+
+@experiment("tab1")
+def tab1(fast: bool = False) -> ExperimentResult:
+    rows = [
+        (op, cls.value, "yes" if lazy else "no")
+        for op, cls, lazy in OPERATION_CLASSES
+    ]
+    return ExperimentResult(
+        exp_id="tab1",
+        title="Virtual-address operations and lazy-shootdown applicability",
+        headers=("operation", "class", "lazy possible"),
+        rows=rows,
+        paper_expectation="free and migration classes lazy; permission/ownership/remap not",
+    )
+
+
+@experiment("tab2")
+def tab2(fast: bool = False) -> ExperimentResult:
+    rows = [
+        (
+            name,
+            _yn(props.asynchronous),
+            _yn(props.non_ipi),
+            _yn(props.no_remote_core_involvement),
+            _yn(props.no_hardware_changes),
+        )
+        for name, props in MECHANISM_PROPERTIES.items()
+    ]
+    return ExperimentResult(
+        exp_id="tab2",
+        title="Mechanism comparison (paper Table 2)",
+        headers=("mechanism", "async", "non-IPI", "no remote involvement", "no hw changes"),
+        rows=rows,
+        paper_expectation="LATR is the only row with every property",
+    )
+
+
+def _yn(flag: bool) -> str:
+    return "yes" if flag else "-"
+
+
+@experiment("tab3")
+def tab3(fast: bool = False) -> ExperimentResult:
+    rows = []
+    for spec in PRESETS.values():
+        rows.append(
+            (
+                spec.name,
+                spec.sockets,
+                spec.total_cores,
+                spec.freq_ghz,
+                spec.ram_gb,
+                spec.llc_mb_per_socket,
+                spec.l1_dtlb_entries,
+                spec.l2_tlb_entries,
+            )
+        )
+    return ExperimentResult(
+        exp_id="tab3",
+        title="Evaluation machines (paper Table 3)",
+        headers=("machine", "sockets", "cores", "GHz", "RAM GB", "LLC MB/skt", "L1 dTLB", "L2 TLB"),
+        rows=rows,
+        paper_expectation="E5-2630v3 2x8 @2.4GHz and E7-8870v2 8x15 @2.3GHz",
+    )
+
+
+@experiment("tab4")
+def tab4(fast: bool = False) -> ExperimentResult:
+    """LLC miss-ratio comparison.
+
+    The Linux column is the measured baseline (we anchor it to the paper's
+    Table 4 values via each workload's CacheProfile); the LATR column adds
+    the *difference* in cache disturbance between the two runs: IPI-handler
+    pollution removed, LATR state traffic added.
+    """
+    rows = []
+    duration = 40 if fast else 120
+
+    apache_cores = (1, 12) if fast else (1, 6, 12)
+    for cores in apache_cores:
+        profile = APACHE_CACHE_PROFILES[cores]
+        runs = {}
+        for mech in ("linux", "latr"):
+            runs[mech] = ApacheWorkload(
+                ApacheConfig(cores=cores, duration_ms=duration, warmup_ms=10)
+            ).run(mech)
+        rows.append(_tab4_row(f"apache_{cores}", profile, runs, cores))
+
+    parsec_names = ("dedup",) if fast else ("canneal", "dedup", "ferret", "streamcluster", "swaptions")
+    cfg = ParsecConfig(work_per_core_ms=duration)
+    for name in parsec_names:
+        profile = PARSEC_PROFILES[name].cache
+        runs = {
+            mech: ParsecWorkload(PARSEC_PROFILES[name], cfg).run(mech)
+            for mech in ("linux", "latr")
+        }
+        rows.append(_tab4_row(f"{name}_16", profile, runs, 16))
+
+    return ExperimentResult(
+        exp_id="tab4",
+        title="LLC miss ratio: Linux vs LATR (paper Table 4)",
+        headers=("application", "linux miss %", "latr miss %", "relative change %"),
+        rows=rows,
+        paper_expectation=(
+            "LATR within +-1% relative of Linux, usually slightly better "
+            "(removed IPI-handler pollution outweighs the <1%-of-LLC states)"
+        ),
+    )
+
+
+def _tab4_row(label, profile, runs, cores):
+    from ..hw.cache import POLLUTION_MISS_CONVERSION
+
+    linux, latr = runs["linux"], runs["latr"]
+
+    def extra_misses(r):
+        lines = r.metric("llc_pollution_lines") + r.metric("llc_state_lines")
+        return lines * POLLUTION_MISS_CONVERSION
+
+    def accesses(r):
+        return profile.accesses_per_sec_per_core * cores * (r.metric("window_ns") / 1e9)
+
+    linux_pct = profile.baseline_miss_pct
+    delta = 100.0 * (
+        extra_misses(latr) / max(1.0, accesses(latr))
+        - extra_misses(linux) / max(1.0, accesses(linux))
+    )
+    latr_pct = linux_pct + delta
+    rel = 100.0 * (latr_pct - linux_pct) / linux_pct if linux_pct else 0.0
+    return (label, round(linux_pct, 2), round(latr_pct, 3), round(rel, 2))
+
+
+@experiment("tab5")
+def tab5(fast: bool = False) -> ExperimentResult:
+    duration = 40 if fast else 120
+    linux = ApacheWorkload(ApacheConfig(cores=12, duration_ms=duration, warmup_ms=10)).run("linux")
+    latr = ApacheWorkload(ApacheConfig(cores=12, duration_ms=duration, warmup_ms=10)).run("latr")
+    save = latr.metrics.get("state_write_ns", 0.0)
+    # The paper's 158 ns is the cost of sweeping a single state; our sweep
+    # recorder times whole passes that batch ~100 in-flight states, so
+    # normalize per state examined.
+    sweeps = latr.counters.get("latr.sweeps", 0)
+    examined = latr.counters.get("latr.entries_examined", 0)
+    sweep_pass = latr.metrics.get("sweep_ns", 0.0)
+    per_state = sweep_pass / max(1.0, examined / max(1, sweeps))
+    linux_sd = linux.metrics.get("sync_shootdown_ns", 0.0)
+    reduction = 100.0 * (1 - (save + per_state) / linux_sd) if linux_sd else 0.0
+    rows = [
+        ("saving a LATR state (ns)", round(save, 1), 132.3),
+        ("LATR state sweep, per state (ns)", round(per_state, 1), 158.0),
+        ("full sweep pass (ns)", round(sweep_pass, 1), ""),
+        ("single Linux shootdown (ns)", round(linux_sd, 1), 1594.2),
+        ("LATR reduction of shootdown time (%)", round(reduction, 1), 81.8),
+    ]
+    return ExperimentResult(
+        exp_id="tab5",
+        title="Operation breakdown under Apache @ 12 cores (paper Table 5)",
+        headers=("operation", "measured", "paper"),
+        rows=rows,
+        paper_expectation="LATR cuts per-shootdown time by up to 81.8%",
+        notes=(
+            "our Linux shootdown targets 11 remote cores (the paper's Apache "
+            "spread its event-MPM processes across fewer)"
+        ),
+    )

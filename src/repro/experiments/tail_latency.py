@@ -1,0 +1,57 @@
+"""Tail-latency experiment (paper section 1's data-center motivation).
+
+The introduction cites "Attack of the Killer Microseconds": the synchronous
+shootdown's microseconds "contribute to the tail latency of some critical
+services in data centers". This experiment measures the per-request latency
+distribution of the Apache workload: the synchronous shootdown sits inside
+the per-request critical section, so requests queue behind each other's IPI
+rounds and the tail inflates; LATR removes it.
+"""
+
+from __future__ import annotations
+
+from ..workloads.apache import ApacheConfig, ApacheWorkload
+from ..workloads.microbench import MicrobenchConfig, MunmapMicrobench
+from .runner import ExperimentResult, experiment
+
+
+@experiment("tail")
+def tail_latency(fast: bool = False) -> ExperimentResult:
+    duration = 40 if fast else 120
+    rows = []
+    for mech in ("linux", "abis", "latr"):
+        result = ApacheWorkload(
+            ApacheConfig(cores=12, duration_ms=duration, warmup_ms=15)
+        ).run(mech)
+        rows.append(
+            (
+                f"apache request ({mech})",
+                result.metric("latency_p50_us"),
+                result.metric("latency_p99_us"),
+                result.metric("latency_p999_us"),
+            )
+        )
+    # The munmap() syscall itself, p99 (microbench).
+    for mech in ("linux", "latr"):
+        micro = MunmapMicrobench(
+            MicrobenchConfig(cores=16, reps=20 if fast else 60)
+        ).run(mech)
+        rows.append(
+            (
+                f"munmap syscall ({mech})",
+                micro.metric("munmap_us"),
+                micro.metric("munmap_p99_us"),
+                "",
+            )
+        )
+    return ExperimentResult(
+        exp_id="tail",
+        title="Latency distributions: Apache requests and munmap(), 12/16 cores",
+        headers=("quantity", "p50 us", "p99 us", "p99.9 us"),
+        rows=rows,
+        paper_expectation=(
+            "the synchronous shootdown adds microseconds inside the request "
+            "critical section; under load the queueing inflates the tail "
+            "(section 1's 'killer microseconds'); LATR flattens it"
+        ),
+    )

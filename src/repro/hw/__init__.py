@@ -1,0 +1,29 @@
+"""Hardware model: machines, cores, TLBs, interconnect, caches."""
+
+from .cache import CacheProfile, LlcModel
+from .core import Core
+from .interconnect import Interconnect
+from .latency import DEFAULT_LATENCY, LatencyModel
+from .machine import Machine
+from .spec import COMMODITY_2S16C, LARGE_NUMA_8S120C, PRESETS, MachineSpec, preset
+from .tlb import NO_PCID, Tlb, TlbEntry
+from .topology import Topology
+
+__all__ = [
+    "CacheProfile",
+    "COMMODITY_2S16C",
+    "Core",
+    "DEFAULT_LATENCY",
+    "Interconnect",
+    "LARGE_NUMA_8S120C",
+    "LatencyModel",
+    "LlcModel",
+    "Machine",
+    "MachineSpec",
+    "NO_PCID",
+    "PRESETS",
+    "preset",
+    "Tlb",
+    "TlbEntry",
+    "Topology",
+]

@@ -1,0 +1,114 @@
+"""Interconnect: IPI delivery and cacheline-transfer timing between cores.
+
+IPIs on x86 are unicast messages through the APIC; the paper's Figure 7
+shows their cost exploding on the 8-socket box because delivery needs two
+QPI hops. We model:
+
+* a per-target *send* occupancy on the initiating core (the APIC ICR writes
+  serialize), and
+* a hop-dependent *delivery* latency until the remote handler starts, and
+* a hop-dependent *ACK* transfer back (a cacheline write the initiator
+  spins on).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..sim.engine import Signal, Simulator
+from ..sim.stats import StatsRegistry
+from .core import Core
+from .latency import LatencyModel
+from .topology import Topology
+
+
+class Interconnect:
+    """Delivers IPIs and times coherence traffic between cores."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        latency: LatencyModel,
+        stats: StatsRegistry,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.latency = latency
+        self.stats = stats
+
+    def ipi_send_cost(self, src: Core, dst: Core) -> int:
+        """Initiator-side occupancy to push one IPI toward ``dst``."""
+        return self.latency.ipi_send(self.topology.core_hops(src.id, dst.id))
+
+    def multicast_ipi(
+        self,
+        src: Core,
+        targets: Sequence[Core],
+        handler_cost_ns: int,
+    ) -> Tuple[int, Signal]:
+        """Send shootdown IPIs to ``targets`` and collect ACKs.
+
+        Returns ``(send_occupancy_ns, all_acked)``: the initiating core is
+        busy for ``send_occupancy_ns`` issuing the unicasts (x86 APIC has no
+        flexible multicast, paper section 2.1); ``all_acked`` fires when the
+        last ACK lands at the initiator, with the list of per-target ACK
+        arrival times as its value.
+        """
+        all_acked = Signal(self.sim)
+        if not targets:
+            self.sim.after(0, all_acked.succeed, [])
+            return 0, all_acked
+
+        send_occupancy = 0
+        remaining = [len(targets)]
+        ack_times: List[int] = []
+        for dst in targets:
+            hops = self.topology.core_hops(src.id, dst.id)
+            send_occupancy += self.latency.ipi_send(hops)
+            deliver_at = self.sim.now + send_occupancy + self.latency.ipi_delivery(hops)
+            self.stats.counter("ipi.sent").add()
+            self.stats.rate("ipi.sent").hit()
+            self.sim.at(
+                deliver_at,
+                self._deliver,
+                src,
+                dst,
+                hops,
+                handler_cost_ns,
+                remaining,
+                ack_times,
+                all_acked,
+            )
+        return send_occupancy, all_acked
+
+    def _deliver(
+        self,
+        src: Core,
+        dst: Core,
+        hops: int,
+        handler_cost_ns: int,
+        remaining: List[int],
+        ack_times: List[int],
+        all_acked: Signal,
+    ) -> None:
+        handler_done = dst.deliver_interrupt(handler_cost_ns)
+        self.stats.counter("ipi.handled").add()
+        ack_at = handler_done + self.latency.ack_transfer(hops)
+        self.sim.at(ack_at, self._ack, ack_at, remaining, ack_times, all_acked)
+
+    def _ack(
+        self,
+        ack_at: int,
+        remaining: List[int],
+        ack_times: List[int],
+        all_acked: Signal,
+    ) -> None:
+        ack_times.append(ack_at)
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            all_acked.succeed(list(ack_times))
+
+    def cacheline_transfer_cost(self, src_core_id: int, dst_core_id: int) -> int:
+        """Latency for one cacheline to move between two cores' caches."""
+        return self.latency.cacheline(self.topology.core_hops(src_core_id, dst_core_id))

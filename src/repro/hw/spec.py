@@ -1,0 +1,118 @@
+"""Machine specifications (paper Table 3).
+
+The paper evaluates on two x86 NUMA boxes; we encode both as presets and
+allow synthetic configurations for sweeps (e.g. core-count scaling in
+Figures 6 and 7 uses the same box with a subset of cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from ..sim.engine import MSEC
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a simulated machine.
+
+    Attributes mirror Table 3 of the paper plus the scheduler-tick interval
+    that LATR's staleness bound is defined against.
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    freq_ghz: float
+    ram_gb: int
+    llc_mb_per_socket: int
+    l1_dtlb_entries: int
+    l2_tlb_entries: int
+    tick_interval_ns: int = MSEC
+    #: Linux full-flushes the local TLB instead of issuing per-page INVLPGs
+    #: beyond this many pages (tlb_single_page_flush_ceiling, paper 6.2.1).
+    full_flush_threshold: int = 32
+    #: LATR state queue entries per core (paper section 4.1).
+    latr_states_per_core: int = 64
+    #: LATR state record size in bytes (paper: 68 B).
+    latr_state_bytes: int = 68
+
+    def __post_init__(self):
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ValueError("machine needs at least one socket and core")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def socket_of(self, core_id: int) -> int:
+        """Socket index of a core; cores are numbered socket-major."""
+        if not 0 <= core_id < self.total_cores:
+            raise ValueError(f"core {core_id} out of range")
+        return core_id // self.cores_per_socket
+
+    @property
+    def latr_state_footprint_bytes(self) -> int:
+        """Total LATR state memory, paper 4.1 (136 KB for 32 cores)."""
+        return self.total_cores * self.latr_states_per_core * self.latr_state_bytes
+
+    @property
+    def llc_total_bytes(self) -> int:
+        return self.sockets * self.llc_mb_per_socket * 1024 * 1024
+
+    def with_cores(self, total_cores: int) -> "MachineSpec":
+        """A spec restricted to ``total_cores``, filling sockets in order.
+
+        Used by core-count sweeps: a 6-core run on the 2-socket box keeps
+        socket 0 full (8 cores on the E5) before spilling to socket 1, the
+        way the paper's taskset-style runs populate cores.
+        """
+        if not 1 <= total_cores <= self.total_cores:
+            raise ValueError(f"cannot restrict {self.name} to {total_cores} cores")
+        sockets_needed = -(-total_cores // self.cores_per_socket)
+        per_socket = -(-total_cores // sockets_needed)
+        return replace(
+            self,
+            name=f"{self.name}@{total_cores}c",
+            sockets=sockets_needed,
+            cores_per_socket=per_socket,
+        )
+
+
+#: Table 3, column 1: Intel E5-2630 v3, 2 sockets x 8 cores.
+COMMODITY_2S16C = MachineSpec(
+    name="commodity-2s16c",
+    sockets=2,
+    cores_per_socket=8,
+    freq_ghz=2.40,
+    ram_gb=128,
+    llc_mb_per_socket=20,
+    l1_dtlb_entries=64,
+    l2_tlb_entries=1024,
+)
+
+#: Table 3, column 2: Intel E7-8870 v2, 8 sockets x 15 cores.
+LARGE_NUMA_8S120C = MachineSpec(
+    name="large-numa-8s120c",
+    sockets=8,
+    cores_per_socket=15,
+    freq_ghz=2.30,
+    ram_gb=768,
+    llc_mb_per_socket=30,
+    l1_dtlb_entries=64,
+    l2_tlb_entries=512,
+)
+
+PRESETS: Dict[str, MachineSpec] = {
+    COMMODITY_2S16C.name: COMMODITY_2S16C,
+    LARGE_NUMA_8S120C.name: LARGE_NUMA_8S120C,
+}
+
+
+def preset(name: str) -> MachineSpec:
+    """Look up a Table 3 preset by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown machine preset {name!r}; have {sorted(PRESETS)}") from None

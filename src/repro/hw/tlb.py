@@ -1,0 +1,188 @@
+"""Per-core TLB model.
+
+The functional heart of the reproduction: LATR's correctness argument is
+entirely about *which translations survive in which core's TLB until when*.
+We model the per-core TLB as a capacity-bounded LRU map from
+``(pcid, vpn)`` to a cached translation, with the operations x86 exposes
+(INVLPG for one entry, CR3 write for a full flush) plus hit/miss counters.
+
+PCID support (paper section 4.5) is modelled with explicit tags: without
+PCIDs a context switch flushes everything; with PCIDs entries of inactive
+processes survive switches and must still be swept by LATR before the PCID
+is reused.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+#: PCID used for every process when PCID support is off.
+NO_PCID = 0
+
+
+@dataclass
+class TlbEntry:
+    """A cached virtual-to-physical translation."""
+
+    pfn: int
+    writable: bool = True
+    #: Generation stamp of the mapping when cached; used by invariant checks
+    #: to detect a stale entry being used after the frame was reused.
+    generation: int = 0
+    #: Debug metadata (not hardware state): which mm installed the entry.
+    #: Lets the invariant checker attribute entries when PCIDs are off.
+    debug_mm_id: int = 0
+
+
+#: Number of vpns one 2 MiB entry spans (mirrors mm.addr.HUGE_PAGE_PAGES;
+#: duplicated here so the hardware layer stays import-independent of mm).
+HUGE_SPAN = 512
+
+
+class Tlb:
+    """A single core's TLB (split 4 KiB / 2 MiB arrays, like x86 L1 dTLBs)."""
+
+    def __init__(self, capacity: int, pcid_enabled: bool = False, huge_capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("TLB capacity must be positive")
+        self.capacity = capacity
+        self.huge_capacity = huge_capacity
+        self.pcid_enabled = pcid_enabled
+        self._entries: "OrderedDict[Tuple[int, int], TlbEntry]" = OrderedDict()
+        #: 2 MiB entries keyed by (pcid, base_vpn).
+        self._huge_entries: "OrderedDict[Tuple[int, int], TlbEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.full_flushes = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries) + len(self._huge_entries)
+
+    def _key(self, pcid: int, vpn: int) -> Tuple[int, int]:
+        return (pcid if self.pcid_enabled else NO_PCID, vpn)
+
+    def _huge_key(self, pcid: int, vpn: int) -> Tuple[int, int]:
+        return (pcid if self.pcid_enabled else NO_PCID, vpn - vpn % HUGE_SPAN)
+
+    def lookup(self, pcid: int, vpn: int) -> Optional[TlbEntry]:
+        """Translate; counts a hit or miss and refreshes LRU position."""
+        key = self._key(pcid, vpn)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        hkey = self._huge_key(pcid, vpn)
+        entry = self._huge_entries.get(hkey)
+        if entry is not None:
+            self._huge_entries.move_to_end(hkey)
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def peek(self, pcid: int, vpn: int) -> Optional[TlbEntry]:
+        """Inspect without touching counters or LRU (for invariant checks)."""
+        entry = self._entries.get(self._key(pcid, vpn))
+        if entry is not None:
+            return entry
+        return self._huge_entries.get(self._huge_key(pcid, vpn))
+
+    def fill(self, pcid: int, vpn: int, entry: TlbEntry) -> None:
+        """Install a 4 KiB translation, evicting LRU on overflow."""
+        key = self._key(pcid, vpn)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def fill_huge(self, pcid: int, base_vpn: int, entry: TlbEntry) -> None:
+        """Install a 2 MiB translation in the huge array."""
+        if base_vpn % HUGE_SPAN:
+            raise ValueError(f"huge fill not aligned: vpn {base_vpn:#x}")
+        key = self._key(pcid, base_vpn)
+        if key in self._huge_entries:
+            self._huge_entries.move_to_end(key)
+        self._huge_entries[key] = entry
+        while len(self._huge_entries) > self.huge_capacity:
+            self._huge_entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_page(self, pcid: int, vpn: int) -> bool:
+        """INVLPG: drop the translation covering ``vpn``; True if present."""
+        key = self._key(pcid, vpn)
+        if key in self._entries:
+            del self._entries[key]
+            self.invalidations += 1
+            return True
+        hkey = self._huge_key(pcid, vpn)
+        if hkey in self._huge_entries:
+            del self._huge_entries[hkey]
+            self.invalidations += 1
+            return True
+        return False
+
+    def invalidate_range(self, pcid: int, vpn_start: int, vpn_end: int) -> int:
+        """Drop all translations overlapping [vpn_start, vpn_end)."""
+        eff_pcid = pcid if self.pcid_enabled else NO_PCID
+        victims = [
+            key
+            for key in self._entries
+            if key[0] == eff_pcid and vpn_start <= key[1] < vpn_end
+        ]
+        for key in victims:
+            del self._entries[key]
+        huge_victims = [
+            key
+            for key in self._huge_entries
+            if key[0] == eff_pcid and key[1] < vpn_end and key[1] + HUGE_SPAN > vpn_start
+        ]
+        for key in huge_victims:
+            del self._huge_entries[key]
+        dropped = len(victims) + len(huge_victims)
+        self.invalidations += dropped
+        return dropped
+
+    def flush(self, pcid: Optional[int] = None) -> int:
+        """CR3 write: drop everything (or one PCID's entries when tagged)."""
+        self.full_flushes += 1
+        if pcid is None or not self.pcid_enabled:
+            count = len(self._entries) + len(self._huge_entries)
+            self._entries.clear()
+            self._huge_entries.clear()
+            return count
+        victims = [key for key in self._entries if key[0] == pcid]
+        for key in victims:
+            del self._entries[key]
+        huge_victims = [key for key in self._huge_entries if key[0] == pcid]
+        for key in huge_victims:
+            del self._huge_entries[key]
+        return len(victims) + len(huge_victims)
+
+    def items(self) -> Iterable[Tuple[Tuple[int, int], TlbEntry]]:
+        """All 4 KiB ((pcid, vpn), entry) pairs; for invariant checkers."""
+        return list(self._entries.items())
+
+    def huge_items(self) -> Iterable[Tuple[Tuple[int, int], TlbEntry]]:
+        """All 2 MiB ((pcid, base_vpn), entry) pairs."""
+        return list(self._huge_entries.items())
+
+    def cached_vpns(self, pcid: int) -> Iterable[int]:
+        eff_pcid = pcid if self.pcid_enabled else NO_PCID
+        return [vpn for (p, vpn) in self._entries if p == eff_pcid]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "full_flushes": self.full_flushes,
+            "evictions": self.evictions,
+            "resident": len(self._entries),
+        }

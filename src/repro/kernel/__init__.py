@@ -1,0 +1,40 @@
+"""OS substrate: kernel facade, scheduler, syscalls, daemons."""
+
+from .autonuma import AutoNuma
+from .compaction import Compactor
+from .invariants import (
+    check_all,
+    check_frame_refcounts,
+    check_lazy_vrange_isolation,
+    check_no_stale_entries_for,
+    check_tlb_frame_safety,
+)
+from .kernel import DEFAULT_FRAMES_PER_NODE, Kernel
+from .ksm import KsmDaemon
+from .pagefault import PageFaultHandler
+from .scheduler import Scheduler
+from .swapd import SwapDevice
+from .syscalls import Syscalls
+from .task import KProcess, Task, TaskState
+from .thp import Khugepaged
+
+__all__ = [
+    "AutoNuma",
+    "Compactor",
+    "DEFAULT_FRAMES_PER_NODE",
+    "Kernel",
+    "Khugepaged",
+    "KProcess",
+    "KsmDaemon",
+    "PageFaultHandler",
+    "Scheduler",
+    "SwapDevice",
+    "Syscalls",
+    "Task",
+    "TaskState",
+    "check_all",
+    "check_frame_refcounts",
+    "check_lazy_vrange_isolation",
+    "check_no_stale_entries_for",
+    "check_tlb_frame_safety",
+]

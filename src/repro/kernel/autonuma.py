@@ -1,0 +1,182 @@
+"""AutoNUMA: periodic sampling of page placement + two-touch migration.
+
+Linux's flow (paper Figure 3a): a background scanner (task_numa_work)
+periodically write-protects sampled pages with PROT_NONE, paying a
+synchronous shootdown per sampled chunk; the next touch faults, and a page
+touched twice from a remote node migrates there. The shootdown is paid even
+when no migration follows -- that waste (5.8%..21.1% of a migration's cost)
+is what LATR eliminates: the PTE change itself is deferred into a LATR
+state and applied by the first sweeping core (Figure 3b).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
+
+from ..mm.addr import VirtRange
+from ..mm.fault import FaultKind, FaultResult
+from ..mm.mmstruct import MmStruct
+from ..mm.pte import Pte, PteFlags, make_present_pte
+from ..mm.vma import VmaKind
+from ..sim.engine import MSEC, Timeout
+from .task import KProcess, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+
+class AutoNuma:
+    """The AutoNUMA service; install with ``AutoNuma.install(kernel)``."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        scan_period_ns: int = 20 * MSEC,
+        scan_pages_per_round: int = 256,
+        chunk_pages: int = 16,
+    ):
+        self.kernel = kernel
+        self.scan_period_ns = scan_period_ns
+        self.scan_pages_per_round = scan_pages_per_round
+        self.chunk_pages = chunk_pages
+        #: (mm_id, vpn) -> node of the previous hint fault (last_cpupid).
+        self._fault_history: Dict[Tuple[int, int], int] = {}
+        self._registered: List[KProcess] = []
+        self._cursors: Dict[int, int] = {}
+
+    @classmethod
+    def install(cls, kernel: "Kernel", **kwargs) -> "AutoNuma":
+        service = cls(kernel, **kwargs)
+        kernel.autonuma = service
+        return service
+
+    def register(self, process: KProcess) -> None:
+        """Start scanning this process's address space."""
+        self._registered.append(process)
+        self.kernel.sim.spawn(self._scan_loop(process), name=f"numad-{process.name}")
+
+    # ---- the scanner (task_numa_work) -----------------------------------------------
+
+    def _scan_loop(self, process: KProcess) -> Generator:
+        kernel = self.kernel
+        lat = kernel.machine.latency
+        mm = process.mm
+        round_robin = 0
+        while True:
+            yield Timeout(self.scan_period_ns)
+            tasks = [t for t in process.tasks if t.state.value == "running"]
+            if not tasks:
+                continue
+            # The scan runs in task context: charge a live task's core.
+            task = tasks[round_robin % len(tasks)]
+            round_robin += 1
+            core = kernel.machine.core(task.home_core_id)
+            chunks = self._collect_chunks(mm)
+            # task_numa_work spreads its scan across the period; pacing the
+            # chunks also keeps LATR's per-core state queue from overflowing
+            # on a burst of migration posts.
+            pace = self.scan_period_ns // (2 * max(1, len(chunks)))
+            for chunk in chunks:
+                yield Timeout(pace)
+                yield mm.mmap_sem.acquire()
+                try:
+                    vpns = [
+                        vpn
+                        for vpn in chunk.vpns()
+                        if self._samplable(mm, vpn)
+                    ]
+                    if not vpns:
+                        continue
+                    yield from core.execute(len(vpns) * lat.numa_scan_per_page_ns)
+                    kernel.stats.counter("numa.pages_sampled").add(len(vpns))
+
+                    def apply_change(mm=mm, vpns=tuple(vpns)) -> None:
+                        for vpn in vpns:
+                            pte = mm.page_table.walk(vpn)
+                            if pte is not None and pte.present:
+                                mm.page_table.update_pte(vpn, pte.make_numa_hint())
+
+                    yield from kernel.coherence.migration_unmap(
+                        core, mm, chunk, apply_change
+                    )
+                finally:
+                    mm.mmap_sem.release()
+
+    def _samplable(self, mm: MmStruct, vpn: int) -> bool:
+        pte = mm.page_table.walk(vpn)
+        return pte is not None and pte.present and not pte.cow and not pte.huge
+
+    def _collect_chunks(self, mm: MmStruct) -> List[VirtRange]:
+        """Next window of anon VMA chunks, resuming from a per-mm cursor."""
+        anon_vmas = [v for v in mm.vmas if v.kind is VmaKind.ANON]
+        if not anon_vmas:
+            return []
+        chunks: List[VirtRange] = []
+        budget = self.scan_pages_per_round
+        cursor = self._cursors.get(mm.mm_id, 0)
+        ordered = anon_vmas[cursor % len(anon_vmas):] + anon_vmas[: cursor % len(anon_vmas)]
+        self._cursors[mm.mm_id] = cursor + 1
+        for vma in ordered:
+            vpn = vma.range.vpn_start
+            while vpn < vma.range.vpn_end and budget > 0:
+                n = min(self.chunk_pages, vma.range.vpn_end - vpn, budget)
+                chunks.append(VirtRange.from_pages(vpn, n))
+                vpn += n
+                budget -= n
+            if budget <= 0:
+                break
+        return chunks
+
+    # ---- the fault side (do_numa_page) -------------------------------------------------
+
+    def handle_hint_fault(self, task: Task, core, vpn: int, pte: Pte) -> Generator:
+        """Called by the fault handler (mmap_sem held) on a PROT_NONE page."""
+        kernel = self.kernel
+        lat = kernel.machine.latency
+        mm = task.mm
+        kernel.stats.counter("numa.hint_faults").add()
+
+        # Paper section 4.4: the migration may only proceed once every core
+        # has invalidated its entry for this page; LATR returns the pending
+        # state's completion signal here, synchronous mechanisms None.
+        gate = kernel.coherence.migration_gate(mm, vpn)
+        if gate is not None and not gate.triggered:
+            kernel.stats.counter("numa.gate_waits").add()
+            yield gate
+
+        current = mm.page_table.walk(vpn)
+        if current is None or not current.numa_hint:
+            # Lost a race with munmap or another fault.
+            return FaultResult(FaultKind.SPURIOUS, vpn, pfn=None if current is None else current.pfn)
+
+        this_node = core.socket
+        page_node = kernel.frames.node_of(current.pfn)
+        key = (mm.mm_id, vpn)
+        prev_node = self._fault_history.get(key)
+        self._fault_history[key] = this_node
+
+        migrate = (
+            this_node != page_node
+            and prev_node == this_node
+            and kernel.frames.free_count(this_node) > 0
+        )
+        if not migrate:
+            mm.page_table.update_pte(vpn, current.clear_numa_hint())
+            yield from core.execute(lat.pte_set_ns)
+            return FaultResult(FaultKind.NUMA_HINT, vpn, pfn=current.pfn)
+
+        # Migrate: allocate on the accessing node, copy, switch the PTE.
+        old_pfn = current.pfn
+        new_pfn = kernel.frames.alloc(this_node)
+        yield from core.execute(
+            lat.migration_fixed_ns + lat.migration_per_page_ns + lat.page_copy_ns
+        )
+        tag = kernel.page_contents.get(old_pfn)
+        if tag is not None:
+            kernel.page_contents[new_pfn] = tag
+        mm.page_table.set_pte(vpn, make_present_pte(new_pfn, writable=current.writable))
+        kernel.release_frames([old_pfn])
+        self._fault_history.pop(key, None)
+        kernel.stats.counter("numa.migrations").add()
+        kernel.stats.rate("migrations").hit()
+        return FaultResult(FaultKind.NUMA_HINT, vpn, pfn=new_pfn, migrated=True)

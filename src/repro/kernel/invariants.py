@@ -1,0 +1,115 @@
+"""Runtime invariant checkers for the paper's correctness argument.
+
+These walk the entire simulated machine state and return a list of
+violation strings (empty == healthy). Tests and long-running experiments
+call them at quiescent points; the property-based suites call them after
+every randomized operation batch.
+
+Checked invariants (DESIGN.md section 6):
+
+1. *Reuse-after-invalidate*: every TLB entry's frame is still allocated and
+   has the same free-generation it had when the entry was installed -- i.e.
+   no core can translate through a frame that was freed (and possibly
+   handed to someone else) since.
+2. *Refcount accounting*: each allocated frame's refcount equals the number
+   of references we can enumerate (PTE mappings, page-cache residency,
+   lazy-list pins).
+3. *Virtual reuse*: no VMA overlaps a lazily-freed virtual range.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+
+def check_tlb_frame_safety(kernel: "Kernel") -> List[str]:
+    """Invariant 1: no TLB entry points at a freed or recycled frame."""
+    violations = []
+    for core in kernel.machine.cores:
+        entries = list(core.tlb.items()) + [
+            (key, entry) for key, entry in core.tlb.huge_items()
+        ]
+        for (pcid, vpn), entry in entries:
+            if not kernel.frames.is_allocated(entry.pfn):
+                violations.append(
+                    f"core {core.id}: TLB entry vpn={vpn:#x} pcid={pcid} "
+                    f"maps FREED frame {entry.pfn}"
+                )
+            elif kernel.frames.generation(entry.pfn) != entry.generation:
+                violations.append(
+                    f"core {core.id}: TLB entry vpn={vpn:#x} pcid={pcid} "
+                    f"maps RECYCLED frame {entry.pfn} "
+                    f"(gen {entry.generation} -> {kernel.frames.generation(entry.pfn)})"
+                )
+    return violations
+
+
+def check_frame_refcounts(kernel: "Kernel") -> List[str]:
+    """Invariant 2: enumerable references match the allocator's refcounts.
+
+    Transient slack is possible mid-operation (a fault between alloc and
+    set_pte), so call this at quiescent points only.
+    """
+    from ..mm.addr import HUGE_PAGE_PAGES
+
+    expected: Dict[int, int] = defaultdict(int)
+    for mm in kernel.mm_registry.values():
+        for _vpn, pte in mm.page_table.all_entries():
+            if pte.swapped:
+                continue
+            if pte.huge:
+                for offset in range(HUGE_PAGE_PAGES):
+                    expected[pte.pfn + offset] += 1
+            else:
+                expected[pte.pfn] += 1
+        for pfn in mm.lazy_frames:
+            expected[pfn] += 1
+    for pfn in kernel.page_cache._pages.values():
+        expected[pfn] += 1
+
+    violations = []
+    for pfn, want in expected.items():
+        have = kernel.frames.refcount(pfn)
+        if have != want:
+            violations.append(f"frame {pfn}: refcount {have}, enumerated {want}")
+    return violations
+
+
+def check_lazy_vrange_isolation(kernel: "Kernel") -> List[str]:
+    """Invariant 3: lazily-freed virtual ranges are not re-mapped."""
+    violations = []
+    for mm in kernel.mm_registry.values():
+        for lazy in mm.lazy_vranges:
+            for vma in mm.vmas.overlapping(lazy):
+                violations.append(
+                    f"{mm.name}: vma {vma.range} overlaps lazy range {lazy}"
+                )
+    return violations
+
+
+def check_no_stale_entries_for(kernel: "Kernel", mm, vrange) -> List[str]:
+    """Bounded-staleness helper: assert no core still caches a translation
+    for ``vrange`` (call after the staleness bound elapsed)."""
+    violations = []
+    for core in kernel.machine.cores:
+        for (pcid, vpn), entry in core.tlb.items():
+            if entry.debug_mm_id != mm.mm_id:
+                continue
+            if vrange.vpn_start <= vpn < vrange.vpn_end:
+                violations.append(
+                    f"core {core.id}: stale entry for {mm.name} vpn={vpn:#x}"
+                )
+    return violations
+
+
+def check_all(kernel: "Kernel") -> List[str]:
+    """Run every quiescent-point invariant."""
+    return (
+        check_tlb_frame_safety(kernel)
+        + check_frame_refcounts(kernel)
+        + check_lazy_vrange_isolation(kernel)
+    )

@@ -1,0 +1,126 @@
+"""Kernel facade: wires machine, memory, scheduler, and coherence together.
+
+A :class:`Kernel` is one bootable simulated system. Experiments construct
+one per (machine, mechanism) pair, create processes/threads through it, and
+read results from ``kernel.stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..coherence.base import TLBCoherence
+from ..hw.machine import Machine
+from ..mm.frames import FrameAllocator
+from ..mm.mmstruct import MmStruct
+from ..mm.pagecache import PageCache
+from ..sim.engine import Simulator
+from ..sim.rng import RngStreams
+from .scheduler import Scheduler
+from .task import KProcess, Task
+
+#: Default physical memory per NUMA node, in frames (256 MiB); workloads
+#: are sized well below this so allocation never becomes the bottleneck
+#: unless an experiment wants it to (the swap tests shrink it).
+DEFAULT_FRAMES_PER_NODE = 65_536
+
+
+class Kernel:
+    """The simulated operating system."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        coherence: TLBCoherence,
+        frames_per_node: int = DEFAULT_FRAMES_PER_NODE,
+        seed: int = 1,
+    ):
+        self.machine = machine
+        self.sim: Simulator = machine.sim
+        self.stats = machine.stats
+        self.coherence = coherence
+        self.frames = FrameAllocator(machine.spec.sockets, frames_per_node)
+        self.page_cache = PageCache(self.frames)
+        self.scheduler = Scheduler(self)
+        self.rng = RngStreams(seed)
+        #: pcid -> MmStruct, for invariant checkers and PCID handling.
+        self.mm_registry: Dict[int, MmStruct] = {}
+        self.processes: List[KProcess] = []
+        #: pfn -> content tag, maintained by workloads that want KSM/dedup
+        #: to find identical pages.
+        self.page_contents: Dict[int, str] = {}
+        #: Optional services, installed via their .install(kernel) hooks.
+        self.autonuma = None
+        self.swap = None
+        self.ksm = None
+        self.compactor = None
+        self.khugepaged = None
+        #: Optional structured event tracer (repro.sim.trace.Tracer).
+        self.tracer = None
+
+        coherence.attach(self)
+
+        # Import here to avoid a cycle (these modules need Kernel for typing).
+        from .pagefault import PageFaultHandler
+        from .syscalls import Syscalls
+
+        self.fault_handler = PageFaultHandler(self)
+        self.syscalls = Syscalls(self)
+
+        self._started = False
+
+    # ---- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Boot: start scheduler ticks and mechanism background threads."""
+        if self._started:
+            return
+        self._started = True
+        self.scheduler.start()
+        self.coherence.start()
+
+    # ---- processes -------------------------------------------------------------
+
+    def create_process(self, name: str) -> KProcess:
+        mm = MmStruct(self.sim, name=name)
+        self.mm_registry[mm.pcid] = mm
+        proc = KProcess(name, mm)
+        self.processes.append(proc)
+        return proc
+
+    def spawn_thread(self, process: KProcess, name: str, core_id: int) -> Task:
+        """Create a thread pinned to ``core_id`` and place it."""
+        task = process.add_thread(name, core_id)
+        self.scheduler.place(task)
+        return task
+
+    def mm_of_pcid(self, pcid: int) -> Optional[MmStruct]:
+        return self.mm_registry.get(pcid)
+
+    # ---- memory services ----------------------------------------------------------
+
+    def release_frames(self, pfns: Iterable[int]) -> None:
+        """Drop the mapping reference of each frame (frees at refcount 0)."""
+        for pfn in pfns:
+            freed = self.frames.put(pfn)
+            if freed:
+                self.page_contents.pop(pfn, None)
+
+    def set_page_content(self, pfn: int, tag: str) -> None:
+        """Workload hook: tag a frame's contents (drives KSM dedup)."""
+        self.page_contents[pfn] = tag
+
+    # ---- convenience ----------------------------------------------------------------
+
+    def core_of(self, task: Task):
+        return self.machine.core(task.home_core_id)
+
+    def run(self, until: int) -> None:
+        """Advance the simulation to absolute time ``until`` (ns)."""
+        self.sim.run(until=until)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Kernel {self.machine.spec.name} mechanism={self.coherence.name} "
+            f"procs={len(self.processes)}>"
+        )

@@ -1,0 +1,133 @@
+"""Scheduler: per-core ticks, context switches, idle (lazy-TLB) state.
+
+LATR's staleness bound comes from here: every *running* core receives a
+scheduler tick each ``tick_interval`` (1 ms), and the coherence mechanism's
+``on_tick`` hook fires then. Tick phases are deterministically staggered
+across cores -- the paper's reclamation rule (wait *two* intervals) exists
+precisely because ticks are not synchronized.
+
+Idle cores are tickless (paper section 7): they neither sweep nor receive
+shootdown IPIs; a full TLB flush on wake restores safety.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, Optional
+
+from ..sim.engine import Timeout
+from ..sim.resources import Lock
+from .task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+
+class Scheduler:
+    """Owns core occupancy and drives periodic coherence work."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        machine = kernel.machine
+        self.tick_interval = machine.spec.tick_interval_ns
+        #: Serializes task execution per core (cooperative multiplexing at
+        #: request/operation granularity).
+        self._cpu_locks: Dict[int, Lock] = {
+            core.id: Lock(kernel.sim, name=f"cpu{core.id}") for core in machine.cores
+        }
+        self._started = False
+
+    # ---- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn one tick loop per core, with staggered phases."""
+        if self._started:
+            return
+        self._started = True
+        n = self.kernel.machine.n_cores
+        for core in self.kernel.machine.cores:
+            offset = (core.id * self.tick_interval) // max(1, n)
+            self.kernel.sim.spawn(self._tick_loop(core, offset), name=f"tick{core.id}")
+
+    def _tick_loop(self, core, offset: int) -> Generator:
+        # First tick at the stagger offset, then every interval: every core
+        # ticks within one interval of any instant, which is the staleness
+        # bound LATR's reclamation delay is derived from.
+        yield Timeout(offset)
+        while True:
+            self.kernel.stats.counter("sched.ticks").add()
+            if core.idle and core.lazy_tlb_mode:
+                # Tickless idle: no sweep, no tick work.
+                self.kernel.stats.counter("sched.ticks_idle_skipped").add()
+            else:
+                self.kernel.coherence.on_tick(core)
+            yield Timeout(self.tick_interval)
+
+    # ---- placement --------------------------------------------------------------
+
+    def place(self, task: Task, core=None) -> None:
+        """Initial (or migration) placement of a task onto its home core."""
+        core = core if core is not None else self.kernel.machine.core(task.home_core_id)
+        task.state = TaskState.RUNNING
+        if core.idle:
+            core.exit_idle(task)
+        else:
+            core.current_task = task
+        task.mm.mark_running_on(core.id)
+
+    def task_exit(self, task: Task) -> None:
+        task.state = TaskState.DONE
+        core = self.kernel.machine.core(task.home_core_id)
+        if core.current_task is task:
+            core.enter_idle()
+
+    # ---- cooperative multiplexing -------------------------------------------------
+
+    def run_on(self, core, task: Task, body: Generator) -> Generator:
+        """Run ``body`` on ``core`` as ``task``, serializing against other
+        tasks of that core and charging a context switch when the core's
+        resident task changes.
+
+        Usage: ``result = yield from scheduler.run_on(core, task, gen)``.
+        """
+        lock = self._cpu_locks[core.id]
+        yield lock.acquire()
+        try:
+            yield from self._maybe_switch(core, task)
+            result = yield from body
+            return result
+        finally:
+            lock.release()
+
+    def _maybe_switch(self, core, task: Task) -> Generator:
+        previous = core.current_task
+        if previous is task:
+            return
+        old_mm = previous.mm if previous is not None else None
+        if core.idle:
+            core.exit_idle(task)
+        core.current_task = task
+        task.mm.mark_running_on(core.id)
+        if previous is not None:
+            self.kernel.stats.counter("sched.context_switches").add()
+            if old_mm is not task.mm:
+                if not self.kernel.machine.pcid_enabled:
+                    # Without PCIDs the switch flushes everything; the old
+                    # mm can drop this core from its cpumask.
+                    core.tlb.flush()
+                    if old_mm is not None:
+                        old_mm.clear_cpu(core.id)
+            self.kernel.coherence.on_context_switch(core, old_mm, task.mm)
+            yield from core.execute(self.kernel.machine.latency.context_switch_ns)
+        else:
+            yield from core.execute(0)
+
+    def synthetic_context_switch(self, core) -> None:
+        """Account a context switch that isn't modelled as a task change
+        (workload profiles with known switch rates, e.g. canneal)."""
+        self.kernel.stats.counter("sched.context_switches").add()
+        core.steal_time(self.kernel.machine.latency.context_switch_ns)
+        current_mm = core.current_task.mm if core.current_task else None
+        self.kernel.coherence.on_context_switch(core, current_mm, current_mm)
+
+    def cpu_lock(self, core_id: int) -> Lock:
+        return self._cpu_locks[core_id]

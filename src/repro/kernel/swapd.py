@@ -1,0 +1,132 @@
+"""Page swap: migration-class lazy unmap (paper Table 1, section 3).
+
+The paper sketches the lazy flavour: "with an LRU-based page swapping
+algorithm, the page table unmap and swap operation can be performed lazily
+after the last core has invalidated the TLB entry". That is exactly what
+:meth:`SwapDevice.swap_out_pages` does -- the unmap goes through
+``migration_unmap`` (one LATR state / one IPI round) and the disk write +
+frame free run in a finisher that waits on the unmap's completion signal,
+so the frame outlives every TLB entry pointing at it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Dict, Generator, List, Tuple
+
+from ..mm.addr import VirtRange
+from ..mm.mmstruct import MmStruct
+from ..mm.pte import make_swap_pte
+from .task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+#: "Disk" latencies: a fast SSD swap device (the paper's motivation also
+#: covers RDMA-backed disaggregated memory, which would be faster still).
+SWAP_WRITE_NS = 25_000
+SWAP_READ_NS = 40_000
+
+
+class SwapDevice:
+    """Swap backend + the swap-out/in paths."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self._slot_seq = itertools.count(1)
+        self._used_slots: Dict[int, bool] = {}
+        kernel.swap = self
+
+    @classmethod
+    def install(cls, kernel: "Kernel") -> "SwapDevice":
+        return cls(kernel)
+
+    def allocate_slot(self) -> int:
+        slot = next(self._slot_seq)
+        self._used_slots[slot] = True
+        return slot
+
+    def free_slot(self, slot: int) -> None:
+        self._used_slots.pop(slot, None)
+
+    @property
+    def slots_in_use(self) -> int:
+        return len(self._used_slots)
+
+    # ---- swap out -------------------------------------------------------------------
+
+    def swap_out_pages(self, task: Task, core, vrange: VirtRange) -> Generator:
+        """Swap out the present anon pages of ``vrange``; returns the count.
+
+        The PTE change (present -> swap entry) goes through the coherence
+        mechanism's migration path; the write-back and frame free are gated
+        on its completion.
+        """
+        kernel = self.kernel
+        mm = task.mm
+        yield mm.mmap_sem.acquire()
+        try:
+            victims: List[Tuple[int, int, int]] = []  # (vpn, pfn, slot)
+            for vpn in vrange.vpns():
+                pte = mm.page_table.walk(vpn)
+                if pte is None or not pte.present or pte.cow or pte.huge:
+                    continue
+                victims.append((vpn, pte.pfn, self.allocate_slot()))
+            if not victims:
+                return 0
+
+            applied: Dict[int, bool] = {}
+
+            def apply_change(mm=mm, victims=tuple(victims), applied=applied) -> None:
+                for vpn, pfn, slot in victims:
+                    pte = mm.page_table.walk(vpn)
+                    # A racing munmap may have cleared (and lazily freed)
+                    # the page already; only swap still-matching mappings.
+                    if pte is not None and pte.present and pte.pfn == pfn:
+                        mm.page_table.set_pte(vpn, make_swap_pte(slot))
+                        applied[vpn] = True
+
+            done = yield from kernel.coherence.migration_unmap(
+                core, mm, vrange, apply_change
+            )
+        finally:
+            mm.mmap_sem.release()
+
+        kernel.sim.spawn(
+            self._finish_swap_out(core, victims, applied, done), name="swap-finisher"
+        )
+        kernel.stats.counter("swap.outs").add(len(victims))
+        return len(victims)
+
+    def _finish_swap_out(self, core, victims, applied, done) -> Generator:
+        """After every core invalidated: write pages out, free the frames."""
+        kernel = self.kernel
+        yield done
+        for vpn, pfn, slot in victims:
+            if not applied.get(vpn):
+                self.free_slot(slot)
+                continue
+            # The device write displaces CPU time on the initiating core
+            # only marginally (DMA); charge the setup cost.
+            core.steal_time(1_000)
+            yield from self._device_delay(SWAP_WRITE_NS)
+            kernel.release_frames([pfn])
+            kernel.stats.counter("swap.writes").add()
+
+    # ---- swap in ---------------------------------------------------------------------
+
+    def swap_in(self, core, slot: int) -> Generator:
+        """Fault-path swap-in; returns the fresh pfn."""
+        kernel = self.kernel
+        pfn = kernel.frames.alloc(core.socket)
+        yield from core.execute(kernel.machine.latency.page_alloc_ns)
+        yield from self._device_delay(SWAP_READ_NS)
+        self.free_slot(slot)
+        kernel.stats.counter("swap.ins").add()
+        return pfn
+
+    @staticmethod
+    def _device_delay(ns: int) -> Generator:
+        from ..sim.engine import Timeout
+
+        yield Timeout(ns)

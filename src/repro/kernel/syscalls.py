@@ -1,0 +1,385 @@
+"""Virtual-memory syscalls: mmap, munmap, madvise, mprotect, mremap, fork.
+
+The munmap()/madvise() paths are the paper's Figure 2: clear PTEs, collect
+the freed frames, invalidate locally, then hand the remote problem to the
+coherence mechanism -- synchronous IPI round (Linux) or a 132 ns state
+write (LATR). ``mmap_sem`` is held across the whole thing, which is what
+couples shootdown latency to address-space operation *throughput* in the
+Apache experiment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List, Optional
+
+from ..coherence.base import ShootdownReason
+from ..hw.tlb import TlbEntry
+from ..mm.addr import PAGE_SIZE, VirtRange, page_align_up, vpn_of
+from ..mm.fault import FaultResult, SegmentationFault
+from ..mm.pte import Pte, PteFlags, make_present_pte
+from ..mm.vma import Prot, Vma, VmaKind
+from .task import KProcess, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+
+class Syscalls:
+    """The VM syscall surface workloads program against."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+
+    @property
+    def _lat(self):
+        return self.kernel.machine.latency
+
+    # ---- mmap ---------------------------------------------------------------------
+
+    def mmap(
+        self,
+        task: Task,
+        core,
+        n_bytes: int,
+        prot: Prot = Prot.READ | Prot.WRITE,
+        kind: VmaKind = VmaKind.ANON,
+        file_key: Optional[str] = None,
+        file_offset: int = 0,
+        populate: bool = False,
+        huge: bool = False,
+    ) -> Generator:
+        """Map a fresh range; returns its :class:`VirtRange`.
+
+        ``huge`` requests 2 MiB mappings (MAP_HUGETLB-style): the range is
+        2 MiB-aligned/sized and faults install PD-level entries backed by
+        contiguous frames (falling back to 4 KiB when memory is
+        fragmented, like THP)."""
+        from ..mm.addr import HUGE_PAGE_SIZE
+
+        lat = self._lat
+        mm = task.mm
+        if kind is VmaKind.FILE and file_key is None:
+            raise ValueError("FILE mapping needs a file_key")
+        if huge and kind is not VmaKind.ANON:
+            raise ValueError("huge mappings are anonymous only")
+        yield from core.execute(lat.syscall_overhead_ns)
+        yield mm.mmap_sem.acquire()
+        try:
+            yield from core.execute(lat.vma_op_ns)
+            if huge:
+                size = -(-page_align_up(n_bytes) // HUGE_PAGE_SIZE) * HUGE_PAGE_SIZE
+                vrange = mm.find_free_range(size, alignment=HUGE_PAGE_SIZE)
+            else:
+                vrange = mm.find_free_range(page_align_up(n_bytes))
+            mm.vmas.insert(
+                Vma(
+                    range=vrange,
+                    prot=prot,
+                    kind=kind,
+                    file_key=file_key,
+                    file_offset=file_offset,
+                    huge=huge,
+                )
+            )
+            mm.bump_generation()
+        finally:
+            mm.mmap_sem.release()
+        self.kernel.stats.counter("sys.mmap").add()
+        if populate:
+            yield from self.touch_pages(task, core, vrange, write=bool(prot & Prot.WRITE))
+        return vrange
+
+    # ---- free operations (Table 1, lazy possible) -----------------------------------
+
+    def munmap(self, task: Task, core, vrange: VirtRange) -> Generator:
+        """Unmap a range; Figure 2's critical path."""
+        yield from self._free_operation(task, core, vrange, remove_vma=True)
+        self.kernel.stats.counter("sys.munmap").add()
+
+    def madvise_dontneed(self, task: Task, core, vrange: VirtRange) -> Generator:
+        """MADV_DONTNEED/MADV_FREE: drop pages, keep the VMA."""
+        yield from self._free_operation(task, core, vrange, remove_vma=False)
+        self.kernel.stats.counter("sys.madvise").add()
+
+    def _free_operation(self, task: Task, core, vrange: VirtRange, remove_vma: bool) -> Generator:
+        kernel = self.kernel
+        lat = self._lat
+        mm = task.mm
+        start = kernel.sim.now
+
+        yield from core.execute(lat.syscall_overhead_ns)
+        yield mm.mmap_sem.acquire()
+        try:
+            yield from core.execute(lat.vma_op_ns)
+            if remove_vma:
+                removed = mm.vmas.remove_range(vrange)
+                if not removed:
+                    kernel.stats.counter("sys.munmap_empty").add()
+
+            from ..mm.addr import HUGE_PAGE_PAGES, huge_base_vpn
+            from ..mm.frames import FrameBatch
+
+            pfns = FrameBatch()
+            pfns.free_units = 0
+            pte_work = 0
+            # Huge mappings first: one PD-level clear releases 512 frames
+            # (partially-covered huge mappings would need a THP split,
+            # which we don't model -- unmap them whole). A compound page
+            # frees as a few buddy operations, not 512.
+            for base_vpn, hpte in list(mm.page_table.huge_in_range(vrange)):
+                mm.page_table.clear_huge_pte(base_vpn)
+                pte_work += lat.pte_clear_ns
+                pfns.extend(range(hpte.pfn, hpte.pfn + HUGE_PAGE_PAGES))
+                pfns.free_units += 8
+            for vpn in vrange.vpns():
+                pte = mm.page_table.walk(vpn)
+                if pte is None:
+                    continue
+                if pte.huge:
+                    raise ValueError(
+                        f"munmap splits huge mapping at vpn {huge_base_vpn(vpn):#x}; "
+                        "unmap the whole 2MiB range"
+                    )
+                mm.page_table.clear_pte(vpn)
+                pte_work += lat.pte_clear_ns
+                if pte.swapped:
+                    swap = getattr(kernel, "swap", None)
+                    if swap is not None:
+                        swap.free_slot(pte.swap_slot)
+                    continue
+                pfns.append(pte.pfn)
+                pfns.free_units += 1
+            mm.bump_generation()
+
+            # Reverse-map / mm-wide bookkeeping scales with the cores the
+            # address space is live on; remote sharers bounce cachelines
+            # across QPI (this is what keeps LATR's 120-core munmap at
+            # ~40 us in Figure 7 while Linux pays IPIs on top).
+            topo = kernel.machine.topology
+            sharer_work = sum(
+                lat.rmap_per_sharer(topo.core_hops(core.id, other))
+                for other in mm.cpumask
+                if other != core.id
+            )
+            yield from core.execute(pte_work + sharer_work)
+
+            vrange_to_free = vrange if remove_vma else None
+            yield from kernel.coherence.shootdown_free(
+                core, mm, vrange, pfns, vrange_to_free
+            )
+        finally:
+            mm.mmap_sem.release()
+        op = "munmap" if remove_vma else "madvise"
+        kernel.stats.latency(op).record(kernel.sim.now - start)
+
+    # ---- synchronous classes (Table 1, lazy NOT possible) -----------------------------
+
+    def mprotect(self, task: Task, core, vrange: VirtRange, new_prot: Prot) -> Generator:
+        """Permission change: PTE updates visible system-wide at return."""
+        kernel = self.kernel
+        lat = self._lat
+        mm = task.mm
+        start = kernel.sim.now
+        yield from core.execute(lat.syscall_overhead_ns)
+        yield mm.mmap_sem.acquire()
+        try:
+            yield from core.execute(lat.vma_op_ns)
+            for vma in mm.vmas.overlapping(vrange):
+                self._split_to_fit(mm, vma, vrange)
+            for vma in mm.vmas.overlapping(vrange):
+                vma.prot = new_prot
+            pte_work = 0
+            for vpn, pte in list(mm.page_table.entries_in_range(vrange)):
+                if not pte.present:
+                    continue
+                if new_prot & Prot.WRITE:
+                    updated = pte.with_flags(add=PteFlags.WRITE)
+                else:
+                    updated = pte.with_flags(drop=PteFlags.WRITE)
+                mm.page_table.update_pte(vpn, updated)
+                pte_work += lat.pte_set_ns
+            mm.bump_generation()
+            yield from core.execute(pte_work)
+            yield from kernel.coherence.shootdown_sync(
+                core, mm, vrange, ShootdownReason.MPROTECT
+            )
+        finally:
+            mm.mmap_sem.release()
+        kernel.stats.counter("sys.mprotect").add()
+        kernel.stats.latency("mprotect").record(kernel.sim.now - start)
+
+    def mremap(self, task: Task, core, old: VirtRange, new_n_bytes: int) -> Generator:
+        """Move a mapping; returns the new range. Synchronous shootdown of
+        the old range -- stale entries would alias the *moved* physical
+        pages, so laziness is impossible (Table 1)."""
+        kernel = self.kernel
+        lat = self._lat
+        mm = task.mm
+        yield from core.execute(lat.syscall_overhead_ns)
+        yield mm.mmap_sem.acquire()
+        try:
+            yield from core.execute(lat.vma_op_ns)
+            pieces = mm.vmas.remove_range(old)
+            if not pieces:
+                raise SegmentationFault(old.start)
+            template = pieces[0]
+            new_range = mm.find_free_range(page_align_up(new_n_bytes))
+            mm.vmas.insert(
+                Vma(
+                    range=new_range,
+                    prot=template.prot,
+                    kind=template.kind,
+                    file_key=template.file_key,
+                    file_offset=template.file_offset,
+                )
+            )
+            pte_work = 0
+            for offset, vpn in enumerate(old.vpns()):
+                pte = mm.page_table.walk(vpn)
+                if pte is None:
+                    continue
+                mm.page_table.clear_pte(vpn)
+                new_vpn = new_range.vpn_start + offset
+                if new_vpn < new_range.vpn_end:
+                    mm.page_table.set_pte(new_vpn, pte)
+                elif not pte.swapped:
+                    kernel.release_frames([pte.pfn])
+                pte_work += lat.pte_clear_ns + lat.pte_set_ns
+            mm.bump_generation()
+            yield from core.execute(pte_work)
+            yield from kernel.coherence.shootdown_sync(
+                core, mm, old, ShootdownReason.MREMAP
+            )
+            mm.release_vrange(old)
+        finally:
+            mm.mmap_sem.release()
+        kernel.stats.counter("sys.mremap").add()
+        return new_range
+
+    @staticmethod
+    def _split_to_fit(mm, vma: Vma, vrange: VirtRange) -> None:
+        """Split ``vma`` so no piece straddles ``vrange``'s boundaries."""
+        if vma.start < vrange.start < vma.end:
+            mm.vmas._remove_vma(vma)
+            tail = vma.split_at(vrange.start)
+            mm.vmas.insert(vma)
+            mm.vmas.insert(tail)
+            vma = tail
+        if vma.start < vrange.end < vma.end:
+            mm.vmas._remove_vma(vma)
+            tail = vma.split_at(vrange.end)
+            mm.vmas.insert(vma)
+            mm.vmas.insert(tail)
+
+    # ---- fork (CoW setup) ---------------------------------------------------------
+
+    def fork(self, task: Task, core, child_name: str) -> Generator:
+        """Clone the address space copy-on-write; returns the child KProcess.
+
+        Write-protecting the parent's pages is an ownership change, so every
+        VMA gets a synchronous shootdown (Table 1's CoW row).
+        """
+        kernel = self.kernel
+        lat = self._lat
+        mm = task.mm
+        yield from core.execute(lat.syscall_overhead_ns)
+        yield mm.mmap_sem.acquire()
+        try:
+            child = kernel.create_process(child_name)
+            for vma in mm.vmas:
+                child.mm.vmas.insert(
+                    Vma(
+                        range=vma.range,
+                        prot=vma.prot,
+                        kind=vma.kind,
+                        file_key=vma.file_key,
+                        file_offset=vma.file_offset,
+                    )
+                )
+                pte_work = 0
+                for vpn, pte in list(mm.page_table.entries_in_range(vma.range)):
+                    if not pte.present:
+                        continue
+                    shared = pte.with_flags(add=PteFlags.COW, drop=PteFlags.WRITE)
+                    mm.page_table.update_pte(vpn, shared)
+                    child.mm.page_table.set_pte(vpn, shared)
+                    kernel.frames.get(pte.pfn)
+                    pte_work += 2 * lat.pte_set_ns
+                yield from core.execute(pte_work)
+                yield from kernel.coherence.shootdown_sync(
+                    core, mm, vma.range, ShootdownReason.COW
+                )
+            child.mm.bump_generation()
+            mm.bump_generation()
+        finally:
+            mm.mmap_sem.release()
+        kernel.stats.counter("sys.fork").add()
+        return child
+
+    # ---- memory access -------------------------------------------------------------
+
+    def access(self, task: Task, core, vaddr: int, write: bool = False) -> Generator:
+        """One memory access; returns a FaultResult if a fault was taken,
+        None on a TLB hit or walk-hit. Raises SegmentationFault on SIGSEGV."""
+        kernel = self.kernel
+        mm = task.mm
+        vpn = vpn_of(vaddr)
+        entry = core.tlb.lookup(mm.pcid, vpn)
+        if entry is not None and (entry.writable or not write):
+            return None
+        pte = mm.page_table.walk(vpn)
+        if pte is not None and pte.present and (pte.writable or not write):
+            entry = TlbEntry(
+                pfn=pte.pfn,
+                writable=pte.writable,
+                generation=kernel.frames.generation(pte.pfn),
+                debug_mm_id=mm.mm_id,
+            )
+            if pte.huge:
+                from ..mm.addr import huge_base_vpn
+
+                core.tlb.fill_huge(mm.pcid, huge_base_vpn(vpn), entry)
+            else:
+                core.tlb.fill(mm.pcid, vpn, entry)
+            extra = kernel.coherence.on_tlb_fill(core, mm, vpn)
+            yield from core.execute(self._lat.tlb_miss_walk_ns + extra)
+            return None
+        result = yield from kernel.fault_handler.handle(task, core, vaddr, write)
+        if result.fatal:
+            raise SegmentationFault(vaddr)
+        return result
+
+    def touch_pages(
+        self,
+        task: Task,
+        core,
+        vrange: VirtRange,
+        write: bool = False,
+        process_data: bool = False,
+    ) -> Generator:
+        """Touch every page of ``vrange`` once (first byte of each page).
+
+        With ``process_data`` the caller is modelled as actually *working
+        through* each page (one pass over its 64 cachelines), so pages
+        resident on a remote NUMA node cost more -- the locality effect
+        AutoNUMA migrations exist to buy back.
+        """
+        lat = self.kernel.machine.latency
+        topo = self.kernel.machine.topology
+        for vpn in vrange.vpns():
+            yield from self.access(task, core, vpn * PAGE_SIZE, write=write)
+            if not process_data:
+                continue
+            pte = task.mm.page_table.walk(vpn)
+            if pte is None or pte.swapped:
+                continue
+            page_node = self.kernel.frames.node_of(pte.pfn)
+            hops = topo.socket_hops(core.socket, page_node)
+            yield from core.execute(64 * lat.cacheline(hops))
+
+    def write_with_content(self, task: Task, core, vaddr: int, tag: str) -> Generator:
+        """Write to a page and tag the backing frame's content (KSM hook)."""
+        yield from self.access(task, core, vaddr, write=True)
+        pte = task.mm.page_table.walk(vpn_of(vaddr))
+        if pte is not None and pte.present:
+            self.kernel.set_page_content(pte.pfn, tag)

@@ -1,0 +1,63 @@
+"""Tasks and processes.
+
+A :class:`KProcess` owns one address space (MmStruct); its :class:`Task`s
+are threads sharing it, each pinned to a home core (the experiments pin
+threads the way the paper's benchmarks do, and it keeps the timing model
+honest: a task's CPU consumption lands on exactly one core).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, List, Optional
+
+from ..mm.mmstruct import MmStruct
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Process as SimProcess
+
+
+class TaskState(enum.Enum):
+    NEW = "new"
+    RUNNING = "running"
+    DONE = "done"
+
+
+_tids = itertools.count(1)
+
+
+class Task:
+    """One kernel thread."""
+
+    def __init__(self, name: str, mm: MmStruct, home_core_id: int):
+        self.tid = next(_tids)
+        self.name = name
+        self.mm = mm
+        self.home_core_id = home_core_id
+        self.state = TaskState.NEW
+        self.sim_process: Optional["SimProcess"] = None
+        mm.users += 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Task {self.name} tid={self.tid} core={self.home_core_id}>"
+
+
+class KProcess:
+    """A user process: an address space plus its threads."""
+
+    def __init__(self, name: str, mm: MmStruct):
+        self.name = name
+        self.mm = mm
+        self.tasks: List[Task] = []
+
+    def add_thread(self, name: str, home_core_id: int) -> Task:
+        task = Task(f"{self.name}/{name}", self.mm, home_core_id)
+        self.tasks.append(task)
+        return task
+
+    def core_ids(self) -> List[int]:
+        return sorted({t.home_core_id for t in self.tasks})
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<KProcess {self.name} threads={len(self.tasks)}>"

@@ -1,0 +1,199 @@
+"""Transparent huge pages: khugepaged-style collapse (paper section 7).
+
+The paper lists THP as unsupported by the LATR prototype but sketches the
+extension: "the LATR states could be extended with an additional flag to
+support a lazy TLB shootdown for transparent huge pages", and compaction
+(which THP depends on) uses the same migration-class laziness as AutoNUMA.
+This module implements that extension:
+
+* :class:`Khugepaged` scans registered processes for 2 MiB-aligned,
+  fully-4 KiB-populated anonymous ranges and *collapses* them: allocate a
+  contiguous 2 MiB block (running compaction first if fragmented), copy
+  the 512 pages, replace the PTEs with one PD-level entry.
+* The PTE replacement is a migration-class operation: under LATR it is
+  deferred into a state (whose 512-page range makes every sweep take the
+  batched full-flush path) and the old frames are freed only after every
+  core has invalidated -- the reuse invariant holds for huge collapses
+  exactly as for 4 KiB frees.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List, Optional, Tuple
+
+from ..mm.addr import HUGE_PAGE_PAGES, VirtRange, is_huge_aligned
+from ..mm.frames import FrameAllocatorError
+from ..mm.pte import Pte, make_huge_pte
+from ..mm.vma import VmaKind
+from ..sim.engine import MSEC, Timeout
+from .task import KProcess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+
+class Khugepaged:
+    """Background THP collapse daemon."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        scan_period_ns: int = 20 * MSEC,
+        max_collapses_per_round: int = 4,
+        daemon_core_id: int = 0,
+    ):
+        self.kernel = kernel
+        self.scan_period_ns = scan_period_ns
+        self.max_collapses_per_round = max_collapses_per_round
+        self.daemon_core_id = daemon_core_id
+        self._registered: List[KProcess] = []
+        self._started = False
+
+    @classmethod
+    def install(cls, kernel: "Kernel", **kwargs) -> "Khugepaged":
+        daemon = cls(kernel, **kwargs)
+        kernel.khugepaged = daemon
+        return daemon
+
+    def register(self, process: KProcess) -> None:
+        self._registered.append(process)
+        if not self._started:
+            self._started = True
+            self.kernel.sim.spawn(self._scan_loop(), name="khugepaged")
+
+    def _scan_loop(self) -> Generator:
+        while True:
+            yield Timeout(self.scan_period_ns)
+            yield from self.scan_once()
+
+    # ---- candidate discovery ----------------------------------------------------
+
+    def collapse_candidates(self, process: KProcess) -> List[int]:
+        """2 MiB-aligned base vpns whose 512 pages are all plain 4 KiB anon
+        mappings inside one VMA."""
+        mm = process.mm
+        candidates = []
+        for vma in mm.vmas:
+            if vma.kind is not VmaKind.ANON or vma.huge:
+                continue
+            base = vma.range.vpn_start
+            # Align up to the first huge boundary inside the VMA.
+            if not is_huge_aligned(base):
+                base = (base // HUGE_PAGE_PAGES + 1) * HUGE_PAGE_PAGES
+            while base + HUGE_PAGE_PAGES <= vma.range.vpn_end:
+                if self._collapsible(mm, base):
+                    candidates.append(base)
+                base += HUGE_PAGE_PAGES
+        return candidates
+
+    @staticmethod
+    def _collapsible(mm, base_vpn: int) -> bool:
+        for vpn in range(base_vpn, base_vpn + HUGE_PAGE_PAGES):
+            pte = mm.page_table.walk(vpn)
+            if pte is None or not pte.present or pte.cow or pte.huge:
+                return False
+        return True
+
+    # ---- the collapse -------------------------------------------------------------
+
+    def scan_once(self) -> Generator:
+        collapsed = 0
+        for process in list(self._registered):
+            for base_vpn in self.collapse_candidates(process):
+                if collapsed >= self.max_collapses_per_round:
+                    return
+                ok = yield from self.collapse(process, base_vpn)
+                if ok:
+                    collapsed += 1
+
+    def collapse(self, process: KProcess, base_vpn: int) -> Generator:
+        """Collapse one 2 MiB range; returns True on success."""
+        kernel = self.kernel
+        lat = kernel.machine.latency
+        core = kernel.machine.core(self.daemon_core_id)
+        mm = process.mm
+        vrange = VirtRange.from_pages(base_vpn, HUGE_PAGE_PAGES)
+
+        # Allocate (and possibly compact) *before* taking mmap_sem:
+        # compaction's relocations take the same semaphore.
+        first = mm.page_table.walk(base_vpn)
+        if first is None or not first.present:
+            return False
+        node = kernel.frames.node_of(first.pfn)
+        base_pfn = yield from self._grab_contiguous(core, node)
+        if base_pfn is None:
+            kernel.stats.counter("thp.collapse_failed_fragmentation").add()
+            return False
+
+        yield mm.mmap_sem.acquire()
+        try:
+            if not self._collapsible(mm, base_vpn):
+                kernel.release_frames(range(base_pfn, base_pfn + HUGE_PAGE_PAGES))
+                return False
+
+            old_pfns = [
+                mm.page_table.walk(vpn).pfn
+                for vpn in vrange.vpns()
+            ]
+            yield from core.execute(lat.huge_page_copy_ns)
+            replaced = {"ok": False}
+
+            def apply_change(mm=mm, vrange=vrange, base_pfn=base_pfn, replaced=replaced) -> None:
+                # Re-check: the range must still be fully mapped 4 KiB.
+                for vpn in vrange.vpns():
+                    pte = mm.page_table.walk(vpn)
+                    if pte is None or not pte.present or pte.huge or pte.cow:
+                        return
+                for vpn in vrange.vpns():
+                    mm.page_table.clear_pte(vpn)
+                mm.page_table.set_huge_pte(vrange.vpn_start, make_huge_pte(base_pfn))
+                replaced["ok"] = True
+
+            done = yield from kernel.coherence.migration_unmap(
+                core, mm, vrange, apply_change
+            )
+        finally:
+            mm.mmap_sem.release()
+
+        kernel.sim.spawn(
+            self._free_after(done, old_pfns, base_pfn, replaced), name="thp-free"
+        )
+        kernel.stats.counter("thp.collapses").add()
+        return True
+
+    def _grab_contiguous(self, core, node: int) -> Generator:
+        """Allocate 512 contiguous frames, compacting once if fragmented."""
+        kernel = self.kernel
+        try:
+            base = kernel.frames.alloc_contiguous(HUGE_PAGE_PAGES, node=node)
+            yield from core.execute(kernel.machine.latency.page_alloc_ns * 8)
+            return base
+        except FrameAllocatorError:
+            pass
+        compactor = kernel.compactor
+        if compactor is None:
+            return None
+        kernel.stats.counter("thp.compactions_triggered").add()
+        yield from compactor.compact_node(node, max_pages=2 * HUGE_PAGE_PAGES)
+        # The evacuated frames only become reusable once every TLB entry
+        # for them is gone -- under LATR that is up to two tick intervals
+        # (the same reuse invariant as any lazy free). Retry after that.
+        tick = kernel.machine.spec.tick_interval_ns
+        yield Timeout(5 * tick // 2)
+        try:
+            base = kernel.frames.alloc_contiguous(HUGE_PAGE_PAGES, node=node)
+            return base
+        except FrameAllocatorError:
+            return None
+
+    def _free_after(self, done, old_pfns: List[int], base_pfn: int, replaced) -> Generator:
+        yield done
+        if replaced["ok"]:
+            # The 512 old frames are only reusable now: every TLB entry for
+            # the collapsed range has been invalidated.
+            self.kernel.release_frames(old_pfns)
+            self.kernel.stats.counter("thp.frames_freed").add(len(old_pfns))
+        else:
+            self.kernel.release_frames(
+                range(base_pfn, base_pfn + HUGE_PAGE_PAGES)
+            )

@@ -1,0 +1,53 @@
+"""Memory-management substrate: frames, page tables, VMAs, address spaces."""
+
+from .addr import (
+    HUGE_PAGE_PAGES,
+    HUGE_PAGE_SIZE,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    VADDR_LIMIT,
+    VirtRange,
+    addr_of,
+    page_align_down,
+    page_align_up,
+    vpn_of,
+)
+from .fault import FaultKind, FaultResult, SegmentationFault
+from .frames import FrameAllocator, FrameAllocatorError
+from .mmstruct import MMAP_BASE, MmStruct
+from .pagecache import PageCache
+from .pagetable import PageTable
+from .pte import Pte, PteFlags, make_huge_pte, make_present_pte, make_swap_pte
+from .vma import Prot, Vma, VmaKind, VmaSet, VmaSetError
+
+__all__ = [
+    "FaultKind",
+    "FaultResult",
+    "FrameAllocator",
+    "FrameAllocatorError",
+    "HUGE_PAGE_PAGES",
+    "HUGE_PAGE_SIZE",
+    "MMAP_BASE",
+    "MmStruct",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PageCache",
+    "PageTable",
+    "Prot",
+    "Pte",
+    "PteFlags",
+    "SegmentationFault",
+    "VADDR_LIMIT",
+    "VirtRange",
+    "Vma",
+    "VmaKind",
+    "VmaSet",
+    "VmaSetError",
+    "addr_of",
+    "make_huge_pte",
+    "make_present_pte",
+    "make_swap_pte",
+    "page_align_down",
+    "page_align_up",
+    "vpn_of",
+]

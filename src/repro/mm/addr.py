@@ -1,0 +1,93 @@
+"""Address arithmetic: pages, VPNs, PFNs, virtual ranges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4 KiB
+#: x86 2 MiB huge pages: one PD-level entry spans 512 base pages.
+HUGE_PAGE_ORDER = 9
+HUGE_PAGE_PAGES = 1 << HUGE_PAGE_ORDER
+HUGE_PAGE_SIZE = PAGE_SIZE * HUGE_PAGE_PAGES
+#: x86-64 canonical user address-space size the paper cites (2**48 bytes).
+VADDR_BITS = 48
+VADDR_LIMIT = 1 << VADDR_BITS
+
+
+def huge_base_vpn(vpn: int) -> int:
+    """The 2 MiB-aligned base VPN of the huge page containing ``vpn``."""
+    return vpn & ~(HUGE_PAGE_PAGES - 1)
+
+
+def is_huge_aligned(vpn: int) -> bool:
+    return vpn % HUGE_PAGE_PAGES == 0
+
+
+def page_align_down(addr: int) -> int:
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def page_align_up(addr: int) -> int:
+    return (addr + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+def vpn_of(addr: int) -> int:
+    """Virtual page number containing byte address ``addr``."""
+    return addr >> PAGE_SHIFT
+
+
+def addr_of(vpn: int) -> int:
+    return vpn << PAGE_SHIFT
+
+
+@dataclass(frozen=True)
+class VirtRange:
+    """A half-open, page-aligned virtual byte range [start, end)."""
+
+    start: int
+    end: int
+
+    def __post_init__(self):
+        if self.start % PAGE_SIZE or self.end % PAGE_SIZE:
+            raise ValueError(f"range not page aligned: {self.start:#x}..{self.end:#x}")
+        if not 0 <= self.start < self.end <= VADDR_LIMIT:
+            raise ValueError(f"bad range: {self.start:#x}..{self.end:#x}")
+
+    @classmethod
+    def from_pages(cls, vpn_start: int, n_pages: int) -> "VirtRange":
+        return cls(addr_of(vpn_start), addr_of(vpn_start + n_pages))
+
+    @property
+    def n_pages(self) -> int:
+        return (self.end - self.start) >> PAGE_SHIFT
+
+    @property
+    def n_bytes(self) -> int:
+        return self.end - self.start
+
+    @property
+    def vpn_start(self) -> int:
+        return vpn_of(self.start)
+
+    @property
+    def vpn_end(self) -> int:
+        return vpn_of(self.end)
+
+    def vpns(self) -> Iterator[int]:
+        return iter(range(self.vpn_start, self.vpn_end))
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def overlaps(self, other: "VirtRange") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def intersect(self, other: "VirtRange") -> "VirtRange":
+        if not self.overlaps(other):
+            raise ValueError(f"ranges do not overlap: {self} vs {other}")
+        return VirtRange(max(self.start, other.start), min(self.end, other.end))
+
+    def __repr__(self) -> str:
+        return f"VirtRange({self.start:#x}..{self.end:#x}, {self.n_pages}p)"

@@ -1,0 +1,46 @@
+"""Page-fault outcome taxonomy shared by the kernel fault handler."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class FaultKind(enum.Enum):
+    """What the fault handler did."""
+
+    MINOR_ANON = "minor-anon"        # demand-zero anonymous page
+    MINOR_FILE = "minor-file"        # mapped a page-cache page
+    MAJOR_FILE = "major-file"        # page-cache miss, "I/O" fill
+    COW_BREAK = "cow-break"          # copied a shared page on write
+    NUMA_HINT = "numa-hint"          # AutoNUMA sampling fault
+    SWAP_IN = "swap-in"              # brought a page back from swap
+    SPURIOUS = "spurious"            # PTE fine by the time we looked
+    SEGFAULT = "segfault"            # no VMA / bad permission
+
+
+@dataclass
+class FaultResult:
+    kind: FaultKind
+    vpn: int
+    pfn: Optional[int] = None
+    migrated: bool = False
+
+    @property
+    def fatal(self) -> bool:
+        return self.kind is FaultKind.SEGFAULT
+
+
+class SegmentationFault(RuntimeError):
+    """Raised (optionally) by access paths when a fault resolves to SEGFAULT.
+
+    The paper's race discussion (section 4.4) hinges on *when* an erroneous
+    access starts segfaulting under LATR: before the remote sweep it still
+    reads the stale-but-not-yet-freed page; after the sweep it faults. Tests
+    assert both sides of that boundary.
+    """
+
+    def __init__(self, vaddr: int):
+        super().__init__(f"segmentation fault at {vaddr:#x}")
+        self.vaddr = vaddr

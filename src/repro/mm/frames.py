@@ -1,0 +1,165 @@
+"""NUMA-aware physical frame allocator with reference counting.
+
+The reproduction's core invariant -- *a physical page is reused only after
+every TLB entry mapping it has been invalidated* (paper section 3) -- is
+enforced here: frames carry refcounts and a monotonically increasing
+*generation* that bumps on every free. A TLB entry snapshots the generation
+at fill time, so invariant checkers can prove that no core ever translates
+through a recycled frame.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+class FrameAllocatorError(RuntimeError):
+    """Double free, refcount underflow, or out-of-memory."""
+
+
+class FrameBatch(list):
+    """A list of PFNs to free, annotated with its *cost* in release units.
+
+    A 2 MiB compound page carries 512 PFNs but frees like a handful of
+    operations, not 512 -- coherence mechanisms charge
+    ``free_units * page_free_ns`` instead of ``len(batch)``.
+    """
+
+    def __init__(self, pfns=(), free_units: int = None):
+        super().__init__(pfns)
+        self.free_units = len(self) if free_units is None else free_units
+
+    @staticmethod
+    def units_of(pfns) -> int:
+        """Cost units for any pfn container (plain lists count 1:1)."""
+        return getattr(pfns, "free_units", len(pfns))
+
+
+class FrameAllocator:
+    """Per-node free lists of physical frame numbers (PFNs)."""
+
+    def __init__(self, nodes: int, frames_per_node: int):
+        if nodes < 1 or frames_per_node < 1:
+            raise ValueError("need at least one node and one frame")
+        self.nodes = nodes
+        self.frames_per_node = frames_per_node
+        self._free: List[Deque[int]] = []
+        self._node_of: Dict[int, int] = {}
+        for node in range(nodes):
+            base = node * frames_per_node
+            pfns = deque(range(base, base + frames_per_node))
+            self._free.append(pfns)
+            for pfn in pfns:
+                self._node_of[pfn] = node
+        self._refcount: Dict[int, int] = {}
+        self._generation: Dict[int, int] = {}
+        self.total_allocs = 0
+        self.total_frees = 0
+
+    @property
+    def total_frames(self) -> int:
+        return self.nodes * self.frames_per_node
+
+    def free_count(self, node: Optional[int] = None) -> int:
+        if node is None:
+            return sum(len(q) for q in self._free)
+        return len(self._free[node])
+
+    def allocated_count(self) -> int:
+        return len(self._refcount)
+
+    def node_of(self, pfn: int) -> int:
+        return self._node_of[pfn]
+
+    def alloc(self, node: int = 0, exclude: Optional[range] = None) -> int:
+        """Allocate one frame, preferring ``node``, falling back round-robin.
+
+        ``exclude`` skips a PFN range -- compaction uses it to evacuate a
+        target block without immediately re-filling it.
+        """
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"bad node {node}")
+        for candidate in [node] + [n for n in range(self.nodes) if n != node]:
+            queue = self._free[candidate]
+            for _ in range(len(queue)):
+                pfn = queue.popleft()
+                if exclude is not None and pfn in exclude:
+                    queue.append(pfn)
+                    continue
+                self._refcount[pfn] = 1
+                self.total_allocs += 1
+                return pfn
+        raise FrameAllocatorError("out of physical frames")
+
+    def alloc_contiguous(self, count: int, node: int = 0, aligned: bool = True) -> int:
+        """Allocate ``count`` physically contiguous frames on ``node``.
+
+        Returns the base PFN (aligned to ``count`` when ``aligned``, the way
+        a 2 MiB huge page must be). Raises when no run exists -- which is
+        exactly the fragmentation problem compaction solves.
+        """
+        if count < 1:
+            raise ValueError("count must be positive")
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"bad node {node}")
+        free = sorted(self._free[node])
+        free_set = set(free)
+        base_lo = node * self.frames_per_node
+        candidates = (
+            range(base_lo, base_lo + self.frames_per_node, count)
+            if aligned
+            else free
+        )
+        for base in candidates:
+            if all(base + i in free_set for i in range(count)):
+                for i in range(count):
+                    pfn = base + i
+                    self._refcount[pfn] = 1
+                self._free[node] = type(self._free[node])(
+                    p for p in self._free[node] if not base <= p < base + count
+                )
+                self.total_allocs += count
+                return base
+        raise FrameAllocatorError(
+            f"no contiguous run of {count} frames on node {node} (fragmented)"
+        )
+
+    def contiguous_run_available(self, count: int, node: int = 0) -> bool:
+        """Whether an aligned run of ``count`` free frames exists on node."""
+        free_set = set(self._free[node])
+        base_lo = node * self.frames_per_node
+        return any(
+            all(base + i in free_set for i in range(count))
+            for base in range(base_lo, base_lo + self.frames_per_node, count)
+        )
+
+    def get(self, pfn: int) -> None:
+        """Take an extra reference (page sharing, lazy lists)."""
+        if pfn not in self._refcount:
+            raise FrameAllocatorError(f"get() on free frame {pfn}")
+        self._refcount[pfn] += 1
+
+    def put(self, pfn: int) -> bool:
+        """Drop a reference; frees the frame at zero. Returns True if freed."""
+        count = self._refcount.get(pfn)
+        if count is None:
+            raise FrameAllocatorError(f"put() on free frame {pfn} (double free?)")
+        if count == 1:
+            del self._refcount[pfn]
+            self._generation[pfn] = self._generation.get(pfn, 0) + 1
+            self._free[self._node_of[pfn]].append(pfn)
+            self.total_frees += 1
+            return True
+        self._refcount[pfn] = count - 1
+        return False
+
+    def refcount(self, pfn: int) -> int:
+        return self._refcount.get(pfn, 0)
+
+    def is_allocated(self, pfn: int) -> bool:
+        return pfn in self._refcount
+
+    def generation(self, pfn: int) -> int:
+        """Bumped every time the frame is freed; TLB entries snapshot this."""
+        return self._generation.get(pfn, 0)

@@ -1,0 +1,52 @@
+"""Page cache: shared physical frames backing file mappings.
+
+Apache's serving loop mmap()s the same small files over and over; the
+frames come from the page cache and are *shared* across processes and
+requests, which is why the munmap() on one core leaves stale TLB entries on
+every core that served the same file (paper section 6.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .frames import FrameAllocator
+
+
+class PageCache:
+    """Maps (file_key, page_index) -> pfn; the cache holds one reference."""
+
+    def __init__(self, frames: FrameAllocator):
+        self.frames = frames
+        self._pages: Dict[Tuple[str, int], int] = {}
+        self.hits = 0
+        self.fills = 0
+
+    def lookup(self, file_key: str, page_index: int) -> Optional[int]:
+        pfn = self._pages.get((file_key, page_index))
+        if pfn is not None:
+            self.hits += 1
+        return pfn
+
+    def get_or_fill(self, file_key: str, page_index: int, node: int) -> Tuple[int, bool]:
+        """Return (pfn, was_cached); allocates and caches on miss."""
+        key = (file_key, page_index)
+        pfn = self._pages.get(key)
+        if pfn is not None:
+            self.hits += 1
+            return pfn, True
+        pfn = self.frames.alloc(node)
+        self._pages[key] = pfn
+        self.fills += 1
+        return pfn, False
+
+    def evict(self, file_key: str, page_index: int) -> bool:
+        """Drop the cache's reference (page reclaim). True if it was cached."""
+        pfn = self._pages.pop((file_key, page_index), None)
+        if pfn is None:
+            return False
+        self.frames.put(pfn)
+        return True
+
+    def cached_pages(self) -> int:
+        return len(self._pages)

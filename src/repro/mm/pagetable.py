@@ -1,0 +1,180 @@
+"""Four-level radix page table (x86-64 style: PML4 -> PDPT -> PD -> PT).
+
+Nine VPN bits select the slot at each level. Interior nodes are dicts so
+sparse address spaces stay cheap; the structure still gives realistic
+walk/teardown behaviour (levels allocated on demand, freed when empty) and
+lets tests compare against a flat shadow model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .addr import HUGE_PAGE_PAGES, VirtRange, huge_base_vpn, is_huge_aligned
+from .pte import Pte
+
+LEVELS = 4
+BITS_PER_LEVEL = 9
+SLOTS_PER_LEVEL = 1 << BITS_PER_LEVEL
+
+
+def _indices(vpn: int) -> Tuple[int, int, int, int]:
+    """Split a VPN into (pml4, pdpt, pd, pt) slot indices."""
+    pt = vpn & (SLOTS_PER_LEVEL - 1)
+    pd = (vpn >> BITS_PER_LEVEL) & (SLOTS_PER_LEVEL - 1)
+    pdpt = (vpn >> (2 * BITS_PER_LEVEL)) & (SLOTS_PER_LEVEL - 1)
+    pml4 = (vpn >> (3 * BITS_PER_LEVEL)) & (SLOTS_PER_LEVEL - 1)
+    return pml4, pdpt, pd, pt
+
+
+class PageTable:
+    """A process's page table; one per MmStruct."""
+
+    def __init__(self):
+        self._root: Dict[int, Dict] = {}
+        self._count = 0
+        #: PD-level 2 MiB mappings: base_vpn -> Pte with the HUGE flag.
+        #: (Kept in a side table for clarity; semantically these live in
+        #: the PD slot that would otherwise point at a PT page.)
+        self._huge: Dict[int, Pte] = {}
+        #: table-page allocations, for memory-overhead accounting
+        self.table_pages_allocated = 1  # the root
+
+    def __len__(self) -> int:
+        return self._count
+
+    def walk(self, vpn: int) -> Optional[Pte]:
+        """Hardware walk: return the PTE for ``vpn`` or None.
+
+        A huge mapping covering ``vpn`` wins (the walk stops at the PD)."""
+        huge = self._huge.get(huge_base_vpn(vpn))
+        if huge is not None:
+            return huge
+        node = self._root
+        pml4, pdpt, pd, pt = _indices(vpn)
+        for idx in (pml4, pdpt, pd):
+            node = node.get(idx)
+            if node is None:
+                return None
+        return node.get(pt)
+
+    # ---- huge (2 MiB) mappings ----------------------------------------------
+
+    def set_huge_pte(self, base_vpn: int, pte: Pte) -> None:
+        """Install a PD-level 2 MiB entry. The 512-page range must be free
+        of 4 KiB entries (khugepaged clears them before collapsing)."""
+        if not is_huge_aligned(base_vpn):
+            raise ValueError(f"huge mapping not 2MiB-aligned: vpn {base_vpn:#x}")
+        if not pte.huge:
+            raise ValueError("set_huge_pte needs a HUGE-flagged pte")
+        covered = VirtRange.from_pages(base_vpn, HUGE_PAGE_PAGES)
+        for vpn in covered.vpns():
+            if self._walk_4k(vpn) is not None:
+                raise ValueError(f"4K entry at {vpn:#x} blocks huge mapping")
+        self._huge[base_vpn] = pte
+
+    def clear_huge_pte(self, base_vpn: int) -> Optional[Pte]:
+        return self._huge.pop(base_vpn, None)
+
+    def huge_in_range(self, vrange: VirtRange):
+        """(base_vpn, pte) for huge mappings fully inside ``vrange``."""
+        for base_vpn, pte in sorted(self._huge.items()):
+            if vrange.vpn_start <= base_vpn and base_vpn + HUGE_PAGE_PAGES <= vrange.vpn_end:
+                yield base_vpn, pte
+
+    def huge_count(self) -> int:
+        return len(self._huge)
+
+    def _walk_4k(self, vpn: int) -> Optional[Pte]:
+        node = self._root
+        pml4, pdpt, pd, pt = _indices(vpn)
+        for idx in (pml4, pdpt, pd):
+            node = node.get(idx)
+            if node is None:
+                return None
+        return node.get(pt)
+
+    def set_pte(self, vpn: int, pte: Pte) -> Optional[Pte]:
+        """Install a 4 KiB PTE; returns the previous entry if any."""
+        if huge_base_vpn(vpn) in self._huge:
+            raise ValueError(f"vpn {vpn:#x} covered by a huge mapping")
+        node = self._root
+        pml4, pdpt, pd, pt = _indices(vpn)
+        for idx in (pml4, pdpt, pd):
+            nxt = node.get(idx)
+            if nxt is None:
+                nxt = {}
+                node[idx] = nxt
+                self.table_pages_allocated += 1
+            node = nxt
+        prev = node.get(pt)
+        node[pt] = pte
+        if prev is None:
+            self._count += 1
+        return prev
+
+    def clear_pte(self, vpn: int) -> Optional[Pte]:
+        """Remove the PTE for ``vpn``; returns it (None if unmapped).
+
+        Empty interior nodes are pruned, mirroring free_pgtables().
+        """
+        pml4, pdpt, pd, pt = _indices(vpn)
+        path = []
+        node = self._root
+        for idx in (pml4, pdpt, pd):
+            nxt = node.get(idx)
+            if nxt is None:
+                return None
+            path.append((node, idx))
+            node = nxt
+        prev = node.pop(pt, None)
+        if prev is None:
+            return None
+        self._count -= 1
+        for parent, idx in reversed(path):
+            child = parent[idx]
+            if child:
+                break
+            del parent[idx]
+        return prev
+
+    def update_pte(self, vpn: int, pte: Pte) -> None:
+        """Replace an existing PTE in place (PTE must exist)."""
+        existing = self.walk(vpn)
+        if existing is None:
+            raise KeyError(f"update of unmapped vpn {vpn:#x}")
+        self.set_pte(vpn, pte)
+
+    def entries_in_range(self, vrange: VirtRange) -> Iterator[Tuple[int, Pte]]:
+        """Yield (vpn, pte) for every mapped 4 KiB page in ``vrange``
+        (huge mappings are surfaced once, at their base vpn)."""
+        seen_huge = set()
+        for vpn in vrange.vpns():
+            base = huge_base_vpn(vpn)
+            huge = self._huge.get(base)
+            if huge is not None:
+                if base not in seen_huge:
+                    seen_huge.add(base)
+                    yield base, huge
+                continue
+            pte = self._walk_4k(vpn)
+            if pte is not None:
+                yield vpn, pte
+
+    def all_entries(self) -> Iterator[Tuple[int, Pte]]:
+        """Every 4 KiB entry plus every huge entry (once, at its base)."""
+        yield from sorted(self._huge.items())
+        yield from self._all_4k_entries()
+
+    def _all_4k_entries(self) -> Iterator[Tuple[int, Pte]]:
+        for pml4_idx, pdpt_node in sorted(self._root.items()):
+            for pdpt_idx, pd_node in sorted(pdpt_node.items()):
+                for pd_idx, pt_node in sorted(pd_node.items()):
+                    for pt_idx, pte in sorted(pt_node.items()):
+                        vpn = (
+                            (pml4_idx << (3 * BITS_PER_LEVEL))
+                            | (pdpt_idx << (2 * BITS_PER_LEVEL))
+                            | (pd_idx << BITS_PER_LEVEL)
+                            | pt_idx
+                        )
+                        yield vpn, pte

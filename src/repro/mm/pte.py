@@ -1,0 +1,96 @@
+"""Page-table entry representation and flag algebra."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+class PteFlags(enum.IntFlag):
+    """x86-style PTE software view.
+
+    ``PROTNONE`` models Linux's NUMA-hint encoding: the page stays resident
+    but the hardware-present bit is cleared so the next access faults into
+    the AutoNUMA path (paper sections 2.1, 4.3).
+    ``COW`` marks a write-protected shared anonymous page.
+    """
+
+    NONE = 0
+    PRESENT = enum.auto()
+    WRITE = enum.auto()
+    USER = enum.auto()
+    ACCESSED = enum.auto()
+    DIRTY = enum.auto()
+    PROTNONE = enum.auto()
+    COW = enum.auto()
+    SWAPPED = enum.auto()
+    #: PD-level 2 MiB mapping (x86 PS bit); pfn is the base of 512
+    #: physically contiguous frames.
+    HUGE = enum.auto()
+
+
+@dataclass(frozen=True)
+class Pte:
+    """One page-table entry: a PFN (or swap slot) plus flags."""
+
+    pfn: int
+    flags: PteFlags
+    #: Swap slot index when SWAPPED (pfn is meaningless then).
+    swap_slot: Optional[int] = None
+
+    @property
+    def present(self) -> bool:
+        return bool(self.flags & PteFlags.PRESENT)
+
+    @property
+    def writable(self) -> bool:
+        return bool(self.flags & PteFlags.WRITE)
+
+    @property
+    def numa_hint(self) -> bool:
+        return bool(self.flags & PteFlags.PROTNONE)
+
+    @property
+    def cow(self) -> bool:
+        return bool(self.flags & PteFlags.COW)
+
+    @property
+    def swapped(self) -> bool:
+        return bool(self.flags & PteFlags.SWAPPED)
+
+    @property
+    def huge(self) -> bool:
+        return bool(self.flags & PteFlags.HUGE)
+
+    def with_flags(self, add: PteFlags = PteFlags.NONE, drop: PteFlags = PteFlags.NONE) -> "Pte":
+        return replace(self, flags=(self.flags | add) & ~drop)
+
+    def make_numa_hint(self) -> "Pte":
+        """change_prot_numa: clear PRESENT, set PROTNONE (page stays mapped)."""
+        return self.with_flags(add=PteFlags.PROTNONE, drop=PteFlags.PRESENT)
+
+    def clear_numa_hint(self) -> "Pte":
+        return self.with_flags(add=PteFlags.PRESENT, drop=PteFlags.PROTNONE)
+
+
+def make_present_pte(pfn: int, writable: bool = True, cow: bool = False) -> Pte:
+    flags = PteFlags.PRESENT | PteFlags.USER | PteFlags.ACCESSED
+    if writable:
+        flags |= PteFlags.WRITE
+    if cow:
+        flags |= PteFlags.COW
+        flags &= ~PteFlags.WRITE
+    return Pte(pfn=pfn, flags=flags)
+
+
+def make_swap_pte(swap_slot: int) -> Pte:
+    return Pte(pfn=-1, flags=PteFlags.SWAPPED, swap_slot=swap_slot)
+
+
+def make_huge_pte(base_pfn: int, writable: bool = True) -> Pte:
+    """A 2 MiB PD-level entry; ``base_pfn`` starts 512 contiguous frames."""
+    flags = PteFlags.PRESENT | PteFlags.USER | PteFlags.ACCESSED | PteFlags.HUGE
+    if writable:
+        flags |= PteFlags.WRITE
+    return Pte(pfn=base_pfn, flags=flags)

@@ -1,0 +1,41 @@
+"""Discrete-event simulation substrate."""
+
+from .engine import (
+    MSEC,
+    SEC,
+    USEC,
+    AllOf,
+    EventHandle,
+    Process,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import Channel, Lock, Semaphore
+from .rng import RngStreams
+from .stats import Counter, LatencyRecorder, RateWindow, StatsRegistry
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "AllOf",
+    "Channel",
+    "Counter",
+    "EventHandle",
+    "LatencyRecorder",
+    "Lock",
+    "MSEC",
+    "Process",
+    "RateWindow",
+    "RngStreams",
+    "SEC",
+    "Semaphore",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "StatsRegistry",
+    "Timeout",
+    "TraceEvent",
+    "Tracer",
+    "USEC",
+]

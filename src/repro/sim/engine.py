@@ -1,0 +1,280 @@
+"""Discrete-event simulation engine.
+
+The engine is the substrate for the whole reproduction: hardware timing
+(IPIs, TLB invalidations, cacheline transfers), kernel activity (scheduler
+ticks, context switches, background daemons) and workloads all run as events
+or generator-based processes on a single :class:`Simulator`.
+
+Time is modelled as integer nanoseconds, which keeps event ordering exact and
+reproducible (no floating-point drift over long runs).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+#: One microsecond / millisecond / second in simulation time units (ns).
+USEC = 1_000
+MSEC = 1_000_000
+SEC = 1_000_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal uses of the engine (negative delays, re-triggering)."""
+
+
+class EventHandle:
+    """A cancellable handle for a scheduled callback."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time} fn={getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class Signal:
+    """A one-shot waitable event.
+
+    Processes wait on a Signal by yielding it; plain callbacks can subscribe
+    via :meth:`add_callback`. A Signal fires exactly once with a value.
+    """
+
+    __slots__ = ("sim", "triggered", "value", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: List[Callable[["Signal"], None]] = []
+
+    def succeed(self, value: Any = None) -> "Signal":
+        """Fire the signal, delivering ``value`` to all waiters."""
+        if self.triggered:
+            raise SimulationError("Signal already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+        return self
+
+    def add_callback(self, cb: Callable[["Signal"], None]) -> None:
+        """Invoke ``cb(self)`` when the signal fires (immediately if fired)."""
+        if self.triggered:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` nanoseconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: int):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = int(delay)
+
+
+class AllOf:
+    """Yielded by a process to wait for several waitables at once.
+
+    The process resumes once every child has fired; the sent value is the
+    list of child values in the order given.
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Any]):
+        self.children = list(children)
+
+
+class Process:
+    """A generator-based coroutine running on the simulator.
+
+    The generator may yield:
+
+    * :class:`Timeout` -- resume after a delay,
+    * :class:`Signal` -- resume when it fires (resumed with its value),
+    * :class:`Process` -- resume when the child process finishes,
+    * :class:`AllOf` -- resume when all children fire.
+
+    The generator's return value becomes :attr:`value` and the ``done``
+    signal fires with it.
+    """
+
+    __slots__ = ("sim", "gen", "done", "value", "name", "_alive")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.done = Signal(sim)
+        self.value: Any = None
+        self.name = name or getattr(gen, "__name__", "process")
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def add_callback(self, cb: Callable[[Signal], None]) -> None:
+        """Waitable protocol: completion is signalled through ``done``."""
+        self.done.add_callback(cb)
+
+    def _step(self, send_value: Any = None) -> None:
+        if not self._alive:
+            return
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._alive = False
+            self.value = stop.value
+            self.done.succeed(stop.value)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self.sim.after(yielded.delay, self._step, None)
+        elif isinstance(yielded, (Signal, Process)):
+            yielded.add_callback(lambda sig: self._step(sig.value))
+        elif isinstance(yielded, AllOf):
+            self._wait_all(yielded.children)
+        else:
+            raise SimulationError(f"process {self.name!r} yielded unsupported {yielded!r}")
+
+    def _wait_all(self, children: List[Any]) -> None:
+        if not children:
+            self.sim.after(0, self._step, [])
+            return
+        remaining = [len(children)]
+        values: List[Any] = [None] * len(children)
+
+        def make_cb(i: int) -> Callable[[Signal], None]:
+            def cb(sig: Signal) -> None:
+                values[i] = sig.value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    self._step(values)
+
+            return cb
+
+        for i, child in enumerate(children):
+            if isinstance(child, Timeout):
+                done = Signal(self.sim)
+                self.sim.after(child.delay, done.succeed, None)
+                child = done
+            child.add_callback(make_cb(i))
+
+    def interrupt(self) -> None:
+        """Kill the process; its ``done`` signal fires with ``None``."""
+        if self._alive:
+            self._alive = False
+            self.gen.close()
+            if not self.done.triggered:
+                self.done.succeed(None)
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of callbacks plus process support."""
+
+    def __init__(self):
+        self._heap: List[EventHandle] = []
+        self._seq = 0
+        self._now = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    def at(self, time: int, fn: Callable, *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self._now}")
+        handle = EventHandle(int(time), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def after(self, delay: int, fn: Callable, *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.at(self._now + int(delay), fn, *args)
+
+    def signal(self) -> Signal:
+        """Create a fresh one-shot signal bound to this simulator."""
+        return Signal(self)
+
+    def timeout_signal(self, delay: int, value: Any = None) -> Signal:
+        """A signal that fires automatically after ``delay`` ns."""
+        sig = Signal(self)
+        self.after(delay, sig.succeed, value)
+        return sig
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a process from a generator; it takes its first step at t+0."""
+        proc = Process(self, gen, name)
+        self.after(0, proc._step, None)
+        return proc
+
+    def step(self) -> bool:
+        """Run the next pending event. Returns False if the heap is empty."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the heap drains or ``until`` (absolute ns) passes.
+
+        Returns the number of events executed. When ``until`` is given the
+        clock is advanced to exactly ``until`` even if the heap drains early,
+        so rate computations over a fixed window stay well-defined.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return executed
+
+    def pending(self) -> int:
+        """Number of scheduled, non-cancelled events."""
+        return sum(1 for handle in self._heap if not handle.cancelled)

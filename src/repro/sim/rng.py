@@ -1,0 +1,33 @@
+"""Deterministic random streams.
+
+Each consumer (workload, daemon, core) gets its own named stream derived
+from the run seed, so adding a new consumer never perturbs the draws seen
+by existing ones -- a requirement for the paired Linux-vs-LATR comparisons
+in the experiment harness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngStreams:
+    """A factory of independent, reproducibly-seeded ``random.Random``s."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it deterministically."""
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
+        return self._streams[name]
+
+    def fork(self, salt: str) -> "RngStreams":
+        """Derive a child factory, e.g. per-process inside one run."""
+        digest = hashlib.sha256(f"{self.seed}:fork:{salt}".encode()).digest()
+        return RngStreams(int.from_bytes(digest[:8], "big"))

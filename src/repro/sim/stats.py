@@ -1,0 +1,183 @@
+"""Measurement machinery: counters, latency recorders and rate windows.
+
+Experiments read everything they report from these objects, so each
+simulated run produces one :class:`StatsRegistry` that the experiment
+harness turns into table rows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from .engine import SEC, Simulator
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class LatencyRecorder:
+    """Collects latency samples (ns) and reports summary statistics."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: List[int] = []
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency sample on {self.name!r}: {latency_ns}")
+        self.samples.append(latency_ns)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def total(self) -> int:
+        return sum(self.samples)
+
+    @property
+    def minimum(self) -> int:
+        return min(self.samples) if self.samples else 0
+
+    @property
+    def maximum(self) -> int:
+        return max(self.samples) if self.samples else 0
+
+    def percentile(self, pct: float) -> float:
+        """Linear-interpolated percentile, pct in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile out of range: {pct}")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        rank = (pct / 100.0) * (len(ordered) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return float(ordered[lo])
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    @property
+    def stdev(self) -> float:
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((s - mu) ** 2 for s in self.samples) / (n - 1))
+
+
+class RateWindow:
+    """Counts events against the simulation clock to report per-second rates."""
+
+    def __init__(self, name: str, sim: Simulator):
+        self.name = name
+        self.sim = sim
+        self.events = 0
+        self._window_start: Optional[int] = None
+        self._window_end: Optional[int] = None
+
+    def start_window(self) -> None:
+        """Begin the measurement window at the current simulation time."""
+        self._window_start = self.sim.now
+        self.events = 0
+
+    def stop_window(self) -> None:
+        self._window_end = self.sim.now
+
+    def hit(self, count: int = 1) -> None:
+        if self._window_start is not None and self._window_end is None:
+            self.events += count
+
+    def per_second(self) -> float:
+        """Event rate over the (closed or still-open) window."""
+        if self._window_start is None:
+            return 0.0
+        end = self._window_end if self._window_end is not None else self.sim.now
+        elapsed = end - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        return self.events * (SEC / elapsed)
+
+
+class StatsRegistry:
+    """Owns all counters/recorders for one simulated machine run."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._counters: Dict[str, Counter] = {}
+        self._latencies: Dict[str, LatencyRecorder] = {}
+        self._rates: Dict[str, RateWindow] = {}
+        self._windows_active = False
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def latency(self, name: str) -> LatencyRecorder:
+        if name not in self._latencies:
+            self._latencies[name] = LatencyRecorder(name)
+        return self._latencies[name]
+
+    def rate(self, name: str) -> RateWindow:
+        if name not in self._rates:
+            self._rates[name] = RateWindow(name, self.sim)
+            if self._windows_active:
+                # A measurement window is open: new rates join it so that
+                # lazily-created rates (first hit after warmup) still count.
+                self._rates[name].start_window()
+        return self._rates[name]
+
+    def start_all_windows(self) -> None:
+        self._windows_active = True
+        for window in self._rates.values():
+            window.start_window()
+
+    def stop_all_windows(self) -> None:
+        self._windows_active = False
+        for window in self._rates.values():
+            window.stop_window()
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        return {name: c.value for name, c in self._counters.items()}
+
+    def summary(self) -> Dict[str, object]:
+        """A flat dict used by experiment reports and debugging dumps."""
+        out: Dict[str, object] = {}
+        for name, counter in sorted(self._counters.items()):
+            out[f"count.{name}"] = counter.value
+        for name, rec in sorted(self._latencies.items()):
+            out[f"lat.{name}.mean_ns"] = rec.mean
+            out[f"lat.{name}.count"] = rec.count
+        for name, rate in sorted(self._rates.items()):
+            out[f"rate.{name}.per_sec"] = rate.per_second()
+        return out
+
+
+def weighted_mean(pairs: List[Tuple[float, float]]) -> float:
+    """Mean of (value, weight) pairs; 0.0 for empty/zero-weight input."""
+    total_weight = sum(weight for _, weight in pairs)
+    if total_weight == 0:
+        return 0.0
+    return sum(value * weight for value, weight in pairs) / total_weight

@@ -1,0 +1,105 @@
+"""Structured event tracing.
+
+Attach a :class:`Tracer` to a kernel (``kernel.tracer = Tracer(sim)``) and
+the coherence paths emit timestamped events (state posts, sweeps, IPI
+rounds, reclamations). Tracing is opt-in: with no tracer attached the
+mechanisms pay a single ``None`` check.
+
+Events are plain tuples in a bounded ring buffer -- cheap enough to leave
+on for experiment-length runs and convenient to filter/merge:
+
+    tracer = Tracer(system.sim)
+    system.kernel.tracer = tracer
+    ... run ...
+    for event in tracer.query(category="latr"):
+        print(tracer.format(event))
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, Optional
+
+from .engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped occurrence."""
+
+    time_ns: int
+    category: str   # "shootdown", "latr", "ipi", "reclaim", ...
+    name: str       # "state.post", "sweep", "round.start", ...
+    core: Optional[int] = None
+    detail: str = ""
+
+
+class Tracer:
+    """A bounded in-memory event log."""
+
+    def __init__(self, sim: Simulator, capacity: int = 100_000):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._emitted = 0
+
+    def emit(self, category: str, name: str, core: Optional[int] = None, detail: str = "") -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(
+            TraceEvent(self.sim.now, category, name, core=core, detail=detail)
+        )
+        self._emitted += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def emitted(self) -> int:
+        return self._emitted
+
+    def query(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        core: Optional[int] = None,
+        since_ns: Optional[int] = None,
+    ) -> Iterator[TraceEvent]:
+        """Events matching every given filter, in time order."""
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if name is not None and event.name != name:
+                continue
+            if core is not None and event.core != core:
+                continue
+            if since_ns is not None and event.time_ns < since_ns:
+                continue
+            yield event
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts per '<category>.<name>'."""
+        out: Dict[str, int] = {}
+        for event in self._events:
+            key = f"{event.category}.{event.name}"
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    @staticmethod
+    def format(event: TraceEvent) -> str:
+        core = f" core={event.core}" if event.core is not None else ""
+        detail = f"  {event.detail}" if event.detail else ""
+        return f"[{event.time_ns / 1e6:10.4f} ms] {event.category}.{event.name}{core}{detail}"
+
+    def dump(self, limit: int = 200, **filters) -> str:
+        lines = []
+        for i, event in enumerate(self.query(**filters)):
+            if i >= limit:
+                lines.append(f"... (+{len(self) - limit} more)")
+                break
+            lines.append(self.format(event))
+        return "\n".join(lines)

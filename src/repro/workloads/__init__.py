@@ -1,0 +1,25 @@
+"""Workload models driving the evaluation."""
+
+from .apache import APACHE_CACHE_PROFILES, ApacheConfig, ApacheWorkload
+from .base import WorkloadResult, measured_window
+from .microbench import MicrobenchConfig, MunmapMicrobench
+from .numa_apps import NUMA_PROFILES, NumaConfig, NumaProfile, NumaWorkload
+from .parsec import PARSEC_PROFILES, ParsecConfig, ParsecProfile, ParsecWorkload
+
+__all__ = [
+    "APACHE_CACHE_PROFILES",
+    "ApacheConfig",
+    "ApacheWorkload",
+    "MicrobenchConfig",
+    "MunmapMicrobench",
+    "NUMA_PROFILES",
+    "NumaConfig",
+    "NumaProfile",
+    "NumaWorkload",
+    "PARSEC_PROFILES",
+    "ParsecConfig",
+    "ParsecProfile",
+    "ParsecWorkload",
+    "WorkloadResult",
+    "measured_window",
+]

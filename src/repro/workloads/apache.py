@@ -1,0 +1,159 @@
+"""Apache webserver model (paper sections 1, 6.2.2; Figures 1, 9, 12).
+
+The paper's Apache serves a static 10 KB page; the event MPM's workers
+``mmap()`` the requested file, serve it, and ``munmap()`` it -- one
+shootdown per request once the process's threads span multiple cores. Wrk
+keeps the server saturated (closed loop, 400 connections), so throughput is
+bounded by the *slower* of:
+
+* aggregate CPU: request parsing/copying/network work per request, and
+* the address-space lock: mmap + page faults + munmap (including the
+  synchronous shootdown under Linux) all serialize on ``mmap_sem``.
+
+Linux's flatline beyond ~6 cores in Figure 1 is the second bound; LATR
+removes the shootdown from the critical section and scales until the first
+bound. ABIS shrinks the IPI *target set* (per-request mappings are touched
+by one core) but pays access-bit tracking on every TLB fill and sharer
+lookups inside the critical section -- slower than Linux at low core
+counts, between Linux and LATR at high counts (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import build_system
+from ..hw.cache import CacheProfile
+from ..mm.addr import PAGE_SIZE
+from ..mm.vma import VmaKind
+from ..sim.engine import MSEC
+from .base import WorkloadResult, measured_window
+
+
+@dataclass
+class ApacheConfig:
+    machine: str = "commodity-2s16c"
+    cores: int = 12
+    #: Event-MPM server processes; each has worker threads on every core.
+    n_processes: int = 1
+    #: Distinct static files served (all 10 KB = 3 pages).
+    file_pool: int = 16
+    file_pages: int = 3
+    #: Per-request CPU outside the VM operations: parse, headers, copy, TCP.
+    request_work_ns: int = 59_000
+    #: False models an nginx-style sendfile server: no per-request mmap.
+    use_mmap: bool = True
+    pcid: bool = False
+    warmup_ms: int = 20
+    duration_ms: int = 150
+    seed: int = 1
+
+
+#: Table 4 rows for Apache (baseline LLC miss % measured under Linux).
+APACHE_CACHE_PROFILES = {
+    1: CacheProfile(accesses_per_sec_per_core=45e6, baseline_miss_pct=6.08),
+    6: CacheProfile(accesses_per_sec_per_core=45e6, baseline_miss_pct=1.60),
+    12: CacheProfile(accesses_per_sec_per_core=45e6, baseline_miss_pct=1.23),
+}
+
+
+class ApacheWorkload:
+    """Figures 1, 9, 12; Tables 4, 5."""
+
+    name = "apache"
+
+    def __init__(self, config: Optional[ApacheConfig] = None):
+        self.config = config or ApacheConfig()
+
+    def run(self, mechanism: str, **mechanism_kwargs) -> WorkloadResult:
+        cfg = self.config
+        system = build_system(
+            mechanism,
+            machine=cfg.machine,
+            cores=cfg.cores,
+            seed=cfg.seed,
+            pcid=cfg.pcid,
+            **mechanism_kwargs,
+        )
+        kernel = system.kernel
+        rng = kernel.rng.stream("apache")
+
+        processes = [kernel.create_process(f"apache{p}") for p in range(cfg.n_processes)]
+        workers = {}
+        for p, proc in enumerate(processes):
+            for c in range(cfg.cores):
+                workers[(p, c)] = kernel.spawn_thread(proc, f"w{c}", c)
+
+        completed = kernel.stats.counter("apache.requests")
+        request_rate = kernel.stats.rate("apache.requests")
+
+        request_latency = kernel.stats.latency("apache.request")
+
+        def handle_request(proc_idx: int, core):
+            proc = processes[proc_idx]
+            task = workers[(proc_idx, core.id)]
+            started = system.sim.now
+            yield from core.execute(cfg.request_work_ns)
+            if cfg.use_mmap:
+                file_key = f"page{rng.randrange(cfg.file_pool)}.html"
+                vrange = yield from kernel.syscalls.mmap(
+                    task,
+                    core,
+                    cfg.file_pages * PAGE_SIZE,
+                    kind=VmaKind.FILE,
+                    file_key=file_key,
+                )
+                yield from kernel.syscalls.touch_pages(task, core, vrange)
+                yield from kernel.syscalls.munmap(task, core, vrange)
+            completed.add()
+            request_rate.hit()
+            request_latency.record(system.sim.now - started)
+
+        def core_loop(core):
+            i = core.id  # desynchronize the process rotation across cores
+            while True:
+                proc_idx = i % cfg.n_processes
+                i += 1
+                task = workers[(proc_idx, core.id)]
+                yield from kernel.scheduler.run_on(
+                    core, task, handle_request(proc_idx, core)
+                )
+
+        for c in range(cfg.cores):
+            system.sim.spawn(core_loop(kernel.machine.core(c)), name=f"apache-core{c}")
+
+        window_ns = measured_window(
+            system, cfg.warmup_ms * MSEC, cfg.duration_ms * MSEC
+        )
+
+        metrics = {
+            "requests_per_sec": request_rate.per_second(),
+            "shootdowns_per_sec": kernel.stats.rate("shootdowns").per_second(),
+            "ipis_per_sec": kernel.stats.rate("ipi.sent").per_second(),
+            "latency_p50_us": request_latency.percentile(50) / 1000.0,
+            "latency_p99_us": request_latency.percentile(99) / 1000.0,
+            "latency_p999_us": request_latency.percentile(99.9) / 1000.0,
+        }
+        # Table 5 breakdown inputs.
+        sync_wait = kernel.stats.latency("shootdown.sync_wait")
+        if sync_wait.count:
+            metrics["sync_shootdown_ns"] = sync_wait.mean
+        state_write = kernel.stats.latency("latr.state_write")
+        if state_write.count:
+            metrics["state_write_ns"] = state_write.mean
+        sweep = kernel.stats.latency("latr.sweep")
+        if sweep.count:
+            metrics["sweep_ns"] = sweep.mean
+        # Table 4 inputs: LLC disturbance lines over the window.
+        llc = system.machine.llc.summary()
+        metrics["llc_pollution_lines"] = llc["pollution_lines"]
+        metrics["llc_state_lines"] = llc["state_lines"]
+        metrics["window_ns"] = float(window_ns)
+
+        return WorkloadResult(
+            workload=self.name,
+            mechanism=mechanism,
+            metrics=metrics,
+            counters=kernel.stats.counters_snapshot(),
+        )

@@ -1,0 +1,37 @@
+"""Workload plumbing: results, measurement windows, run helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..sim.engine import MSEC, SEC
+
+
+@dataclass
+class WorkloadResult:
+    """What one simulated run produced."""
+
+    workload: str
+    mechanism: str
+    #: Headline metrics (requests/sec, munmap_us, normalized runtime, ...).
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Raw counter snapshot for debugging and secondary tables.
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def metric(self, name: str) -> float:
+        return self.metrics[name]
+
+
+def measured_window(system, warmup_ns: int, duration_ns: int):
+    """Run ``warmup`` then a measured window of ``duration``; rate windows
+    and the LLC model are (re)started at the window edge."""
+    sim = system.sim
+    stats = system.kernel.stats
+    sim.run(until=sim.now + warmup_ns)
+    stats.start_all_windows()
+    system.machine.llc.start_window()
+    start = sim.now
+    sim.run(until=sim.now + duration_ns)
+    stats.stop_all_windows()
+    return sim.now - start

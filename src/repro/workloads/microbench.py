@@ -1,0 +1,151 @@
+"""The munmap/TLB-shootdown microbenchmark (paper section 6.2.1).
+
+One process, one thread per participating core. Each iteration maps a set
+of pages, every core touches them (populating its TLB), and core 0 calls
+munmap() -- forcing a shootdown covering all participating cores. The
+benchmark reports the munmap() latency and the shootdown-only portion,
+exactly the two panels of Figures 6 and 7; sweeping the page count gives
+Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import build_system
+from ..mm.addr import PAGE_SIZE
+from ..sim.engine import MSEC, AllOf
+from .base import WorkloadResult
+
+
+@dataclass
+class MicrobenchConfig:
+    machine: str = "commodity-2s16c"
+    cores: int = 16
+    pages: int = 1
+    #: Iterations measured (the paper runs 250k; means stabilize long
+    #: before that in a deterministic simulator).
+    reps: int = 60
+    seed: int = 1
+
+
+class MunmapMicrobench:
+    """Figures 6, 7, 8."""
+
+    name = "microbench"
+
+    def __init__(self, config: Optional[MicrobenchConfig] = None):
+        self.config = config or MicrobenchConfig()
+
+    def run(self, mechanism: str, **mechanism_kwargs) -> WorkloadResult:
+        cfg = self.config
+        system = build_system(
+            mechanism,
+            machine=cfg.machine,
+            cores=cfg.cores,
+            seed=cfg.seed,
+            **mechanism_kwargs,
+        )
+        kernel = system.kernel
+        proc = kernel.create_process("microbench")
+        tasks = [kernel.spawn_thread(proc, f"t{i}", i) for i in range(cfg.cores)]
+        munmap_samples = []
+
+        def touch_from(task):
+            core = kernel.machine.core(task.home_core_id)
+
+            def gen(vrange):
+                yield from kernel.syscalls.touch_pages(task, core, vrange, write=True)
+
+            return gen
+
+        def driver():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            for _rep in range(cfg.reps):
+                vrange = yield from kernel.syscalls.mmap(t0, c0, cfg.pages * PAGE_SIZE)
+                # Initiator populates first (takes the faults), then all
+                # remote cores fill their TLBs concurrently.
+                yield from kernel.syscalls.touch_pages(t0, c0, vrange, write=True)
+                spawned = [
+                    system.sim.spawn(touch_from(task)(vrange), name=f"touch{task.tid}")
+                    for task in tasks[1:]
+                ]
+                if spawned:
+                    yield AllOf(spawned)
+                start = system.sim.now
+                yield from kernel.syscalls.munmap(t0, c0, vrange)
+                munmap_samples.append(system.sim.now - start)
+
+        driver_proc = system.sim.spawn(driver(), name="driver")
+        # Generous bound: reps * (page faults + a few ticks of slack).
+        horizon = (cfg.reps * max(1, cfg.pages) * 10 + 200) * MSEC // 100
+        system.sim.run(until=max(horizon, 500 * MSEC))
+        if driver_proc.alive:
+            raise RuntimeError("microbench did not finish within the horizon")
+
+        sd = kernel.stats.latency("shootdown.free")
+        mean_munmap = sum(munmap_samples) / len(munmap_samples)
+        result = WorkloadResult(
+            workload=self.name,
+            mechanism=mechanism,
+            metrics={
+                "munmap_us": mean_munmap / 1000.0,
+                "munmap_p99_us": sorted(munmap_samples)[int(0.99 * (len(munmap_samples) - 1))]
+                / 1000.0,
+                "shootdown_us": sd.mean / 1000.0,
+                "shootdown_fraction": (sd.mean / mean_munmap) if mean_munmap else 0.0,
+                "fallback_ipis": float(
+                    kernel.stats.counter("latr.fallback_ipi").value
+                ),
+            },
+            counters=kernel.stats.counters_snapshot(),
+        )
+        return result
+
+    def lazy_memory_overhead(self, mechanism: str = "latr", **mechanism_kwargs) -> WorkloadResult:
+        """Section 6.4's memory-utilization bound: peak bytes parked on
+        lazy lists during the run."""
+        cfg = self.config
+        system = build_system(
+            mechanism, machine=cfg.machine, cores=cfg.cores, seed=cfg.seed, **mechanism_kwargs
+        )
+        kernel = system.kernel
+        proc = kernel.create_process("microbench")
+        tasks = [kernel.spawn_thread(proc, f"t{i}", i) for i in range(cfg.cores)]
+        peak = {"bytes": 0}
+
+        def sample_peak():
+            coherence = kernel.coherence
+            if hasattr(coherence, "lazy_bytes_outstanding"):
+                peak["bytes"] = max(peak["bytes"], coherence.lazy_bytes_outstanding())
+
+        def driver():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            for _rep in range(cfg.reps):
+                vrange = yield from kernel.syscalls.mmap(t0, c0, cfg.pages * PAGE_SIZE)
+                yield from kernel.syscalls.touch_pages(t0, c0, vrange, write=True)
+                spawned = [
+                    system.sim.spawn(
+                        kernel.syscalls.touch_pages(
+                            task, kernel.machine.core(task.home_core_id), vrange
+                        )
+                    )
+                    for task in tasks[1:]
+                ]
+                if spawned:
+                    yield AllOf(spawned)
+                yield from kernel.syscalls.munmap(t0, c0, vrange)
+                sample_peak()
+
+        driver_proc = system.sim.spawn(driver())
+        system.sim.run(until=1000 * MSEC)
+        if driver_proc.alive:
+            raise RuntimeError("memory-overhead run did not finish")
+        sample_peak()
+        return WorkloadResult(
+            workload="microbench-memoverhead",
+            mechanism=mechanism,
+            metrics={"peak_lazy_mb": peak["bytes"] / (1024 * 1024)},
+            counters=kernel.stats.counters_snapshot(),
+        )

@@ -1,0 +1,7 @@
+"""Pytest configuration: put the tests directory on sys.path so test
+modules can `import helpers`."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

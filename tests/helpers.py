@@ -1,0 +1,31 @@
+"""Shared helpers for the test suite (importable as `helpers`)."""
+
+from __future__ import annotations
+
+from repro import build_system
+from repro.sim.engine import MSEC, SEC
+
+
+def make_proc(system, n_threads=None, name="proc"):
+    """Create a process with one thread pinned per core (or n_threads)."""
+    kernel = system.kernel
+    n = n_threads if n_threads is not None else kernel.machine.n_cores
+    proc = kernel.create_process(name)
+    tasks = [kernel.spawn_thread(proc, f"t{i}", i) for i in range(n)]
+    return proc, tasks
+
+
+def run_to_completion(system, gen, timeout_ms=2_000):
+    """Spawn ``gen`` and run the sim until it completes; returns its value."""
+    proc = system.sim.spawn(gen)
+    deadline = system.sim.now + timeout_ms * MSEC
+    while proc.alive and system.sim.now < deadline:
+        if not system.sim.step():
+            break
+    assert not proc.alive, "process did not finish in time"
+    return proc.value
+
+
+def drain(system, ms=5):
+    """Advance the simulation by ``ms`` simulated milliseconds."""
+    system.sim.run(until=system.sim.now + ms * MSEC)

@@ -1,0 +1,105 @@
+"""The analytical model must agree with the simulator (and the paper)."""
+
+import pytest
+
+from repro.analysis.model import (
+    apache_throughput_bound,
+    dominant_term,
+    latr_free_critical_path,
+    latr_memory_overhead_bytes,
+    latr_reclamation_bound_ns,
+    latr_staleness_bound_ns,
+    linux_shootdown,
+    migration_shootdown_share,
+)
+from repro.hw.spec import COMMODITY_2S16C, LARGE_NUMA_8S120C
+from repro.sim.engine import MSEC
+from repro.workloads.microbench import MicrobenchConfig, MunmapMicrobench
+
+
+class TestModelVsSimulator:
+    @pytest.mark.parametrize("cores", [4, 8, 16])
+    def test_linux_shootdown_matches_sim(self, cores):
+        spec = COMMODITY_2S16C.with_cores(cores)
+        predicted = linux_shootdown(spec, pages=1).total_ns
+        measured = (
+            MunmapMicrobench(MicrobenchConfig(cores=cores, reps=15))
+            .run("linux")
+            .metric("shootdown_us")
+            * 1000
+        )
+        assert predicted == pytest.approx(measured, rel=0.25)
+
+    def test_linux_shootdown_matches_sim_large_numa(self):
+        predicted = linux_shootdown(LARGE_NUMA_8S120C, pages=1).total_ns
+        measured = (
+            MunmapMicrobench(
+                MicrobenchConfig(machine="large-numa-8s120c", cores=120, reps=8)
+            )
+            .run("linux")
+            .metric("shootdown_us")
+            * 1000
+        )
+        assert predicted == pytest.approx(measured, rel=0.25)
+
+    def test_latr_critical_path_matches_sim(self):
+        predicted = latr_free_critical_path(pages=1, spec=COMMODITY_2S16C)
+        measured = (
+            MunmapMicrobench(MicrobenchConfig(cores=16, reps=15))
+            .run("latr")
+            .metric("shootdown_us")
+            * 1000
+        )
+        assert predicted == pytest.approx(measured, rel=0.05)
+
+
+class TestPaperArithmetic:
+    def test_shootdown_bands(self):
+        """Section 1: ~6 us at 16 cores, up to ~80 us at 120 cores."""
+        small = linux_shootdown(COMMODITY_2S16C).total_ns / 1000
+        large = linux_shootdown(LARGE_NUMA_8S120C).total_ns / 1000
+        assert 4 < small < 8
+        assert 55 < large < 110
+
+    def test_migration_share_band(self):
+        """Sections 2.1/6.3: 5.8% at 1 page, ~21.1% at 512 pages."""
+        one = migration_shootdown_share(1, COMMODITY_2S16C)
+        many = migration_shootdown_share(512, COMMODITY_2S16C)
+        assert 0.03 < one < 0.09
+        assert 0.12 < many < 0.30
+        assert many > one
+
+    def test_staleness_and_reclamation_bounds(self):
+        assert latr_staleness_bound_ns(COMMODITY_2S16C) == MSEC
+        assert latr_reclamation_bound_ns(COMMODITY_2S16C) == 2 * MSEC
+
+    def test_memory_overhead_bound(self):
+        """Section 6.4: 250k x 512-page munmaps/sec would park ~21 MB...
+        at the paper's actually-achievable rate of ~5k ops/s."""
+        bytes_held = latr_memory_overhead_bytes(
+            munmap_rate_per_sec=5_000, pages_per_munmap=512, spec=COMMODITY_2S16C
+        )
+        assert bytes_held / (1024 * 1024) == pytest.approx(20, rel=0.3)
+
+    def test_dominant_term_shifts_with_scale(self):
+        """Few targets: ACK wait dominates; 119 targets: send occupancy."""
+        small = linux_shootdown(COMMODITY_2S16C.with_cores(4))
+        large = linux_shootdown(LARGE_NUMA_8S120C)
+        assert dominant_term(small) == "ACK wait"
+        assert dominant_term(large) == "IPI send occupancy"
+
+
+class TestApacheBound:
+    def test_regimes(self):
+        # Low cores: CPU binds; high cores with a fat critical section:
+        # the lock binds (Figure 1's flatline).
+        low = apache_throughput_bound(2, 59_000, 10_000, 12_000)
+        assert low.binding == "cpu"
+        high = apache_throughput_bound(12, 59_000, 10_000, 12_000)
+        assert high.binding == "mmap_sem"
+        assert high.predicted_rps == pytest.approx(1e9 / 12_000)
+
+    def test_latr_moves_the_knee(self):
+        linux = apache_throughput_bound(12, 59_000, 10_000, 12_000)
+        latr = apache_throughput_bound(12, 59_000, 10_000, 6_200)
+        assert latr.predicted_rps > 1.5 * linux.predicted_rps

@@ -1,0 +1,65 @@
+"""Barrelfish-specific timing and ordering behaviour."""
+
+import pytest
+
+from repro import build_system
+from repro.mm.addr import PAGE_SIZE
+
+from helpers import make_proc, run_to_completion
+
+
+def timed_shared_unmap(system, n_threads=None):
+    kernel = system.kernel
+    proc, tasks = make_proc(system, n_threads=n_threads)
+    box = {}
+
+    def body():
+        t0, c0 = tasks[0], kernel.machine.core(0)
+        vrange = yield from kernel.syscalls.mmap(t0, c0, PAGE_SIZE)
+        for t in tasks:
+            core = kernel.machine.core(t.home_core_id)
+            yield from kernel.syscalls.touch_pages(t, core, vrange, write=True)
+        start = system.sim.now
+        yield from kernel.syscalls.munmap(t0, c0, vrange)
+        box["munmap_ns"] = system.sim.now - start
+
+    run_to_completion(system, body())
+    return box["munmap_ns"]
+
+
+class TestBarrelfishVsLinux:
+    def test_cheaper_than_linux_but_dearer_than_latr(self):
+        """Table 2's middle ground: no interrupts, still a synchronous wait."""
+        times = {
+            mech: timed_shared_unmap(build_system(mech, cores=8))
+            for mech in ("linux", "barrelfish", "latr")
+        }
+        assert times["latr"] < times["barrelfish"] < times["linux"]
+
+    def test_remote_work_is_polling_not_interrupts(self):
+        system = build_system("barrelfish", cores=4)
+        timed_shared_unmap(system)
+        for core in system.kernel.machine.cores:
+            assert core.interrupts_received == 0
+        # The remote polling work still displaced the remote tasks a bit.
+        remote = system.kernel.machine.core(1)
+        assert remote._pending_interrupt_ns >= 0  # accounted via steal_time
+
+    def test_message_count_matches_targets(self):
+        system = build_system("barrelfish", cores=6)
+        timed_shared_unmap(system)
+        assert system.stats.counter("barrelfish.messages").value == 5
+
+    def test_local_only_sends_nothing(self):
+        system = build_system("barrelfish", cores=4)
+        timed_shared_unmap(system, n_threads=1)
+        assert system.stats.counter("barrelfish.messages").value == 0
+
+    def test_poll_delay_scales_munmap(self):
+        """A slower polling loop directly lengthens the synchronous wait."""
+        fast_sys = build_system("barrelfish", cores=4)
+        slow_sys = build_system("barrelfish", cores=4)
+        slow_sys.kernel.coherence.poll_delay_ns = 20_000
+        fast = timed_shared_unmap(fast_sys)
+        slow = timed_shared_unmap(slow_sys)
+        assert slow > fast + 15_000

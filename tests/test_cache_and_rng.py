@@ -1,0 +1,96 @@
+"""LLC disturbance model and deterministic RNG streams."""
+
+import pytest
+
+from repro.hw.cache import POLLUTION_MISS_CONVERSION, CacheProfile, LlcModel
+from repro.hw.machine import Machine
+from repro.hw.spec import COMMODITY_2S16C, LARGE_NUMA_8S120C
+from repro.sim.engine import SEC, Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.stats import StatsRegistry
+
+
+def make_llc(spec=COMMODITY_2S16C):
+    sim = Simulator()
+    machine = Machine(sim, spec)
+    return sim, machine.llc
+
+
+class TestLlcModel:
+    def test_state_footprint_under_one_percent(self):
+        """Paper 4.1: LATR states occupy <1% of the LLC on 32 cores and
+        <1.3% even on very large machines."""
+        _, llc16 = make_llc(COMMODITY_2S16C)
+        assert llc16.state_footprint_fraction < 0.01
+        _, llc120 = make_llc(LARGE_NUMA_8S120C)
+        assert llc120.state_footprint_fraction < 0.013
+
+    def test_miss_ratio_baseline_without_disturbance(self):
+        sim, llc = make_llc()
+        llc.start_window()
+        profile = CacheProfile(accesses_per_sec_per_core=1e8, baseline_miss_pct=5.0)
+        sim.after(SEC // 10, lambda: None)
+        sim.run()
+        assert llc.miss_ratio(profile, active_cores=16) == pytest.approx(5.0)
+
+    def test_pollution_raises_miss_ratio(self):
+        sim, llc = make_llc()
+        llc.start_window()
+        profile = CacheProfile(accesses_per_sec_per_core=1e8, baseline_miss_pct=5.0)
+        llc.record_interrupt_pollution(10_000_000)
+        sim.after(SEC // 10, lambda: None)
+        sim.run()
+        ratio = llc.miss_ratio(profile, active_cores=16)
+        expected_extra = 100.0 * 10_000_000 * POLLUTION_MISS_CONVERSION / (1e8 * 16 * 0.1)
+        assert ratio == pytest.approx(5.0 + expected_extra)
+
+    def test_window_reset_clears_counts(self):
+        sim, llc = make_llc()
+        llc.record_state_traffic(500)
+        llc.start_window()
+        assert llc.summary()["state_lines"] == 0.0
+
+    def test_zero_accesses_returns_baseline(self):
+        sim, llc = make_llc()
+        llc.start_window()
+        profile = CacheProfile(accesses_per_sec_per_core=0.0, baseline_miss_pct=7.0)
+        llc.record_interrupt_pollution(100)
+        sim.after(100, lambda: None)
+        sim.run()
+        assert llc.miss_ratio(profile, active_cores=16) == 7.0
+
+
+class TestRngStreams:
+    def test_same_name_same_stream_object(self):
+        rng = RngStreams(1)
+        assert rng.stream("a") is rng.stream("a")
+
+    def test_reproducible_across_factories(self):
+        a = RngStreams(42).stream("x")
+        b = RngStreams(42).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_independent(self):
+        """Draws from one stream don't perturb another."""
+        rng1 = RngStreams(7)
+        s_then = rng1.stream("victim")
+        baseline = [s_then.random() for _ in range(3)]
+
+        rng2 = RngStreams(7)
+        other = rng2.stream("noisy")
+        [other.random() for _ in range(100)]  # heavy use of another stream
+        again = [rng2.stream("victim").random() for _ in range(3)]
+        assert baseline == again
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").random()
+        b = RngStreams(2).stream("x").random()
+        assert a != b
+
+    def test_fork_derives_new_space(self):
+        parent = RngStreams(9)
+        child = parent.fork("worker")
+        assert child.stream("x").random() != parent.stream("x").random()
+        # Forks are themselves reproducible.
+        again = RngStreams(9).fork("worker")
+        assert RngStreams(9).fork("worker").stream("x").random() == again.stream("x").random()

@@ -1,0 +1,110 @@
+"""End-to-end calibration: the simulated costs land on the paper's numbers.
+
+These tests are the contract between the latency model and the evaluation:
+if a constant changes, the affected figure-level claim must still hold. The
+bands are deliberately loose (this is a simulator, not the authors' iron)
+but directional claims are asserted exactly.
+"""
+
+import pytest
+
+from repro.hw.latency import DEFAULT_LATENCY
+from repro.workloads.microbench import MicrobenchConfig, MunmapMicrobench
+
+
+def run_micro(mech, cores, pages=1, machine="commodity-2s16c", reps=30):
+    bench = MunmapMicrobench(
+        MicrobenchConfig(machine=machine, cores=cores, pages=pages, reps=reps)
+    )
+    return bench.run(mech)
+
+
+class TestTable5Primitives:
+    def test_latr_primitive_costs_match_paper(self):
+        assert DEFAULT_LATENCY.latr_state_write_ns == 132
+        assert DEFAULT_LATENCY.latr_sweep_base_ns == 158
+
+
+class TestFigure6:
+    """2-socket/16-core, single page."""
+
+    def test_linux_munmap_cost_band(self):
+        result = run_micro("linux", 16)
+        assert 6.0 < result.metric("munmap_us") < 11.0  # paper ~8 us
+
+    def test_linux_shootdown_fraction(self):
+        result = run_micro("linux", 16)
+        assert 0.55 < result.metric("shootdown_fraction") < 0.80  # paper 71.6%
+
+    def test_latr_improvement_band(self):
+        linux = run_micro("linux", 16)
+        latr = run_micro("latr", 16)
+        improvement = 1 - latr.metric("munmap_us") / linux.metric("munmap_us")
+        assert 0.55 < improvement < 0.80  # paper 70.8%
+
+    def test_latr_absolute_cost(self):
+        latr = run_micro("latr", 16)
+        assert 1.5 < latr.metric("munmap_us") < 3.5  # paper ~2.4 us
+
+    def test_cost_grows_with_cores(self):
+        costs = [run_micro("linux", n).metric("munmap_us") for n in (2, 8, 16)]
+        assert costs[0] < costs[1] < costs[2]
+
+
+class TestFigure7:
+    """8-socket/120-core machine."""
+
+    def test_linux_large_numa_cost(self):
+        result = run_micro("linux", 120, machine="large-numa-8s120c", reps=10)
+        assert 80.0 < result.metric("munmap_us") < 160.0  # paper >120 us
+
+    def test_latr_large_numa_cost(self):
+        result = run_micro("latr", 120, machine="large-numa-8s120c", reps=10)
+        assert result.metric("munmap_us") < 45.0  # paper <40 us
+
+    def test_improvement_band(self):
+        linux = run_micro("linux", 120, machine="large-numa-8s120c", reps=10)
+        latr = run_micro("latr", 120, machine="large-numa-8s120c", reps=10)
+        improvement = 1 - latr.metric("munmap_us") / linux.metric("munmap_us")
+        assert 0.55 < improvement < 0.80  # paper 66.7%
+
+    def test_two_hop_cliff(self):
+        """Figure 7's jump past 3 sockets (45 cores): super-linear rise."""
+        c30 = run_micro("linux", 30, machine="large-numa-8s120c", reps=10)
+        c90 = run_micro("linux", 90, machine="large-numa-8s120c", reps=10)
+        ratio = c90.metric("shootdown_us") / c30.metric("shootdown_us")
+        assert ratio > 3.5  # more than proportional to cores (3x)
+
+
+class TestFigure8:
+    def test_improvement_shrinks_with_pages(self):
+        improvements = []
+        for pages in (1, 64, 512):
+            linux = run_micro("linux", 16, pages=pages, reps=8)
+            latr = run_micro("latr", 16, pages=pages, reps=8)
+            improvements.append(1 - latr.metric("munmap_us") / linux.metric("munmap_us"))
+        assert improvements[0] > improvements[1] > improvements[2]
+        assert improvements[2] > 0.0  # LATR still ahead at 512 pages
+
+    def test_full_flush_caps_shootdown_cost(self):
+        """Linux's 32-page rule: shootdown cost stops growing past it."""
+        at_32 = run_micro("linux", 16, pages=32, reps=8).metric("shootdown_us")
+        at_128 = run_micro("linux", 16, pages=128, reps=8).metric("shootdown_us")
+        assert at_128 < at_32
+
+
+class TestIpiScale:
+    def test_ipi_round_cost_bands(self):
+        """Section 1: IPI round ~2.7 us at 16 cores, shootdown up to 6 us;
+        up to 80 us at 120 cores."""
+        small = run_micro("linux", 16).metric("shootdown_us")
+        assert 3.5 < small < 8.0
+        large = run_micro("linux", 120, machine="large-numa-8s120c", reps=10).metric(
+            "shootdown_us"
+        )
+        assert 55.0 < large < 110.0  # paper: up to 82 us
+
+    def test_latr_never_sends_ipis_for_frees(self):
+        result = run_micro("latr", 16)
+        assert result.counters.get("ipi.sent", 0) == 0
+        assert result.metric("fallback_ipis") == 0

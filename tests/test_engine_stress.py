@@ -1,0 +1,135 @@
+"""Engine stress and corner cases beyond the basic unit tests."""
+
+import pytest
+
+from repro.sim.engine import AllOf, SimulationError, Simulator, Timeout
+from repro.sim.resources import Channel, Lock
+
+
+class TestEventStorm:
+    def test_many_events_stay_ordered(self):
+        sim = Simulator()
+        seen = []
+        # Interleaved schedule orders, all times distinct.
+        times = [((i * 7919) % 4001) + 1 for i in range(4001)]
+        for t in times:
+            sim.at(t, seen.append, t)
+        sim.run()
+        assert seen == sorted(times)
+        assert len(seen) == 4001
+
+    def test_cancellation_storm(self):
+        sim = Simulator()
+        fired = []
+        handles = [sim.after(i + 1, fired.append, i) for i in range(1000)]
+        for handle in handles[::2]:
+            handle.cancel()
+        sim.run()
+        assert len(fired) == 500
+        assert all(i % 2 == 1 for i in fired)
+
+    def test_deep_process_chain(self):
+        sim = Simulator()
+
+        def link(depth):
+            if depth == 0:
+                yield Timeout(1)
+                return 0
+            value = yield sim.spawn(link(depth - 1))
+            return value + 1
+
+        proc = sim.spawn(link(150))
+        sim.run()
+        assert proc.value == 150
+
+    def test_wide_allof(self):
+        sim = Simulator()
+
+        def child(i):
+            yield Timeout(i + 1)
+            return i
+
+        def parent():
+            values = yield AllOf([sim.spawn(child(i)) for i in range(200)])
+            return sum(values)
+
+        proc = sim.spawn(parent())
+        sim.run()
+        assert proc.value == sum(range(200))
+        assert sim.now == 200
+
+
+class TestLockStress:
+    def test_hundred_contenders_fifo_and_exclusive(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        order = []
+        inside = [0]
+
+        def contender(i):
+            yield Timeout(i)  # staggered arrival
+            yield lock.acquire()
+            inside[0] += 1
+            assert inside[0] == 1
+            order.append(i)
+            yield Timeout(5)
+            inside[0] -= 1
+            lock.release()
+
+        for i in range(100):
+            sim.spawn(contender(i))
+        sim.run()
+        assert order == list(range(100))
+
+    def test_channel_producer_consumer_conservation(self):
+        sim = Simulator()
+        chan = Channel(sim)
+        consumed = []
+
+        def producer():
+            for i in range(500):
+                chan.put(i)
+                yield Timeout(1)
+
+        def consumer():
+            for _ in range(500):
+                value = yield chan.get()
+                consumed.append(value)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert consumed == list(range(500))
+
+
+class TestClockDiscipline:
+    def test_callbacks_never_see_time_regress(self):
+        sim = Simulator()
+        last = [-1]
+
+        def check():
+            assert sim.now >= last[0]
+            last[0] = sim.now
+
+        import random
+
+        rng = random.Random(3)
+        t = 0
+        for _ in range(500):
+            t += rng.randrange(0, 5)  # includes same-time events
+            sim.at(t, check)
+        sim.run()
+
+    def test_zero_delay_runs_after_current_callback(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.after(0, order.append, "nested-zero")
+            order.append("still-first")
+
+        sim.after(1, first)
+        sim.after(1, order.append, "second")
+        sim.run()
+        assert order == ["first", "still-first", "second", "nested-zero"]

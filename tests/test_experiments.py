@@ -1,0 +1,119 @@
+"""Experiment registry, rendering, CLI, and the cheap experiment runners."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import available_experiments, run_experiment
+from repro.experiments.runner import ExperimentResult
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_an_experiment(self):
+        exp_ids = set(available_experiments())
+        required = {
+            "fig1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12",
+            "tab1", "tab2", "tab3", "tab4", "tab5",
+            "memoverhead",
+        }
+        assert required <= exp_ids
+
+    def test_ablations_registered(self):
+        exp_ids = set(available_experiments())
+        assert {"abl-queue", "abl-reclaim", "abl-sweep", "abl-pcid", "abl-flushthresh"} <= exp_ids
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestRendering:
+    def test_render_contains_everything(self):
+        result = ExperimentResult(
+            exp_id="x",
+            title="demo",
+            headers=("a", "b"),
+            rows=[(1, 2.5), ("long-cell", 3)],
+            paper_expectation="expected",
+            notes="note",
+        )
+        text = result.render()
+        assert "== x: demo ==" in text
+        assert "long-cell" in text
+        assert "2.50" in text
+        assert "paper: expected" in text
+        assert "notes: note" in text
+
+    def test_columns_aligned(self):
+        result = ExperimentResult("x", "t", ("col",), [("value-wider-than-header",)])
+        lines = result.render().splitlines()
+        assert len(lines[1]) == len(lines[3])
+
+
+class TestCheapExperiments:
+    """Fast-mode runs of the inexpensive experiments, end to end."""
+
+    def test_tab1(self):
+        result = run_experiment("tab1", fast=True)
+        assert len(result.rows) == 9
+
+    def test_tab2(self):
+        result = run_experiment("tab2", fast=True)
+        latr = next(r for r in result.rows if r[0] == "LATR")
+        assert latr[1:] == ("yes", "yes", "yes", "yes")
+
+    def test_tab3(self):
+        result = run_experiment("tab3", fast=True)
+        assert {row[0] for row in result.rows} == {"commodity-2s16c", "large-numa-8s120c"}
+
+    def test_fig2_timeline_ordering(self):
+        result = run_experiment("fig2", fast=True)
+        latr_times = [row[2] for row in result.rows if row[0] == "latr"]
+        assert latr_times == sorted(latr_times)
+
+    def test_fig6_fast(self):
+        result = run_experiment("fig6", fast=True)
+        assert all(row[-1] > 0 for row in result.rows)  # LATR always wins
+
+    def test_abl_sweep(self):
+        result = run_experiment("abl-sweep", fast=True)
+        assert len(result.rows) == 2
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "tab5" in out
+
+    def test_run_one(self, capsys):
+        assert main(["tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "munmap(): unmap address range" in out
+
+    def test_unknown_id(self, capsys):
+        assert main(["nope"]) == 2
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "results.txt"
+        assert main(["tab2", "-o", str(target)]) == 0
+        assert "LATR" in target.read_text()
+
+
+class TestCsvExport:
+    def test_to_csv_roundtrip(self):
+        result = ExperimentResult(
+            "x", "t", ("a", "b"), [(1, 2.5), ("s,with,commas", 3)]
+        )
+        text = result.to_csv()
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert '"s,with,commas"' in lines[2]
+
+    def test_cli_csv_dir(self, tmp_path, capsys):
+        target = tmp_path / "csvs"
+        assert main(["tab3", "--csv-dir", str(target)]) == 0
+        content = (target / "tab3.csv").read_text()
+        assert content.startswith("machine,")
+        assert "commodity-2s16c" in content

@@ -1,0 +1,324 @@
+"""Transparent huge pages (paper section 7 extension).
+
+Covers: contiguous frame allocation, PD-level page-table entries, the
+split-TLB, MAP_HUGETLB-style mappings, huge munmap shootdowns under both
+mechanisms, khugepaged collapse (with its compaction fallback), and the
+reuse invariant across a lazy huge-range shootdown.
+"""
+
+import pytest
+
+from repro import build_system
+from repro.kernel.compaction import Compactor
+from repro.kernel.invariants import check_all, check_no_stale_entries_for, check_tlb_frame_safety
+from repro.kernel.thp import Khugepaged
+from repro.mm.addr import HUGE_PAGE_PAGES, HUGE_PAGE_SIZE, PAGE_SIZE, VirtRange
+from repro.mm.frames import FrameAllocator, FrameAllocatorError
+from repro.mm.pagetable import PageTable
+from repro.mm.pte import make_huge_pte, make_present_pte
+from repro.hw.tlb import Tlb, TlbEntry
+from repro.sim.engine import MSEC
+
+from helpers import make_proc, run_to_completion, drain
+
+
+class TestContiguousAllocation:
+    def test_aligned_run(self):
+        frames = FrameAllocator(nodes=1, frames_per_node=2048)
+        base = frames.alloc_contiguous(512, node=0)
+        assert base % 512 == 0
+        for i in range(512):
+            assert frames.refcount(base + i) == 1
+
+    def test_fragmentation_detected(self):
+        frames = FrameAllocator(nodes=1, frames_per_node=1024)
+        # Poke a hole in every aligned candidate run.
+        pinned = [frames.alloc(0) for _ in range(1)]
+        a = frames.alloc_contiguous(512, node=0)  # second half still free?
+        # frames 0 was taken, so the run [0,512) is broken; [512,1024) works.
+        assert a == 512
+        with pytest.raises(FrameAllocatorError):
+            frames.alloc_contiguous(512, node=0)
+
+    def test_contiguous_run_available(self):
+        frames = FrameAllocator(nodes=1, frames_per_node=1024)
+        assert frames.contiguous_run_available(512, 0)
+        frames.alloc(0)
+        frames.alloc_contiguous(512, node=0)
+        assert not frames.contiguous_run_available(512, 0)
+
+    def test_count_validation(self):
+        frames = FrameAllocator(1, 16)
+        with pytest.raises(ValueError):
+            frames.alloc_contiguous(0)
+
+
+class TestHugePageTable:
+    def test_set_and_walk_any_covered_vpn(self):
+        pt = PageTable()
+        pt.set_huge_pte(1024, make_huge_pte(4096))
+        assert pt.walk(1024).huge
+        assert pt.walk(1024 + 511).pfn == 4096
+        assert pt.walk(1024 + 512) is None
+
+    def test_alignment_enforced(self):
+        pt = PageTable()
+        with pytest.raises(ValueError):
+            pt.set_huge_pte(100, make_huge_pte(0))
+
+    def test_requires_huge_flag(self):
+        pt = PageTable()
+        with pytest.raises(ValueError):
+            pt.set_huge_pte(512, make_present_pte(1))
+
+    def test_blocked_by_4k_entry(self):
+        pt = PageTable()
+        pt.set_pte(1030, make_present_pte(7))
+        with pytest.raises(ValueError):
+            pt.set_huge_pte(1024, make_huge_pte(0))
+
+    def test_4k_blocked_under_huge(self):
+        pt = PageTable()
+        pt.set_huge_pte(1024, make_huge_pte(0))
+        with pytest.raises(ValueError):
+            pt.set_pte(1030, make_present_pte(7))
+
+    def test_clear_huge(self):
+        pt = PageTable()
+        pt.set_huge_pte(512, make_huge_pte(0))
+        assert pt.clear_huge_pte(512).huge
+        assert pt.walk(600) is None
+        assert pt.clear_huge_pte(512) is None
+
+    def test_huge_in_range_full_containment_only(self):
+        pt = PageTable()
+        pt.set_huge_pte(512, make_huge_pte(0))
+        full = VirtRange.from_pages(512, 512)
+        partial = VirtRange.from_pages(512, 256)
+        assert len(list(pt.huge_in_range(full))) == 1
+        assert list(pt.huge_in_range(partial)) == []
+
+    def test_entries_in_range_yields_huge_once(self):
+        pt = PageTable()
+        pt.set_huge_pte(512, make_huge_pte(0))
+        vr = VirtRange.from_pages(512, 512)
+        entries = list(pt.entries_in_range(vr))
+        assert len(entries) == 1
+        assert entries[0][0] == 512 and entries[0][1].huge
+
+
+class TestHugeTlb:
+    def test_huge_fill_covers_span(self):
+        tlb = Tlb(capacity=4, huge_capacity=2)
+        tlb.fill_huge(1, 512, TlbEntry(pfn=100))
+        assert tlb.lookup(1, 512).pfn == 100
+        assert tlb.lookup(1, 900).pfn == 100
+        assert tlb.lookup(1, 1024) is None
+
+    def test_unaligned_huge_fill_rejected(self):
+        tlb = Tlb(capacity=4)
+        with pytest.raises(ValueError):
+            tlb.fill_huge(1, 5, TlbEntry(pfn=0))
+
+    def test_separate_capacities(self):
+        tlb = Tlb(capacity=2, huge_capacity=1)
+        tlb.fill_huge(1, 0, TlbEntry(pfn=1))
+        tlb.fill_huge(1, 512, TlbEntry(pfn=2))
+        assert tlb.peek(1, 0) is None  # evicted from the 1-entry huge array
+        assert tlb.peek(1, 600) is not None
+        assert tlb.evictions == 1
+
+    def test_invalidate_range_drops_overlapping_huge(self):
+        tlb = Tlb(capacity=4)
+        tlb.fill_huge(1, 512, TlbEntry(pfn=1))
+        # A range overlapping any part of the huge span kills the entry.
+        dropped = tlb.invalidate_range(1, 700, 701)
+        assert dropped == 1
+        assert tlb.peek(1, 512) is None
+
+    def test_invalidate_page_hits_huge(self):
+        tlb = Tlb(capacity=4)
+        tlb.fill_huge(1, 512, TlbEntry(pfn=1))
+        assert tlb.invalidate_page(1, 777)
+        assert tlb.peek(1, 512) is None
+
+    def test_flush_clears_both_arrays(self):
+        tlb = Tlb(capacity=4)
+        tlb.fill(1, 3, TlbEntry(pfn=0))
+        tlb.fill_huge(1, 512, TlbEntry(pfn=1))
+        assert tlb.flush() == 2
+        assert len(tlb) == 0
+
+
+class TestHugeMappings:
+    def test_mmap_huge_alignment_and_single_fault(self):
+        system = build_system("latr", cores=2)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+        out = {}
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(
+                t0, c0, HUGE_PAGE_SIZE, huge=True
+            )
+            assert vrange.start % HUGE_PAGE_SIZE == 0
+            yield from kernel.syscalls.touch_pages(t0, c0, vrange, write=True)
+            out["vrange"] = vrange
+
+        run_to_completion(system, body())
+        # One huge fault covered all 512 pages.
+        assert system.stats.counter("faults.huge").value == 1
+        assert system.stats.counter("faults.total").value == 1
+        assert proc.mm.page_table.huge_count() == 1
+        # One huge TLB entry serves the whole range.
+        c0 = kernel.machine.core(0)
+        assert len(list(c0.tlb.huge_items())) == 1
+        assert check_all(kernel) == []
+
+    def test_huge_fallback_to_4k_when_fragmented(self):
+        system = build_system("latr", cores=1, frames_per_node=1024)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+        # Fragment node 0: break every aligned 512-run.
+        pinned = [kernel.frames.alloc(0) for _ in range(1)]
+        kernel.frames.alloc_contiguous(512, node=0)
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, HUGE_PAGE_SIZE, huge=True)
+            yield from kernel.syscalls.access(t0, c0, vrange.start, write=True)
+
+        run_to_completion(system, body())
+        assert system.stats.counter("thp.alloc_fallbacks").value == 1
+        assert system.stats.counter("faults.minor-anon").value == 1
+        assert proc.mm.page_table.huge_count() == 0
+
+    @pytest.mark.parametrize("mech", ["linux", "latr"])
+    def test_huge_munmap_shootdown(self, mech):
+        system = build_system(mech, cores=4)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+        out = {}
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, HUGE_PAGE_SIZE, huge=True)
+            for t in tasks:
+                core = kernel.machine.core(t.home_core_id)
+                yield from kernel.syscalls.access(t, core, vrange.start)
+            out["free_before"] = kernel.frames.free_count()
+            yield from kernel.syscalls.munmap(t0, c0, vrange)
+            out["vrange"] = vrange
+
+        run_to_completion(system, body())
+        drain(system, ms=4)
+        vrange = out["vrange"]
+        # All 512 frames came back and no TLB (4K or huge) still maps them.
+        assert kernel.frames.free_count() == out["free_before"] + HUGE_PAGE_PAGES
+        assert check_no_stale_entries_for(kernel, proc.mm, vrange) == []
+        for core in kernel.machine.cores:
+            assert list(core.tlb.huge_items()) == []
+        assert check_all(kernel) == []
+
+    def test_lazy_huge_shootdown_pins_all_512_frames(self):
+        system = build_system("latr", cores=2)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            t1, c1 = tasks[1], kernel.machine.core(1)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, HUGE_PAGE_SIZE, huge=True)
+            yield from kernel.syscalls.access(t0, c0, vrange.start, write=True)
+            yield from kernel.syscalls.access(t1, c1, vrange.start)
+            yield from kernel.syscalls.munmap(t0, c0, vrange)
+
+        run_to_completion(system, body())
+        # Until reclamation, the whole 2 MiB stays pinned.
+        assert len(proc.mm.lazy_frames) == HUGE_PAGE_PAGES
+        assert check_tlb_frame_safety(kernel) == []
+        drain(system, ms=4)
+        assert proc.mm.lazy_frames == []
+
+
+class TestKhugepaged:
+    def _populated_system(self, mech="latr", pages=HUGE_PAGE_PAGES):
+        system = build_system(mech, cores=2)
+        kernel = system.kernel
+        khugepaged = Khugepaged.install(kernel, scan_period_ns=5 * MSEC)
+        proc, tasks = make_proc(system)
+        khugepaged.register(proc)
+        out = {}
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, pages * PAGE_SIZE)
+            yield from kernel.syscalls.touch_pages(t0, c0, vrange, write=True)
+            out["vrange"] = vrange
+
+        run_to_completion(system, body())
+        return system, kernel, proc, tasks, out["vrange"]
+
+    @pytest.mark.parametrize("mech", ["linux", "latr"])
+    def test_collapse_happens(self, mech):
+        system, kernel, proc, tasks, vrange = self._populated_system(mech)
+        system.sim.run(until=system.sim.now + 40 * MSEC)
+        assert kernel.stats.counter("thp.collapses").value == 1
+        assert proc.mm.page_table.huge_count() == 1
+        # The 512 old frames were freed after the (lazy) invalidation.
+        assert kernel.stats.counter("thp.frames_freed").value == HUGE_PAGE_PAGES
+        assert check_all(kernel) == []
+
+    def test_unaligned_vma_not_collapsed(self):
+        system, kernel, proc, tasks, vrange = self._populated_system(
+            pages=HUGE_PAGE_PAGES // 2
+        )
+        system.sim.run(until=system.sim.now + 40 * MSEC)
+        assert kernel.stats.counter("thp.collapses").value == 0
+
+    def test_access_still_works_after_collapse(self):
+        system, kernel, proc, tasks, vrange = self._populated_system()
+        system.sim.run(until=system.sim.now + 40 * MSEC)
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            yield from kernel.syscalls.touch_pages(t0, c0, vrange)
+
+        run_to_completion(system, body())
+        # Served by the single huge TLB entry -- at most a couple of misses.
+        c0 = kernel.machine.core(0)
+        assert len(list(c0.tlb.huge_items())) == 1
+        assert check_all(kernel) == []
+
+    def test_collapse_triggers_compaction_when_fragmented(self):
+        system = build_system("latr", cores=2, frames_per_node=2608)
+        kernel = system.kernel
+        compactor = Compactor.install(kernel)
+        khugepaged = Khugepaged.install(kernel, scan_period_ns=5 * MSEC)
+        proc, tasks = make_proc(system)
+        compactor.register(proc)
+        khugepaged.register(proc)
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            # Interleaved keep/free mappings fragment every aligned 512-run
+            # on node 0 (the classic anti-THP pattern).
+            pieces = []
+            for _ in range(8):
+                piece = yield from kernel.syscalls.mmap(t0, c0, 256 * PAGE_SIZE)
+                yield from kernel.syscalls.touch_pages(t0, c0, piece, write=True)
+                pieces.append(piece)
+            # Candidate range to collapse, allocated after the filler so its
+            # frames sit above the fragmented region.
+            victim = yield from kernel.syscalls.mmap(t0, c0, HUGE_PAGE_PAGES * PAGE_SIZE)
+            yield from kernel.syscalls.touch_pages(t0, c0, victim, write=True)
+            for piece in pieces[1::2]:
+                yield from kernel.syscalls.munmap(t0, c0, piece)
+
+        run_to_completion(system, body(), timeout_ms=5_000)
+        assert not kernel.frames.contiguous_run_available(HUGE_PAGE_PAGES, 0)
+        system.sim.run(until=system.sim.now + 120 * MSEC)
+        assert kernel.stats.counter("thp.compactions_triggered").value >= 1
+        assert kernel.stats.counter("thp.collapses").value >= 1
+        assert check_all(kernel) == []

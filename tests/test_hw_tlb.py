@@ -1,0 +1,130 @@
+"""Unit tests for the TLB model."""
+
+import pytest
+
+from repro.hw.tlb import NO_PCID, Tlb, TlbEntry
+
+
+def fill(tlb, vpn, pcid=1, pfn=None):
+    tlb.fill(pcid, vpn, TlbEntry(pfn=pfn if pfn is not None else vpn + 1000))
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        tlb = Tlb(capacity=4)
+        assert tlb.lookup(1, 0x10) is None
+        fill(tlb, 0x10)
+        entry = tlb.lookup(1, 0x10)
+        assert entry is not None and entry.pfn == 0x10 + 1000
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_lru_eviction(self):
+        tlb = Tlb(capacity=2)
+        fill(tlb, 1)
+        fill(tlb, 2)
+        tlb.lookup(1, 1)  # refresh 1; 2 becomes LRU
+        fill(tlb, 3)
+        assert tlb.peek(1, 2) is None
+        assert tlb.peek(1, 1) is not None
+        assert tlb.evictions == 1
+
+    def test_refill_updates_entry(self):
+        tlb = Tlb(capacity=2)
+        fill(tlb, 1, pfn=10)
+        fill(tlb, 1, pfn=20)
+        assert len(tlb) == 1
+        assert tlb.peek(1, 1).pfn == 20
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Tlb(capacity=0)
+
+    def test_peek_does_not_count(self):
+        tlb = Tlb(capacity=2)
+        fill(tlb, 1)
+        tlb.peek(1, 1)
+        tlb.peek(1, 99)
+        assert tlb.hits == 0 and tlb.misses == 0
+
+
+class TestInvalidation:
+    def test_invalidate_page(self):
+        tlb = Tlb(capacity=4)
+        fill(tlb, 5)
+        assert tlb.invalidate_page(1, 5)
+        assert not tlb.invalidate_page(1, 5)
+        assert tlb.invalidations == 1
+
+    def test_invalidate_range(self):
+        tlb = Tlb(capacity=8)
+        for vpn in range(6):
+            fill(tlb, vpn)
+        dropped = tlb.invalidate_range(1, 2, 5)
+        assert dropped == 3
+        assert tlb.peek(1, 1) is not None
+        assert tlb.peek(1, 3) is None
+        assert tlb.peek(1, 5) is not None
+
+    def test_flush_all(self):
+        tlb = Tlb(capacity=8)
+        for vpn in range(4):
+            fill(tlb, vpn)
+        count = tlb.flush()
+        assert count == 4
+        assert len(tlb) == 0
+        assert tlb.full_flushes == 1
+
+
+class TestPcid:
+    def test_without_pcid_all_processes_collide(self):
+        tlb = Tlb(capacity=8, pcid_enabled=False)
+        fill(tlb, 7, pcid=1, pfn=100)
+        # Another process's fill for the same vpn overwrites.
+        fill(tlb, 7, pcid=2, pfn=200)
+        assert tlb.lookup(1, 7).pfn == 200
+
+    def test_with_pcid_entries_are_tagged(self):
+        tlb = Tlb(capacity=8, pcid_enabled=True)
+        fill(tlb, 7, pcid=1, pfn=100)
+        fill(tlb, 7, pcid=2, pfn=200)
+        assert tlb.lookup(1, 7).pfn == 100
+        assert tlb.lookup(2, 7).pfn == 200
+
+    def test_pcid_scoped_flush(self):
+        tlb = Tlb(capacity=8, pcid_enabled=True)
+        fill(tlb, 1, pcid=1)
+        fill(tlb, 2, pcid=2)
+        dropped = tlb.flush(pcid=1)
+        assert dropped == 1
+        assert tlb.peek(2, 2) is not None
+
+    def test_pcid_scoped_range_invalidate(self):
+        tlb = Tlb(capacity=8, pcid_enabled=True)
+        fill(tlb, 3, pcid=1)
+        fill(tlb, 3, pcid=2)
+        assert tlb.invalidate_range(1, 0, 10) == 1
+        assert tlb.peek(2, 3) is not None
+
+    def test_no_pcid_flush_with_pcid_arg_flushes_all(self):
+        tlb = Tlb(capacity=8, pcid_enabled=False)
+        fill(tlb, 1, pcid=1)
+        fill(tlb, 2, pcid=2)
+        assert tlb.flush(pcid=1) == 2
+
+
+class TestAccessors:
+    def test_cached_vpns(self):
+        tlb = Tlb(capacity=8)
+        for vpn in (1, 5, 9):
+            fill(tlb, vpn)
+        assert sorted(tlb.cached_vpns(1)) == [1, 5, 9]
+
+    def test_items_and_stats(self):
+        tlb = Tlb(capacity=8)
+        fill(tlb, 1)
+        items = tlb.items()
+        assert len(items) == 1
+        ((pcid, vpn), entry), = items
+        assert pcid == NO_PCID and vpn == 1
+        stats = tlb.stats()
+        assert stats["resident"] == 1

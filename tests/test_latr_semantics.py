@@ -1,0 +1,294 @@
+"""LATR mechanism semantics: the paper's sections 3, 4.1-4.5.
+
+These tests pin down the *timeline* of a lazy shootdown: what is true at
+munmap return, what becomes true at the next tick, and what the reclamation
+daemon does two ticks later.
+"""
+
+import pytest
+
+from repro import build_system
+from repro.kernel.invariants import (
+    check_all,
+    check_no_stale_entries_for,
+    check_tlb_frame_safety,
+)
+from repro.mm.addr import PAGE_SIZE
+from repro.sim.engine import MSEC
+
+from helpers import make_proc, run_to_completion, drain
+
+
+def share_and_unmap(system, n_pages=2, n_threads=None):
+    """Map, share across all threads, munmap from core 0. Returns (proc,
+    tasks, vrange, munmap_duration)."""
+    kernel = system.kernel
+    proc, tasks = make_proc(system, n_threads=n_threads)
+    holder = {}
+
+    def body():
+        t0, c0 = tasks[0], kernel.machine.core(0)
+        vrange = yield from kernel.syscalls.mmap(t0, c0, n_pages * PAGE_SIZE)
+        for t in tasks:
+            core = kernel.machine.core(t.home_core_id)
+            yield from kernel.syscalls.touch_pages(t, core, vrange, write=True)
+        start = system.sim.now
+        yield from kernel.syscalls.munmap(t0, c0, vrange)
+        holder["duration"] = system.sim.now - start
+        holder["vrange"] = vrange
+
+    run_to_completion(system, body())
+    return proc, tasks, holder["vrange"], holder["duration"]
+
+
+class TestLazyShootdown:
+    def test_no_ipis_on_free(self):
+        system = build_system("latr", cores=4)
+        share_and_unmap(system)
+        assert system.stats.counter("ipi.sent").value == 0
+        assert system.stats.counter("latr.states_posted").value == 1
+
+    def test_remote_entries_survive_munmap_return(self):
+        """The asynchrony itself: at munmap return remote TLBs are stale."""
+        system = build_system("latr", cores=4)
+        proc, tasks, vrange, _ = share_and_unmap(system)
+        stale = check_no_stale_entries_for(system.kernel, proc.mm, vrange)
+        # Cores 1..3 each still hold both pages' entries.
+        assert len(stale) == 3 * vrange.n_pages
+
+    def test_entries_gone_within_one_tick(self):
+        """Paper section 3: the tick interval bounds staleness at 1 ms."""
+        system = build_system("latr", cores=4)
+        proc, tasks, vrange, _ = share_and_unmap(system)
+        drain(system, ms=1.999 // 1 + 1)  # one full tick on every core
+        assert check_no_stale_entries_for(system.kernel, proc.mm, vrange) == []
+
+    def test_frames_held_until_two_ticks(self):
+        """Paper 4.2: reclamation waits two scheduler-tick intervals."""
+        system = build_system("latr", cores=4)
+        proc, tasks, vrange, _ = share_and_unmap(system)
+        n = vrange.n_pages
+        assert len(proc.mm.lazy_frames) == n
+        free_at_unmap = system.kernel.frames.free_count()
+        drain(system, ms=1)
+        assert len(proc.mm.lazy_frames) == n  # still pinned after 1 tick
+        drain(system, ms=3)
+        assert proc.mm.lazy_frames == []
+        assert system.kernel.frames.free_count() == free_at_unmap + n
+        assert system.stats.counter("latr.states_reclaimed").value == 1
+
+    def test_virtual_range_not_reused_until_reclaim(self):
+        system = build_system("latr", cores=4)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+        ranges = {}
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            first = yield from kernel.syscalls.mmap(t0, c0, 2 * PAGE_SIZE)
+            for t in tasks:
+                core = kernel.machine.core(t.home_core_id)
+                yield from kernel.syscalls.touch_pages(t, core, first)
+            yield from kernel.syscalls.munmap(t0, c0, first)
+            second = yield from kernel.syscalls.mmap(t0, c0, 2 * PAGE_SIZE)
+            ranges["first"], ranges["second"] = first, second
+
+        run_to_completion(system, body())
+        assert not ranges["first"].overlaps(ranges["second"])
+        # After reclamation the range is reusable again.
+        drain(system, ms=5)
+
+        def remap():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            third = yield from kernel.syscalls.mmap(t0, c0, 2 * PAGE_SIZE)
+            ranges["third"] = third
+
+        run_to_completion(system, remap())
+        assert ranges["third"] == ranges["first"]
+
+    def test_munmap_faster_than_linux(self):
+        latr = build_system("latr", cores=16)
+        linux = build_system("linux", cores=16)
+        _, _, _, t_latr = share_and_unmap(latr, n_pages=1)
+        _, _, _, t_linux = share_and_unmap(linux, n_pages=1)
+        assert t_latr < t_linux
+        # Paper Figure 6: ~70% improvement at 16 cores; accept a band.
+        improvement = 1 - t_latr / t_linux
+        assert 0.5 < improvement < 0.85
+
+    def test_safety_invariant_holds_throughout(self):
+        system = build_system("latr", cores=4)
+        proc, tasks, vrange, _ = share_and_unmap(system)
+        for _ in range(8):
+            drain(system, ms=0.5 if False else 1)
+            assert check_tlb_frame_safety(system.kernel) == []
+        assert check_all(system.kernel) == []
+
+    def test_local_only_free_is_immediate(self):
+        """With no remote sharers LATR frees eagerly like Linux."""
+        system = build_system("latr", cores=4)
+        proc, tasks, vrange, _ = share_and_unmap(system, n_threads=1)
+        assert proc.mm.lazy_frames == []
+        assert system.stats.counter("latr.states_posted").value == 0
+
+
+class TestSweepTriggers:
+    def test_sweep_on_tick(self):
+        system = build_system("latr", cores=2)
+        make_proc(system)
+        drain(system, ms=3)
+        assert system.stats.counter("latr.sweeps").value >= 4
+
+    def test_sweep_on_context_switch(self):
+        system = build_system("latr", cores=2)
+        proc, tasks = make_proc(system)
+        sweeps_before = system.stats.counter("latr.sweeps").value
+        system.kernel.scheduler.synthetic_context_switch(system.kernel.machine.core(0))
+        assert system.stats.counter("latr.sweeps").value == sweeps_before + 1
+
+    def test_sweep_toggles(self):
+        system = build_system("latr", cores=2, sweep_on_context_switch=False)
+        proc, tasks = make_proc(system)
+        before = system.stats.counter("latr.sweeps").value
+        system.kernel.scheduler.synthetic_context_switch(system.kernel.machine.core(0))
+        assert system.stats.counter("latr.sweeps").value == before
+
+    def test_idle_cores_do_not_sweep(self):
+        """Tickless rule (paper section 7)."""
+        system = build_system("latr", cores=2)
+        # No tasks at all: both cores idle.
+        for core in system.kernel.machine.cores:
+            core.enter_idle()
+        drain(system, ms=5)
+        assert system.stats.counter("latr.sweeps").value == 0
+        assert system.stats.counter("sched.ticks_idle_skipped").value > 0
+
+    def test_sweep_cost_recorded(self):
+        system = build_system("latr", cores=2)
+        make_proc(system)
+        drain(system, ms=2)
+        rec = system.stats.latency("latr.sweep")
+        assert rec.count > 0
+        assert rec.mean >= 158  # at least the Table 5 base cost
+
+
+class TestQueueFullFallback:
+    def test_fallback_to_ipi(self):
+        """Paper section 8: full per-core queue -> IPI fallback."""
+        system = build_system("latr", cores=2, queue_depth=2)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            t1, c1 = tasks[1], kernel.machine.core(1)
+            for _ in range(5):
+                vrange = yield from kernel.syscalls.mmap(t0, c0, PAGE_SIZE)
+                yield from kernel.syscalls.touch_pages(t0, c0, vrange)
+                yield from kernel.syscalls.touch_pages(t1, c1, vrange)
+                yield from kernel.syscalls.munmap(t0, c0, vrange)
+
+        run_to_completion(system, body())
+        assert system.stats.counter("latr.fallback_ipi").value == 3
+        assert system.stats.counter("ipi.sent").value == 3
+        # Fallback frees are immediate and correct.
+        drain(system, ms=5)
+        assert check_all(kernel) == []
+
+    def test_deep_queue_avoids_fallback(self):
+        system = build_system("latr", cores=2, queue_depth=64)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            t1, c1 = tasks[1], kernel.machine.core(1)
+            for _ in range(5):
+                vrange = yield from kernel.syscalls.mmap(t0, c0, PAGE_SIZE)
+                yield from kernel.syscalls.touch_pages(t0, c0, vrange)
+                yield from kernel.syscalls.touch_pages(t1, c1, vrange)
+                yield from kernel.syscalls.munmap(t0, c0, vrange)
+
+        run_to_completion(system, body())
+        assert system.stats.counter("latr.fallback_ipi").value == 0
+
+
+class TestSynchronousClassesUnderLatr:
+    """Table 1's 'lazy not possible' rows stay synchronous even under LATR."""
+
+    def test_mprotect_is_synchronous(self):
+        system = build_system("latr", cores=4)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+        from repro.mm.vma import Prot
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, 2 * PAGE_SIZE)
+            for t in tasks:
+                core = kernel.machine.core(t.home_core_id)
+                yield from kernel.syscalls.touch_pages(t, core, vrange, write=True)
+            yield from kernel.syscalls.mprotect(t0, c0, vrange, Prot.ro())
+
+        run_to_completion(system, body())
+        assert system.stats.counter("ipi.sent").value == 3
+        assert system.stats.counter("shootdown.sync.mprotect").value == 1
+        # No core may retain a (writable) translation.
+        for core in kernel.machine.cores[1:]:
+            assert len(core.tlb) == 0
+
+    def test_mremap_is_synchronous(self):
+        system = build_system("latr", cores=2)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+        out = {}
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            t1, c1 = tasks[1], kernel.machine.core(1)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, 2 * PAGE_SIZE)
+            yield from kernel.syscalls.touch_pages(t0, c0, vrange, write=True)
+            yield from kernel.syscalls.touch_pages(t1, c1, vrange)
+            new_range = yield from kernel.syscalls.mremap(t0, c0, vrange, 2 * PAGE_SIZE)
+            out["old"], out["new"] = vrange, new_range
+
+        run_to_completion(system, body())
+        assert system.stats.counter("shootdown.sync.mremap").value == 1
+        assert system.stats.counter("ipi.sent").value == 1
+        # Old range immediately reusable (synchronous completion).
+        assert not proc.mm.vrange_is_lazy(out["old"])
+        # Pages moved: the new range translates to the same frames.
+        old_vpn, new_vpn = out["old"].vpn_start, out["new"].vpn_start
+        assert proc.mm.page_table.walk(old_vpn) is None
+        assert proc.mm.page_table.walk(new_vpn) is not None
+
+
+class TestPcidMode:
+    def test_pcid_entries_tagged_and_swept(self):
+        system = build_system("latr", cores=4, pcid=True)
+        proc, tasks, vrange, _ = share_and_unmap(system)
+        assert any(core.tlb.pcid_enabled for core in system.kernel.machine.cores)
+        drain(system, ms=3)
+        assert check_no_stale_entries_for(system.kernel, proc.mm, vrange) == []
+        assert check_all(system.kernel) == []
+
+    def test_without_pcid_context_switch_flushes(self):
+        system = build_system("latr", cores=1)
+        kernel = system.kernel
+        proc_a, tasks_a = make_proc(system, n_threads=1, name="a")
+        proc_b = kernel.create_process("b")
+        task_b = proc_b.add_thread("t0", 0)
+
+        def body():
+            t0, c0 = tasks_a[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, PAGE_SIZE)
+            yield from kernel.syscalls.touch_pages(t0, c0, vrange)
+            assert len(c0.tlb) == 1
+
+            def noop():
+                yield from c0.execute(10)
+
+            yield from kernel.scheduler.run_on(c0, task_b, noop())
+            assert len(c0.tlb) == 0  # switch to another mm flushed
+
+        run_to_completion(system, body())

@@ -1,0 +1,77 @@
+"""Unit tests for address arithmetic."""
+
+import pytest
+
+from repro.mm.addr import (
+    PAGE_SIZE,
+    VADDR_LIMIT,
+    VirtRange,
+    addr_of,
+    page_align_down,
+    page_align_up,
+    vpn_of,
+)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert page_align_down(0) == 0
+        assert page_align_down(PAGE_SIZE - 1) == 0
+        assert page_align_down(PAGE_SIZE) == PAGE_SIZE
+        assert page_align_down(PAGE_SIZE + 1) == PAGE_SIZE
+
+    def test_align_up(self):
+        assert page_align_up(0) == 0
+        assert page_align_up(1) == PAGE_SIZE
+        assert page_align_up(PAGE_SIZE) == PAGE_SIZE
+
+    def test_vpn_addr_roundtrip(self):
+        assert vpn_of(addr_of(123)) == 123
+        assert vpn_of(addr_of(123) + PAGE_SIZE - 1) == 123
+
+
+class TestVirtRange:
+    def test_basic_properties(self):
+        vr = VirtRange(0x1000, 0x4000)
+        assert vr.n_pages == 3
+        assert vr.n_bytes == 0x3000
+        assert vr.vpn_start == 1
+        assert vr.vpn_end == 4
+        assert list(vr.vpns()) == [1, 2, 3]
+
+    def test_from_pages(self):
+        vr = VirtRange.from_pages(10, 5)
+        assert vr.start == 10 * PAGE_SIZE
+        assert vr.n_pages == 5
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            VirtRange(1, PAGE_SIZE)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VirtRange(PAGE_SIZE, PAGE_SIZE)
+
+    def test_beyond_canonical_rejected(self):
+        with pytest.raises(ValueError):
+            VirtRange(VADDR_LIMIT, VADDR_LIMIT + PAGE_SIZE)
+
+    def test_contains(self):
+        vr = VirtRange(0x1000, 0x3000)
+        assert vr.contains(0x1000)
+        assert vr.contains(0x2FFF)
+        assert not vr.contains(0x3000)
+        assert not vr.contains(0xFFF)
+
+    def test_overlaps(self):
+        a = VirtRange(0x1000, 0x3000)
+        assert a.overlaps(VirtRange(0x2000, 0x4000))
+        assert not a.overlaps(VirtRange(0x3000, 0x4000))
+        assert a.overlaps(VirtRange(0x0000 + 0x1000, 0x2000))
+
+    def test_intersect(self):
+        a = VirtRange(0x1000, 0x4000)
+        b = VirtRange(0x2000, 0x6000)
+        assert a.intersect(b) == VirtRange(0x2000, 0x4000)
+        with pytest.raises(ValueError):
+            a.intersect(VirtRange(0x6000, 0x7000))

@@ -1,0 +1,150 @@
+"""Unit tests for the frame allocator (refcounts, generations, NUMA)."""
+
+import pytest
+
+from repro.mm.frames import FrameAllocator, FrameAllocatorError
+
+
+class TestAllocation:
+    def test_alloc_prefers_node(self):
+        frames = FrameAllocator(nodes=2, frames_per_node=4)
+        pfn = frames.alloc(node=1)
+        assert frames.node_of(pfn) == 1
+
+    def test_fallback_to_other_node(self):
+        frames = FrameAllocator(nodes=2, frames_per_node=2)
+        for _ in range(2):
+            frames.alloc(node=0)
+        pfn = frames.alloc(node=0)
+        assert frames.node_of(pfn) == 1
+
+    def test_out_of_memory(self):
+        frames = FrameAllocator(nodes=1, frames_per_node=1)
+        frames.alloc()
+        with pytest.raises(FrameAllocatorError):
+            frames.alloc()
+
+    def test_counts(self):
+        frames = FrameAllocator(nodes=2, frames_per_node=3)
+        assert frames.total_frames == 6
+        assert frames.free_count() == 6
+        frames.alloc(0)
+        assert frames.free_count() == 5
+        assert frames.free_count(0) == 2
+        assert frames.allocated_count() == 1
+
+    def test_bad_node_rejected(self):
+        frames = FrameAllocator(nodes=1, frames_per_node=1)
+        with pytest.raises(ValueError):
+            frames.alloc(node=5)
+
+
+class TestRefcounting:
+    def test_alloc_starts_at_one(self):
+        frames = FrameAllocator(1, 4)
+        pfn = frames.alloc()
+        assert frames.refcount(pfn) == 1
+
+    def test_get_put_cycle(self):
+        frames = FrameAllocator(1, 4)
+        pfn = frames.alloc()
+        frames.get(pfn)
+        assert frames.refcount(pfn) == 2
+        assert frames.put(pfn) is False
+        assert frames.put(pfn) is True
+        assert not frames.is_allocated(pfn)
+
+    def test_double_free_detected(self):
+        frames = FrameAllocator(1, 4)
+        pfn = frames.alloc()
+        frames.put(pfn)
+        with pytest.raises(FrameAllocatorError):
+            frames.put(pfn)
+
+    def test_get_on_free_frame_rejected(self):
+        frames = FrameAllocator(1, 4)
+        pfn = frames.alloc()
+        frames.put(pfn)
+        with pytest.raises(FrameAllocatorError):
+            frames.get(pfn)
+
+    def test_refcount_of_free_frame_is_zero(self):
+        frames = FrameAllocator(1, 4)
+        assert frames.refcount(0) == 0
+
+
+class TestGenerations:
+    def test_generation_bumps_on_free(self):
+        frames = FrameAllocator(1, 1)
+        pfn = frames.alloc()
+        gen0 = frames.generation(pfn)
+        frames.put(pfn)
+        assert frames.generation(pfn) == gen0 + 1
+
+    def test_reuse_has_new_generation(self):
+        """The safety hook behind LATR's reuse invariant: a TLB entry that
+        snapshotted the old generation can be proven stale."""
+        frames = FrameAllocator(1, 1)
+        pfn = frames.alloc()
+        snapshot = frames.generation(pfn)
+        frames.put(pfn)
+        pfn2 = frames.alloc()
+        assert pfn2 == pfn  # the only frame comes back
+        assert frames.generation(pfn2) != snapshot
+
+    def test_frees_recycle_fifo(self):
+        frames = FrameAllocator(1, 2)
+        a = frames.alloc()
+        b = frames.alloc()
+        frames.put(a)
+        frames.put(b)
+        assert frames.alloc() == a
+        assert frames.alloc() == b
+
+    def test_alloc_free_counters(self):
+        frames = FrameAllocator(1, 4)
+        pfn = frames.alloc()
+        frames.put(pfn)
+        assert frames.total_allocs == 1
+        assert frames.total_frees == 1
+
+
+class TestFrameBatch:
+    def test_units_default_to_length(self):
+        from repro.mm.frames import FrameBatch
+
+        batch = FrameBatch([1, 2, 3])
+        assert batch.free_units == 3
+        assert FrameBatch.units_of(batch) == 3
+
+    def test_compound_units_override(self):
+        from repro.mm.frames import FrameBatch
+
+        batch = FrameBatch(range(512), free_units=8)
+        assert len(batch) == 512
+        assert FrameBatch.units_of(batch) == 8
+
+    def test_plain_list_counts_one_to_one(self):
+        from repro.mm.frames import FrameBatch
+
+        assert FrameBatch.units_of([7, 8]) == 2
+
+
+class TestAllocExclude:
+    def test_exclude_skips_range(self):
+        frames = FrameAllocator(nodes=1, frames_per_node=8)
+        pfn = frames.alloc(0, exclude=range(0, 4))
+        assert pfn >= 4
+
+    def test_exclude_preserves_excluded_frames(self):
+        frames = FrameAllocator(nodes=1, frames_per_node=8)
+        for _ in range(4):
+            assert frames.alloc(0, exclude=range(0, 4)) >= 4
+        # The excluded frames are still free and allocatable afterwards.
+        assert frames.free_count() == 4
+        assert frames.alloc(0) < 4
+
+    def test_exclude_everything_raises(self):
+        frames = FrameAllocator(nodes=1, frames_per_node=4)
+        with pytest.raises(FrameAllocatorError):
+            frames.alloc(0, exclude=range(0, 4))

@@ -1,0 +1,110 @@
+"""Unit tests for VMAs and the VMA set."""
+
+import pytest
+
+from repro.mm.addr import PAGE_SIZE, VirtRange
+from repro.mm.vma import Prot, Vma, VmaKind, VmaSet, VmaSetError
+
+
+def vr(start_page, n_pages):
+    return VirtRange.from_pages(start_page, n_pages)
+
+
+def vma(start_page, n_pages, **kw):
+    return Vma(range=vr(start_page, n_pages), prot=Prot.rw(), **kw)
+
+
+class TestVma:
+    def test_split(self):
+        v = vma(10, 10)
+        tail = v.split_at(15 * PAGE_SIZE)
+        assert v.range == vr(10, 5)
+        assert tail.range == vr(15, 5)
+        assert tail.vma_id != v.vma_id
+
+    def test_split_file_offset(self):
+        v = Vma(range=vr(0, 4), prot=Prot.ro(), kind=VmaKind.FILE, file_key="f", file_offset=0)
+        tail = v.split_at(2 * PAGE_SIZE)
+        assert tail.file_offset == 2 * PAGE_SIZE
+
+    def test_bad_split_points(self):
+        v = vma(10, 2)
+        with pytest.raises(ValueError):
+            v.split_at(10 * PAGE_SIZE)  # at start
+        with pytest.raises(ValueError):
+            v.split_at(12 * PAGE_SIZE)  # at end
+        with pytest.raises(ValueError):
+            v.split_at(11 * PAGE_SIZE + 1)  # unaligned
+
+
+class TestVmaSet:
+    def test_insert_and_find(self):
+        s = VmaSet()
+        s.insert(vma(10, 5))
+        s.insert(vma(20, 5))
+        assert s.find(12 * PAGE_SIZE).range == vr(10, 5)
+        assert s.find(15 * PAGE_SIZE) is None
+        assert len(s) == 2
+
+    def test_overlap_rejected(self):
+        s = VmaSet()
+        s.insert(vma(10, 5))
+        with pytest.raises(VmaSetError):
+            s.insert(vma(12, 5))
+        with pytest.raises(VmaSetError):
+            s.insert(vma(8, 5))
+
+    def test_adjacent_allowed(self):
+        s = VmaSet()
+        s.insert(vma(10, 5))
+        s.insert(vma(15, 5))
+        assert len(s) == 2
+
+    def test_overlapping_query(self):
+        s = VmaSet()
+        s.insert(vma(0, 4))
+        s.insert(vma(10, 4))
+        s.insert(vma(20, 4))
+        hits = s.overlapping(vr(2, 10))
+        assert [v.range for v in hits] == [vr(0, 4), vr(10, 4)]
+
+    def test_remove_exact(self):
+        s = VmaSet()
+        s.insert(vma(10, 5))
+        removed = s.remove_range(vr(10, 5))
+        assert len(removed) == 1
+        assert len(s) == 0
+
+    def test_remove_middle_splits(self):
+        s = VmaSet()
+        s.insert(vma(10, 10))
+        removed = s.remove_range(vr(13, 3))
+        assert [v.range for v in removed] == [vr(13, 3)]
+        remaining = sorted(v.range.start for v in s)
+        assert remaining == [10 * PAGE_SIZE, 16 * PAGE_SIZE]
+        assert s.find(13 * PAGE_SIZE) is None
+        assert s.find(11 * PAGE_SIZE) is not None
+
+    def test_remove_spanning_multiple_vmas(self):
+        s = VmaSet()
+        s.insert(vma(0, 4))
+        s.insert(vma(4, 4))
+        s.insert(vma(8, 4))
+        removed = s.remove_range(vr(2, 8))
+        assert sum(v.n_pages for v in removed) == 8
+        assert s.find(0) is not None
+        assert s.find(2 * PAGE_SIZE) is None
+        assert s.find(10 * PAGE_SIZE) is not None
+
+    def test_remove_unmapped_gap_ok(self):
+        s = VmaSet()
+        s.insert(vma(0, 2))
+        removed = s.remove_range(vr(5, 2))
+        assert removed == []
+
+    def test_total_pages_and_highest_end(self):
+        s = VmaSet()
+        s.insert(vma(0, 2))
+        s.insert(vma(10, 3))
+        assert s.total_pages() == 5
+        assert s.highest_end() == 13 * PAGE_SIZE

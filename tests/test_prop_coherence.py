@@ -1,0 +1,164 @@
+"""Property-based tests of the paper's correctness invariants.
+
+Random sequences of VM operations run against every mechanism; after each
+batch the machine must satisfy:
+
+* no TLB entry translates through a freed or recycled frame,
+* frame refcounts equal the enumerable references,
+* no VMA overlaps a lazily-freed range,
+* after a quiescent period, no stale entries remain at all.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import build_system
+from repro.kernel.invariants import (
+    check_all,
+    check_lazy_vrange_isolation,
+    check_tlb_frame_safety,
+)
+from repro.mm.addr import PAGE_SIZE
+from repro.sim.engine import MSEC
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["mmap", "munmap", "madvise", "touch", "mprotect", "tick"]),
+        st.integers(min_value=0, max_value=3),   # acting core/thread
+        st.integers(min_value=1, max_value=8),   # pages
+        st.integers(min_value=0, max_value=7),   # which mapping
+    ),
+    min_size=5,
+    max_size=40,
+)
+
+
+def _run_random_ops(mechanism, ops, queue_depth=None):
+    kwargs = {"queue_depth": queue_depth} if queue_depth else {}
+    system = build_system(mechanism, cores=4, **kwargs)
+    kernel = system.kernel
+    proc = kernel.create_process("fuzz")
+    tasks = [kernel.spawn_thread(proc, f"t{i}", i) for i in range(4)]
+    mappings = []
+    violations = []
+
+    writable = {}
+
+    def body():
+        from repro.mm.vma import Prot
+
+        for op, who, pages, which in ops:
+            task = tasks[who]
+            core = kernel.machine.core(task.home_core_id)
+            if op == "mmap":
+                vrange = yield from kernel.syscalls.mmap(task, core, pages * PAGE_SIZE)
+                mappings.append(vrange)
+                writable[vrange] = True
+            elif op == "munmap" and mappings:
+                vrange = mappings.pop(which % len(mappings))
+                yield from kernel.syscalls.munmap(task, core, vrange)
+            elif op == "madvise" and mappings:
+                vrange = mappings[which % len(mappings)]
+                yield from kernel.syscalls.madvise_dontneed(task, core, vrange)
+            elif op == "touch" and mappings:
+                vrange = mappings[which % len(mappings)]
+                yield from kernel.syscalls.touch_pages(
+                    task, core, vrange, write=writable[vrange]
+                )
+            elif op == "mprotect" and mappings:
+                vrange = mappings[which % len(mappings)]
+                rw = which % 2 == 0
+                new_prot = Prot.rw() if rw else Prot.ro()
+                yield from kernel.syscalls.mprotect(task, core, vrange, new_prot)
+                writable[vrange] = rw
+            elif op == "tick":
+                yield system.sim.timeout_signal(MSEC)
+            # The safety invariant must hold after EVERY operation, not just
+            # at quiescence (it is what makes the stale window harmless).
+            violations.extend(check_tlb_frame_safety(kernel))
+            violations.extend(check_lazy_vrange_isolation(kernel))
+
+    driver = system.sim.spawn(body())
+    system.sim.run(until=200 * MSEC)
+    assert not driver.alive, "random-op driver stuck"
+    return system, violations
+
+
+class TestRandomOperationSafety:
+    @SETTINGS
+    @given(ops=OPS)
+    def test_latr_invariants(self, ops):
+        system, violations = _run_random_ops("latr", ops)
+        assert violations == []
+        # Quiescence: after a few ticks everything reconciles fully.
+        system.sim.run(until=system.sim.now + 5 * MSEC)
+        assert check_all(system.kernel) == []
+        assert system.kernel.coherence.pending_lazy_operations() == 0
+
+    @SETTINGS
+    @given(ops=OPS)
+    def test_latr_tiny_queue_fallback_invariants(self, ops):
+        """Queue depth 1 forces the IPI fallback constantly; correctness
+        must be unaffected (paper section 8)."""
+        system, violations = _run_random_ops("latr", ops, queue_depth=1)
+        assert violations == []
+        system.sim.run(until=system.sim.now + 5 * MSEC)
+        assert check_all(system.kernel) == []
+
+    @SETTINGS
+    @given(ops=OPS)
+    def test_linux_invariants(self, ops):
+        system, violations = _run_random_ops("linux", ops)
+        assert violations == []
+        system.sim.run(until=system.sim.now + 5 * MSEC)
+        assert check_all(system.kernel) == []
+
+    @SETTINGS
+    @given(ops=OPS)
+    def test_abis_invariants(self, ops):
+        system, violations = _run_random_ops("abis", ops)
+        assert violations == []
+        system.sim.run(until=system.sim.now + 5 * MSEC)
+        assert check_all(system.kernel) == []
+
+    @SETTINGS
+    @given(ops=OPS)
+    def test_barrelfish_invariants(self, ops):
+        system, violations = _run_random_ops("barrelfish", ops)
+        assert violations == []
+        system.sim.run(until=system.sim.now + 5 * MSEC)
+        assert check_all(system.kernel) == []
+
+
+class TestBoundedStaleness:
+    @SETTINGS
+    @given(
+        pages=st.integers(min_value=1, max_value=16),
+        sharers=st.integers(min_value=2, max_value=4),
+    )
+    def test_stale_entries_die_within_two_ticks(self, pages, sharers):
+        system = build_system("latr", cores=4)
+        kernel = system.kernel
+        proc = kernel.create_process("p")
+        tasks = [kernel.spawn_thread(proc, f"t{i}", i) for i in range(4)]
+        box = {}
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, pages * PAGE_SIZE)
+            for task in tasks[:sharers]:
+                core = kernel.machine.core(task.home_core_id)
+                yield from kernel.syscalls.touch_pages(task, core, vrange, write=True)
+            yield from kernel.syscalls.munmap(t0, c0, vrange)
+            box["vrange"] = vrange
+
+        system.sim.spawn(body())
+        system.sim.run(until=1 * MSEC)
+        system.sim.run(until=system.sim.now + 2 * MSEC)
+        from repro.kernel.invariants import check_no_stale_entries_for
+
+        assert check_no_stale_entries_for(kernel, proc.mm, box["vrange"]) == []

@@ -1,0 +1,169 @@
+"""Property-based tests for huge-page structures and mixed-size fuzzing."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import build_system
+from repro.hw.tlb import HUGE_SPAN, Tlb, TlbEntry
+from repro.kernel.invariants import check_all, check_tlb_frame_safety
+from repro.mm.addr import HUGE_PAGE_PAGES, HUGE_PAGE_SIZE, PAGE_SIZE
+from repro.mm.frames import FrameAllocator, FrameAllocatorError
+from repro.mm.pagetable import PageTable
+from repro.mm.pte import make_huge_pte, make_present_pte
+from repro.sim.engine import MSEC
+
+SETTINGS = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestMixedPageTableProperties:
+    @SETTINGS
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["set4k", "sethuge", "clear4k", "clearhuge", "walk"]),
+                st.integers(min_value=0, max_value=4 * HUGE_PAGE_PAGES - 1),
+            ),
+            max_size=120,
+        )
+    )
+    def test_mixed_sizes_match_shadow(self, ops):
+        """4 KiB and 2 MiB entries never coexist over the same vpn, and the
+        walk always agrees with a flat shadow model."""
+        pt = PageTable()
+        shadow_4k = {}
+        shadow_huge = {}
+        for op, vpn in ops:
+            base = vpn - vpn % HUGE_PAGE_PAGES
+            if op == "set4k":
+                try:
+                    pt.set_pte(vpn, make_present_pte(vpn))
+                    shadow_4k[vpn] = vpn
+                    assert base not in shadow_huge
+                except ValueError:
+                    assert base in shadow_huge
+            elif op == "sethuge":
+                try:
+                    pt.set_huge_pte(base, make_huge_pte(base * 2))
+                    shadow_huge[base] = base * 2
+                    assert not any(base <= v < base + HUGE_PAGE_PAGES for v in shadow_4k)
+                except ValueError:
+                    assert base in shadow_huge or any(
+                        base <= v < base + HUGE_PAGE_PAGES for v in shadow_4k
+                    )
+            elif op == "clear4k":
+                cleared = pt.clear_pte(vpn)
+                assert (cleared is not None) == (vpn in shadow_4k)
+                shadow_4k.pop(vpn, None)
+            elif op == "clearhuge":
+                cleared = pt.clear_huge_pte(base)
+                assert (cleared is not None) == (base in shadow_huge)
+                shadow_huge.pop(base, None)
+            else:
+                pte = pt.walk(vpn)
+                if base in shadow_huge:
+                    assert pte is not None and pte.huge and pte.pfn == shadow_huge[base]
+                elif vpn in shadow_4k:
+                    assert pte is not None and pte.pfn == shadow_4k[vpn]
+                else:
+                    assert pte is None
+
+    @SETTINGS
+    @given(
+        fills=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=8 * HUGE_SPAN - 1)),
+            max_size=80,
+        )
+    )
+    def test_tlb_lookup_agrees_with_shadow(self, fills):
+        tlb = Tlb(capacity=1024, huge_capacity=1024)
+        shadow_4k = {}
+        shadow_huge = {}
+        for is_huge, vpn in fills:
+            if is_huge:
+                base = vpn - vpn % HUGE_SPAN
+                tlb.fill_huge(1, base, TlbEntry(pfn=base))
+                shadow_huge[base] = base
+            else:
+                tlb.fill(1, vpn, TlbEntry(pfn=vpn))
+                shadow_4k[vpn] = vpn
+        for probe in range(0, 8 * HUGE_SPAN, HUGE_SPAN // 4):
+            entry = tlb.peek(1, probe)
+            base = probe - probe % HUGE_SPAN
+            if probe in shadow_4k:
+                assert entry is not None and entry.pfn == probe
+            elif base in shadow_huge:
+                assert entry is not None and entry.pfn == base
+            else:
+                assert entry is None
+
+
+class TestContiguousAllocatorProperties:
+    @SETTINGS
+    @given(
+        singles=st.integers(min_value=0, max_value=40),
+        blocks=st.integers(min_value=0, max_value=3),
+    )
+    def test_contiguous_never_overlaps_singles(self, singles, blocks):
+        frames = FrameAllocator(nodes=1, frames_per_node=4096)
+        taken = set()
+        for _ in range(singles):
+            taken.add(frames.alloc(0))
+        for _ in range(blocks):
+            try:
+                base = frames.alloc_contiguous(512, node=0)
+            except FrameAllocatorError:
+                continue
+            block = set(range(base, base + 512))
+            assert not (block & taken)
+            assert base % 512 == 0
+            taken |= block
+        assert frames.allocated_count() == len(taken)
+
+
+class TestHugeFuzz:
+    @SETTINGS
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["mmap4k", "mmaphuge", "munmap", "touch"]),
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=5),
+            ),
+            min_size=4,
+            max_size=20,
+        )
+    )
+    def test_mixed_mappings_stay_safe_under_latr(self, ops):
+        system = build_system("latr", cores=4, frames_per_node=8192)
+        kernel = system.kernel
+        proc = kernel.create_process("fuzz")
+        tasks = [kernel.spawn_thread(proc, f"t{i}", i) for i in range(4)]
+        mappings = []
+        violations = []
+
+        def body():
+            for op, who, which in ops:
+                task = tasks[who]
+                core = kernel.machine.core(task.home_core_id)
+                if op == "mmap4k":
+                    vrange = yield from kernel.syscalls.mmap(task, core, 8 * PAGE_SIZE)
+                    mappings.append(vrange)
+                elif op == "mmaphuge":
+                    vrange = yield from kernel.syscalls.mmap(
+                        task, core, HUGE_PAGE_SIZE, huge=True
+                    )
+                    mappings.append(vrange)
+                elif op == "munmap" and mappings:
+                    vrange = mappings.pop(which % len(mappings))
+                    yield from kernel.syscalls.munmap(task, core, vrange)
+                elif op == "touch" and mappings:
+                    vrange = mappings[which % len(mappings)]
+                    yield from kernel.syscalls.access(task, core, vrange.start, write=True)
+                violations.extend(check_tlb_frame_safety(kernel))
+
+        driver = system.sim.spawn(body())
+        system.sim.run(until=100 * MSEC)
+        assert not driver.alive
+        assert violations == []
+        system.sim.run(until=system.sim.now + 5 * MSEC)
+        assert check_all(kernel) == []

@@ -1,0 +1,173 @@
+"""Paper section 4.4: the race conditions a lazy shootdown introduces.
+
+* Reads/writes through a stale TLB entry before the sweep reach the old,
+  still-pinned page (an application error, but contained); after the sweep
+  they segfault.
+* An AutoNUMA hint fault racing a lazy migration unmap is gated until every
+  core has invalidated.
+"""
+
+import pytest
+
+from repro import build_system
+from repro.kernel.invariants import check_tlb_frame_safety
+from repro.mm.addr import PAGE_SIZE
+from repro.mm.fault import SegmentationFault
+from repro.sim.engine import MSEC
+
+from helpers import make_proc, run_to_completion, drain
+
+
+class TestUseAfterFreeWindow:
+    def _setup_unmapped_shared_page(self, system):
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+        holder = {}
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, PAGE_SIZE)
+            for t in tasks:
+                core = kernel.machine.core(t.home_core_id)
+                yield from kernel.syscalls.touch_pages(t, core, vrange, write=True)
+            yield from kernel.syscalls.munmap(t0, c0, vrange)
+            holder["vrange"] = vrange
+
+        run_to_completion(system, body())
+        return proc, tasks, holder["vrange"]
+
+    @pytest.mark.parametrize("write", [False, True])
+    def test_access_before_sweep_hits_stale_but_pinned_page(self, write):
+        """Reads/writes before the tick proceed against the old page; the
+        frame is still pinned so no other process can be corrupted."""
+        system = build_system("latr", cores=4)
+        proc, tasks, vrange = self._setup_unmapped_shared_page(system)
+        kernel = system.kernel
+        remote_core = kernel.machine.core(1)
+        # TLB still holds the entry: the access "succeeds" architecturally.
+        entry = remote_core.tlb.lookup(proc.mm.pcid, vrange.vpn_start)
+        assert entry is not None
+        if write:
+            assert entry.writable
+        # The frame it names is still allocated (pinned by the lazy list).
+        assert kernel.frames.is_allocated(entry.pfn)
+        assert entry.pfn in proc.mm.lazy_frames
+        assert check_tlb_frame_safety(kernel) == []
+
+    @pytest.mark.parametrize("write", [False, True])
+    def test_access_after_sweep_segfaults(self, write):
+        system = build_system("latr", cores=4)
+        proc, tasks, vrange = self._setup_unmapped_shared_page(system)
+        kernel = system.kernel
+        drain(system, ms=2)  # every core swept
+
+        def late_access():
+            t1, c1 = tasks[1], kernel.machine.core(1)
+            yield from kernel.syscalls.access(t1, c1, vrange.start, write=write)
+
+        system.sim.spawn(late_access())
+        with pytest.raises(SegmentationFault):
+            system.sim.run(until=system.sim.now + 5 * MSEC)
+
+    def test_under_linux_access_faults_immediately(self):
+        """Baseline contrast: synchronous shootdown leaves no window."""
+        system = build_system("linux", cores=4)
+        proc, tasks, vrange = self._setup_unmapped_shared_page(system)
+        kernel = system.kernel
+
+        def late_access():
+            t1, c1 = tasks[1], kernel.machine.core(1)
+            yield from kernel.syscalls.access(t1, c1, vrange.start)
+
+        system.sim.spawn(late_access())
+        with pytest.raises(SegmentationFault):
+            system.sim.run(until=system.sim.now + 5 * MSEC)
+
+    def test_stale_window_never_exposes_recycled_memory(self):
+        """Even while stale entries exist, the frames they name are never
+        re-allocated -- the paper's core isolation guarantee."""
+        system = build_system("latr", cores=4)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+
+        def churn():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            for _ in range(20):
+                vrange = yield from kernel.syscalls.mmap(t0, c0, PAGE_SIZE)
+                for t in tasks:
+                    core = kernel.machine.core(t.home_core_id)
+                    yield from kernel.syscalls.touch_pages(t, core, vrange, write=True)
+                yield from kernel.syscalls.munmap(t0, c0, vrange)
+                violations = check_tlb_frame_safety(kernel)
+                assert violations == []
+
+        run_to_completion(system, churn())
+        drain(system, ms=5)
+        assert check_tlb_frame_safety(kernel) == []
+
+
+class TestMigrationGating:
+    def test_hint_fault_waits_for_all_invalidations(self):
+        """Paper 4.4: the fault may only migrate after the LATR state's
+        bitmask is empty."""
+        system = build_system("latr", cores=4)
+        kernel = system.kernel
+        from repro.kernel.autonuma import AutoNuma
+
+        AutoNuma.install(kernel)
+        proc, tasks = make_proc(system)
+        trace = {}
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, PAGE_SIZE)
+            yield from kernel.syscalls.touch_pages(t0, c0, vrange, write=True)
+
+            # Post a lazy migration unmap by hand.
+            mm = proc.mm
+
+            def apply_change():
+                pte = mm.page_table.walk(vrange.vpn_start)
+                if pte is not None and pte.present:
+                    mm.page_table.update_pte(vrange.vpn_start, pte.make_numa_hint())
+
+            yield mm.mmap_sem.acquire()
+            done = yield from kernel.coherence.migration_unmap(
+                c0, mm, vrange, apply_change
+            )
+            mm.mmap_sem.release()
+            trace["posted_at"] = system.sim.now
+            gate = kernel.coherence.migration_gate(mm, vrange.vpn_start)
+            assert gate is not None and not gate.triggered
+            yield gate
+            trace["gate_open_at"] = system.sim.now
+
+        run_to_completion(system, body(), timeout_ms=20)
+        # The gate opened only after sweeps, i.e. strictly later than post,
+        # and within the tick bound.
+        assert trace["gate_open_at"] > trace["posted_at"]
+        assert trace["gate_open_at"] - trace["posted_at"] <= 1.2 * MSEC
+
+    def test_first_sweeper_applies_pte_change(self):
+        system = build_system("latr", cores=2)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+        applied = []
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, PAGE_SIZE)
+            yield from kernel.syscalls.touch_pages(t0, c0, vrange, write=True)
+            mm = proc.mm
+
+            def apply_change():
+                applied.append(system.sim.now)
+
+            yield mm.mmap_sem.acquire()
+            yield from kernel.coherence.migration_unmap(c0, mm, vrange, apply_change)
+            mm.mmap_sem.release()
+
+        run_to_completion(system, body())
+        assert applied == []  # deferred: not applied at post time
+        drain(system, ms=2)
+        assert len(applied) == 1  # exactly one sweeper applied it

@@ -1,0 +1,280 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    MSEC,
+    SEC,
+    USEC,
+    AllOf,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.after(30, order.append, "c")
+        sim.after(10, order.append, "a")
+        sim.after(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.after(5, order.append, tag)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.after(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 42
+
+    def test_absolute_scheduling(self):
+        sim = Simulator()
+        sim.after(10, lambda: None)
+        sim.run()
+        sim.at(100, lambda: None)
+        sim.run()
+        assert sim.now == 100
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.after(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.after(10, fired.append, 1)
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.after(10, fired.append, 1)
+        sim.after(100, fired.append, 2)
+        sim.run(until=50)
+        assert fired == [1]
+        assert sim.now == 50
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_run_until_exact_boundary_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.after(50, fired.append, 1)
+        sim.run(until=50)
+        assert fired == [1]
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        fired = []
+        for _ in range(10):
+            sim.after(1, fired.append, 1)
+        sim.run(max_events=3)
+        assert len(fired) == 3
+
+    def test_pending_counts_uncancelled(self):
+        sim = Simulator()
+        h1 = sim.after(10, lambda: None)
+        sim.after(20, lambda: None)
+        h1.cancel()
+        assert sim.pending() == 1
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.after(5, order.append, "nested")
+
+        sim.after(10, first)
+        sim.run()
+        assert order == ["first", "nested"]
+        assert sim.now == 15
+
+    def test_time_constants(self):
+        assert USEC == 1_000
+        assert MSEC == 1_000_000
+        assert SEC == 1_000_000_000
+
+
+class TestSignal:
+    def test_succeed_delivers_value(self):
+        sim = Simulator()
+        sig = sim.signal()
+        got = []
+        sig.add_callback(lambda s: got.append(s.value))
+        sig.succeed(42)
+        assert got == [42]
+
+    def test_callback_after_trigger_fires_immediately(self):
+        sim = Simulator()
+        sig = sim.signal()
+        sig.succeed("x")
+        got = []
+        sig.add_callback(lambda s: got.append(s.value))
+        assert got == ["x"]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        sig = sim.signal()
+        sig.succeed()
+        with pytest.raises(SimulationError):
+            sig.succeed()
+
+    def test_timeout_signal_fires_after_delay(self):
+        sim = Simulator()
+        sig = sim.timeout_signal(25, "done")
+        sim.run()
+        assert sig.triggered and sig.value == "done"
+        assert sim.now == 25
+
+
+class TestProcess:
+    def test_timeout_sequence(self):
+        sim = Simulator()
+        trace = []
+
+        def body():
+            trace.append(sim.now)
+            yield Timeout(10)
+            trace.append(sim.now)
+            yield Timeout(5)
+            trace.append(sim.now)
+
+        sim.spawn(body())
+        sim.run()
+        assert trace == [0, 10, 15]
+
+    def test_return_value_and_done_signal(self):
+        sim = Simulator()
+
+        def body():
+            yield Timeout(1)
+            return "result"
+
+        proc = sim.spawn(body())
+        sim.run()
+        assert proc.value == "result"
+        assert proc.done.triggered
+        assert not proc.alive
+
+    def test_wait_on_signal_receives_value(self):
+        sim = Simulator()
+        sig = sim.signal()
+        got = []
+
+        def body():
+            value = yield sig
+            got.append((sim.now, value))
+
+        sim.spawn(body())
+        sim.after(30, sig.succeed, "hello")
+        sim.run()
+        assert got == [(30, "hello")]
+
+    def test_wait_on_child_process(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(20)
+            return 7
+
+        def parent():
+            value = yield sim.spawn(child())
+            return value + 1
+
+        proc = sim.spawn(parent())
+        sim.run()
+        assert proc.value == 8
+
+    def test_allof_waits_for_all(self):
+        sim = Simulator()
+        s1, s2 = sim.signal(), sim.signal()
+        done_at = []
+
+        def body():
+            values = yield AllOf([s1, s2, Timeout(5)])
+            done_at.append((sim.now, values[:2]))
+
+        sim.spawn(body())
+        sim.after(10, s1.succeed, "a")
+        sim.after(40, s2.succeed, "b")
+        sim.run()
+        assert done_at == [(40, ["a", "b"])]
+
+    def test_allof_empty(self):
+        sim = Simulator()
+
+        def body():
+            yield AllOf([])
+            return "ok"
+
+        proc = sim.spawn(body())
+        sim.run()
+        assert proc.value == "ok"
+
+    def test_yield_from_composition(self):
+        sim = Simulator()
+
+        def inner():
+            yield Timeout(5)
+            return 10
+
+        def outer():
+            a = yield from inner()
+            b = yield from inner()
+            return a + b
+
+        proc = sim.spawn(outer())
+        sim.run()
+        assert proc.value == 20
+        assert sim.now == 10
+
+    def test_interrupt_kills_process(self):
+        sim = Simulator()
+        trace = []
+
+        def body():
+            trace.append("start")
+            yield Timeout(100)
+            trace.append("never")
+
+        proc = sim.spawn(body())
+        sim.run(until=10)
+        proc.interrupt()
+        sim.run()
+        assert trace == ["start"]
+        assert proc.done.triggered
+
+    def test_unsupported_yield_raises(self):
+        sim = Simulator()
+
+        def body():
+            yield 42
+
+        sim.spawn(body())
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,173 @@
+"""Unit tests for locks, semaphores and channels."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator, Timeout
+from repro.sim.resources import Channel, Lock, Semaphore
+
+
+class TestLock:
+    def test_uncontended_acquire_is_immediate(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        sig = lock.acquire()
+        assert sig.triggered
+        assert lock.locked
+
+    def test_contended_acquire_waits_for_release(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        order = []
+
+        def holder():
+            yield lock.acquire()
+            order.append(("holder", sim.now))
+            yield Timeout(50)
+            lock.release()
+
+        def waiter():
+            yield Timeout(1)
+            yield lock.acquire()
+            order.append(("waiter", sim.now))
+            lock.release()
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.run()
+        assert order == [("holder", 0), ("waiter", 50)]
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        order = []
+
+        def worker(tag, start):
+            yield Timeout(start)
+            yield lock.acquire()
+            order.append(tag)
+            yield Timeout(10)
+            lock.release()
+
+        for i, tag in enumerate("abcd"):
+            sim.spawn(worker(tag, i))
+        sim.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_release_unheld_raises(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        with pytest.raises(SimulationError):
+            lock.release()
+
+    def test_contention_accounting(self):
+        sim = Simulator()
+        lock = Lock(sim)
+
+        def worker():
+            yield lock.acquire()
+            yield Timeout(10)
+            lock.release()
+
+        sim.spawn(worker())
+        sim.spawn(worker())
+        sim.run()
+        assert lock.acquisitions == 2
+        assert lock.contended_acquisitions == 1
+
+
+class TestSemaphore:
+    def test_capacity_enforced(self):
+        sim = Simulator()
+        sem = Semaphore(sim, capacity=2)
+        concurrent = []
+        peak = []
+
+        def worker():
+            yield sem.acquire()
+            concurrent.append(1)
+            peak.append(len(concurrent))
+            yield Timeout(10)
+            concurrent.pop()
+            sem.release()
+
+        for _ in range(5):
+            sim.spawn(worker())
+        sim.run()
+        assert max(peak) == 2
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Semaphore(Simulator(), capacity=0)
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        sem = Semaphore(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            sem.release()
+
+    def test_available_tracks_usage(self):
+        sim = Simulator()
+        sem = Semaphore(sim, capacity=3)
+        sem.acquire()
+        sem.acquire()
+        assert sem.available == 1
+
+
+class TestChannel:
+    def test_put_then_get(self):
+        sim = Simulator()
+        chan = Channel(sim)
+        chan.put("x")
+        got = []
+
+        def reader():
+            value = yield chan.get()
+            got.append(value)
+
+        sim.spawn(reader())
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_then_put_wakes_reader(self):
+        sim = Simulator()
+        chan = Channel(sim)
+        got = []
+
+        def reader():
+            value = yield chan.get()
+            got.append((sim.now, value))
+
+        sim.spawn(reader())
+        sim.after(25, chan.put, "late")
+        sim.run()
+        assert got == [(25, "late")]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        chan = Channel(sim)
+        for i in range(3):
+            chan.put(i)
+        got = []
+
+        def reader():
+            for _ in range(3):
+                got.append((yield chan.get()))
+
+        sim.spawn(reader())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_try_get(self):
+        sim = Simulator()
+        chan = Channel(sim)
+        assert chan.try_get() is None
+        chan.put(9)
+        assert chan.try_get() == 9
+        assert len(chan) == 0
+
+    def test_put_count(self):
+        sim = Simulator()
+        chan = Channel(sim)
+        chan.put(1)
+        chan.put(2)
+        assert chan.put_count == 2

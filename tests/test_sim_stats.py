@@ -1,0 +1,134 @@
+"""Unit tests for the measurement machinery."""
+
+import pytest
+
+from repro.sim.engine import SEC, Simulator
+from repro.sim.stats import (
+    Counter,
+    LatencyRecorder,
+    RateWindow,
+    StatsRegistry,
+    weighted_mean,
+)
+
+
+class TestCounter:
+    def test_add_defaults_to_one(self):
+        c = Counter("x")
+        c.add()
+        c.add(5)
+        assert c.value == 6
+
+
+class TestLatencyRecorder:
+    def test_summary_stats(self):
+        rec = LatencyRecorder("lat")
+        for v in (10, 20, 30, 40):
+            rec.record(v)
+        assert rec.count == 4
+        assert rec.mean == 25
+        assert rec.minimum == 10
+        assert rec.maximum == 40
+        assert rec.total == 100
+
+    def test_percentiles(self):
+        rec = LatencyRecorder("lat")
+        for v in range(1, 101):
+            rec.record(v)
+        assert rec.percentile(50) == pytest.approx(50.5)
+        assert rec.percentile(0) == 1
+        assert rec.percentile(100) == 100
+
+    def test_percentile_single_sample(self):
+        rec = LatencyRecorder("lat")
+        rec.record(7)
+        assert rec.percentile(99) == 7.0
+
+    def test_percentile_out_of_range(self):
+        rec = LatencyRecorder("lat")
+        rec.record(1)
+        with pytest.raises(ValueError):
+            rec.percentile(101)
+
+    def test_negative_sample_rejected(self):
+        rec = LatencyRecorder("lat")
+        with pytest.raises(ValueError):
+            rec.record(-1)
+
+    def test_empty_recorder_is_zero(self):
+        rec = LatencyRecorder("lat")
+        assert rec.mean == 0.0
+        assert rec.percentile(50) == 0.0
+        assert rec.stdev == 0.0
+
+    def test_stdev(self):
+        rec = LatencyRecorder("lat")
+        for v in (2, 4, 4, 4, 5, 5, 7, 9):
+            rec.record(v)
+        assert rec.stdev == pytest.approx(2.138, abs=1e-3)
+
+
+class TestRateWindow:
+    def test_rate_over_window(self):
+        sim = Simulator()
+        rate = RateWindow("r", sim)
+        rate.start_window()
+        for _ in range(10):
+            rate.hit()
+        sim.after(SEC // 2, lambda: None)
+        sim.run()
+        rate.stop_window()
+        assert rate.per_second() == pytest.approx(20.0)
+
+    def test_hits_outside_window_ignored(self):
+        sim = Simulator()
+        rate = RateWindow("r", sim)
+        rate.hit()  # before window
+        rate.start_window()
+        rate.hit()
+        sim.after(SEC, lambda: None)
+        sim.run()
+        rate.stop_window()
+        rate.hit()  # after window
+        assert rate.events == 1
+
+    def test_no_window_is_zero(self):
+        sim = Simulator()
+        rate = RateWindow("r", sim)
+        assert rate.per_second() == 0.0
+
+
+class TestStatsRegistry:
+    def test_counters_are_memoized(self):
+        sim = Simulator()
+        stats = StatsRegistry(sim)
+        stats.counter("a").add()
+        stats.counter("a").add()
+        assert stats.counter("a").value == 2
+
+    def test_summary_includes_all_kinds(self):
+        sim = Simulator()
+        stats = StatsRegistry(sim)
+        stats.counter("c").add(3)
+        stats.latency("l").record(10)
+        stats.rate("r")
+        summary = stats.summary()
+        assert summary["count.c"] == 3
+        assert summary["lat.l.mean_ns"] == 10
+        assert "rate.r.per_sec" in summary
+
+    def test_window_control(self):
+        sim = Simulator()
+        stats = StatsRegistry(sim)
+        rate = stats.rate("x")
+        stats.start_all_windows()
+        rate.hit(4)
+        sim.after(SEC, lambda: None)
+        sim.run()
+        stats.stop_all_windows()
+        assert rate.per_second() == pytest.approx(4.0)
+
+
+def test_weighted_mean():
+    assert weighted_mean([(10, 1), (20, 3)]) == pytest.approx(17.5)
+    assert weighted_mean([]) == 0.0

@@ -1,0 +1,204 @@
+"""Edge cases of the VM syscall surface: mremap resizing, fork chains,
+madvise/munmap interleavings, protection games."""
+
+import pytest
+
+from repro import build_system
+from repro.kernel.invariants import check_all
+from repro.mm.addr import PAGE_SIZE, VirtRange
+from repro.mm.fault import SegmentationFault
+from repro.mm.vma import Prot
+
+from helpers import make_proc, run_to_completion, drain
+
+
+class TestMremap:
+    def _grown(self, grow_pages):
+        system = build_system("latr", cores=2)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+        out = {}
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            old = yield from kernel.syscalls.mmap(t0, c0, 4 * PAGE_SIZE, populate=True)
+            pfns = [
+                kernel.mm_registry[proc.mm.pcid].page_table.walk(v).pfn
+                for v in old.vpns()
+            ]
+            new = yield from kernel.syscalls.mremap(t0, c0, old, grow_pages * PAGE_SIZE)
+            out.update(old=old, new=new, pfns=pfns)
+
+        run_to_completion(system, body())
+        return system, proc, out
+
+    def test_grow_preserves_frames(self):
+        system, proc, out = self._grown(8)
+        new = out["new"]
+        assert new.n_pages == 8
+        moved = [
+            proc.mm.page_table.walk(new.vpn_start + i).pfn for i in range(4)
+        ]
+        assert moved == out["pfns"]
+        # The tail is demand-zero (unmapped until touched).
+        assert proc.mm.page_table.walk(new.vpn_start + 5) is None
+        assert check_all(system.kernel) == []
+
+    def test_shrink_frees_tail_frames(self):
+        system, proc, out = self._grown(2)
+        new = out["new"]
+        assert new.n_pages == 2
+        # The two cut-off frames were released.
+        for pfn in out["pfns"][2:]:
+            assert not system.kernel.frames.is_allocated(pfn)
+        assert check_all(system.kernel) == []
+
+    def test_old_range_reusable_immediately(self):
+        """mremap is synchronous (Table 1): the old range can be remapped
+        at once, even under LATR."""
+        system, proc, out = self._grown(4)
+        kernel = system.kernel
+        box = {}
+
+        def remap():
+            t0, c0 = proc.tasks[0], kernel.machine.core(0)
+            again = yield from kernel.syscalls.mmap(t0, c0, 4 * PAGE_SIZE)
+            box["again"] = again
+
+        run_to_completion(system, remap())
+        assert box["again"] == out["old"]
+
+    def test_mremap_unmapped_raises(self):
+        system = build_system("latr", cores=1)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+        bogus = VirtRange.from_pages(0x999000, 2)
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            yield from kernel.syscalls.mremap(t0, c0, bogus, PAGE_SIZE)
+
+        system.sim.spawn(body())
+        with pytest.raises(SegmentationFault):
+            drain(system, ms=10)
+
+
+class TestForkChains:
+    def test_grandchild_shares_until_write(self):
+        system = build_system("latr", cores=4)
+        kernel = system.kernel
+        proc, tasks = make_proc(system, n_threads=1)
+        out = {}
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, PAGE_SIZE, populate=True)
+            pfn = proc.mm.page_table.walk(vrange.vpn_start).pfn
+
+            child = yield from kernel.syscalls.fork(t0, c0, "child")
+            child_task = kernel.spawn_thread(child, "t0", 1)
+            c1 = kernel.machine.core(1)
+            grand = yield from kernel.syscalls.fork(child_task, c1, "grand")
+            grand_task = kernel.spawn_thread(grand, "t0", 2)
+
+            # Three generations share one frame.
+            assert kernel.frames.refcount(pfn) == 3
+            # Grandchild writes: breaks its CoW only.
+            c2 = kernel.machine.core(2)
+            yield from kernel.syscalls.access(grand_task, c2, vrange.start, write=True)
+            out["pfn"] = pfn
+            out["grand_pfn"] = grand.mm.page_table.walk(vrange.vpn_start).pfn
+            out["child_pfn"] = child.mm.page_table.walk(vrange.vpn_start).pfn
+
+        run_to_completion(system, body())
+        assert out["grand_pfn"] != out["pfn"]
+        assert out["child_pfn"] == out["pfn"]
+        assert system.kernel.frames.refcount(out["pfn"]) == 2
+        drain(system, ms=5)
+        assert check_all(system.kernel) == []
+
+    def test_fork_write_protects_parent(self):
+        system = build_system("latr", cores=2)
+        kernel = system.kernel
+        proc, tasks = make_proc(system, n_threads=1)
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, PAGE_SIZE, populate=True)
+            assert proc.mm.page_table.walk(vrange.vpn_start).writable
+            yield from kernel.syscalls.fork(t0, c0, "child")
+            pte = proc.mm.page_table.walk(vrange.vpn_start)
+            assert not pte.writable and pte.cow
+
+        run_to_completion(system, body())
+
+
+class TestInterleavings:
+    def test_madvise_then_munmap(self):
+        system = build_system("latr", cores=4)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, 4 * PAGE_SIZE)
+            for t in tasks:
+                core = kernel.machine.core(t.home_core_id)
+                yield from kernel.syscalls.touch_pages(t, core, vrange, write=True)
+            yield from kernel.syscalls.madvise_dontneed(t0, c0, vrange)
+            # Re-touch half, then unmap everything.
+            yield from kernel.syscalls.access(t0, c0, vrange.start, write=True)
+            yield from kernel.syscalls.munmap(t0, c0, vrange)
+
+        run_to_completion(system, body())
+        drain(system, ms=5)
+        assert check_all(kernel) == []
+        assert kernel.frames.allocated_count() == 0
+
+    def test_double_munmap_is_harmless(self):
+        system = build_system("latr", cores=1)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, PAGE_SIZE, populate=True)
+            yield from kernel.syscalls.munmap(t0, c0, vrange)
+            yield from kernel.syscalls.munmap(t0, c0, vrange)
+
+        run_to_completion(system, body())
+        assert kernel.stats.counter("sys.munmap_empty").value == 1
+
+    def test_partial_munmap_leaves_rest_mapped(self):
+        system = build_system("latr", cores=1)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, 6 * PAGE_SIZE, populate=True)
+            middle = VirtRange(vrange.start + 2 * PAGE_SIZE, vrange.start + 4 * PAGE_SIZE)
+            yield from kernel.syscalls.munmap(t0, c0, middle)
+            # Outside pieces still accessible, middle faults.
+            yield from kernel.syscalls.access(t0, c0, vrange.start)
+            yield from kernel.syscalls.access(t0, c0, vrange.end - PAGE_SIZE)
+            assert len(proc.mm.vmas) == 2
+
+        run_to_completion(system, body())
+        drain(system, ms=5)
+        assert check_all(kernel) == []
+
+    def test_mprotect_ro_then_rw_restores_writes(self):
+        system = build_system("latr", cores=1)
+        kernel = system.kernel
+        proc, tasks = make_proc(system)
+
+        def body():
+            t0, c0 = tasks[0], kernel.machine.core(0)
+            vrange = yield from kernel.syscalls.mmap(t0, c0, PAGE_SIZE, populate=True)
+            yield from kernel.syscalls.mprotect(t0, c0, vrange, Prot.ro())
+            yield from kernel.syscalls.mprotect(t0, c0, vrange, Prot.rw())
+            yield from kernel.syscalls.access(t0, c0, vrange.start, write=True)
+
+        run_to_completion(system, body())
+        assert check_all(kernel) == []

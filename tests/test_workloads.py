@@ -1,0 +1,176 @@
+"""Workload-level behaviour: the figure-shaped claims at reduced scale."""
+
+import pytest
+
+from repro.workloads.apache import APACHE_CACHE_PROFILES, ApacheConfig, ApacheWorkload
+from repro.workloads.microbench import MicrobenchConfig, MunmapMicrobench
+from repro.workloads.numa_apps import NUMA_PROFILES, NumaConfig, NumaWorkload
+from repro.workloads.parsec import PARSEC_PROFILES, ParsecConfig, ParsecWorkload
+
+
+def apache(mech, cores, **kw):
+    cfg = ApacheConfig(cores=cores, duration_ms=40, warmup_ms=10, **kw)
+    return ApacheWorkload(cfg).run(mech)
+
+
+class TestApacheWorkload:
+    def test_throughput_positive_and_scales_at_low_cores(self):
+        two = apache("latr", 2)
+        six = apache("latr", 6)
+        assert six.metric("requests_per_sec") > 1.5 * two.metric("requests_per_sec")
+
+    def test_latr_beats_linux_at_high_cores(self):
+        linux = apache("linux", 12)
+        latr = apache("latr", 12)
+        assert latr.metric("requests_per_sec") > 1.3 * linux.metric("requests_per_sec")
+
+    def test_linux_saturates(self):
+        """Figure 1's flatline: Linux gains little (or loses) past ~8 cores."""
+        eight = apache("linux", 8)
+        twelve = apache("linux", 12)
+        assert twelve.metric("requests_per_sec") < 1.15 * eight.metric("requests_per_sec")
+
+    def test_latr_and_linux_equal_at_two_cores(self):
+        linux = apache("linux", 2)
+        latr = apache("latr", 2)
+        ratio = latr.metric("requests_per_sec") / linux.metric("requests_per_sec")
+        assert 0.9 < ratio < 1.15
+
+    def test_abis_below_linux_at_low_cores(self):
+        linux = apache("linux", 2)
+        abis = apache("abis", 2)
+        assert abis.metric("requests_per_sec") < linux.metric("requests_per_sec")
+
+    def test_abis_between_linux_and_latr_at_high_cores(self):
+        linux = apache("linux", 12)
+        abis = apache("abis", 12)
+        latr = apache("latr", 12)
+        assert (
+            linux.metric("requests_per_sec")
+            < abis.metric("requests_per_sec")
+            < latr.metric("requests_per_sec")
+        )
+
+    def test_shootdown_rate_tracks_requests(self):
+        result = apache("latr", 6)
+        assert result.metric("shootdowns_per_sec") == pytest.approx(
+            result.metric("requests_per_sec"), rel=0.05
+        )
+
+    def test_no_mmap_mode_has_no_shootdowns(self):
+        result = apache("linux", 4, use_mmap=False)
+        assert result.metric("shootdowns_per_sec") == 0
+        assert result.metric("requests_per_sec") > 0
+
+    def test_single_core_parity(self):
+        """Figure 12: no remote cores -> LATR adds (almost) nothing."""
+        linux = apache("linux", 1)
+        latr = apache("latr", 1)
+        ratio = latr.metric("requests_per_sec") / linux.metric("requests_per_sec")
+        assert 0.97 < ratio < 1.03
+
+    def test_table5_metrics_present(self):
+        linux = apache("linux", 12)
+        latr = apache("latr", 12)
+        assert linux.metrics["sync_shootdown_ns"] > 1000
+        assert latr.metrics["state_write_ns"] == pytest.approx(132, abs=1)
+        assert latr.metrics["sweep_ns"] >= 158
+
+    def test_cache_profiles_cover_paper_rows(self):
+        assert set(APACHE_CACHE_PROFILES) == {1, 6, 12}
+
+
+class TestMicrobenchWorkload:
+    def test_result_metrics_complete(self):
+        result = MunmapMicrobench(MicrobenchConfig(cores=4, reps=10)).run("latr")
+        for key in ("munmap_us", "munmap_p99_us", "shootdown_us", "shootdown_fraction"):
+            assert key in result.metrics
+
+    def test_deterministic_across_runs(self):
+        cfg = MicrobenchConfig(cores=4, reps=10)
+        a = MunmapMicrobench(cfg).run("latr")
+        b = MunmapMicrobench(cfg).run("latr")
+        assert a.metrics == b.metrics
+
+    def test_lazy_overhead_zero_for_linux(self):
+        result = MunmapMicrobench(MicrobenchConfig(cores=4, reps=10)).lazy_memory_overhead(
+            "linux"
+        )
+        assert result.metric("peak_lazy_mb") == 0.0
+
+    def test_lazy_overhead_positive_and_bounded_for_latr(self):
+        result = MunmapMicrobench(
+            MicrobenchConfig(cores=8, pages=16, reps=60)
+        ).lazy_memory_overhead("latr")
+        assert 0.0 < result.metric("peak_lazy_mb") < 25.0  # paper bound ~21 MB
+
+
+class TestParsecWorkload:
+    def test_dedup_improves_under_latr(self):
+        cfg = ParsecConfig(work_per_core_ms=50)
+        linux = ParsecWorkload(PARSEC_PROFILES["dedup"], cfg).run("linux")
+        latr = ParsecWorkload(PARSEC_PROFILES["dedup"], cfg).run("latr")
+        ratio = latr.metric("runtime_ms") / linux.metric("runtime_ms")
+        assert ratio < 0.97  # paper: 0.904
+
+    def test_canneal_small_overhead(self):
+        cfg = ParsecConfig(work_per_core_ms=50)
+        linux = ParsecWorkload(PARSEC_PROFILES["canneal"], cfg).run("linux")
+        latr = ParsecWorkload(PARSEC_PROFILES["canneal"], cfg).run("latr")
+        ratio = latr.metric("runtime_ms") / linux.metric("runtime_ms")
+        assert 1.0 < ratio < 1.05  # paper: +1.7%
+
+    def test_quiet_profile_is_neutral(self):
+        cfg = ParsecConfig(work_per_core_ms=50)
+        linux = ParsecWorkload(PARSEC_PROFILES["blackscholes"], cfg).run("linux")
+        latr = ParsecWorkload(PARSEC_PROFILES["blackscholes"], cfg).run("latr")
+        ratio = latr.metric("runtime_ms") / linux.metric("runtime_ms")
+        assert 0.99 < ratio < 1.01
+
+    def test_all_profiles_run(self):
+        cfg = ParsecConfig(work_per_core_ms=10)
+        for name, profile in PARSEC_PROFILES.items():
+            result = ParsecWorkload(profile, cfg).run("latr")
+            assert result.metric("runtime_ms") >= 10
+
+    def test_shootdown_rates_ordered_by_profile(self):
+        cfg = ParsecConfig(work_per_core_ms=50)
+        dedup = ParsecWorkload(PARSEC_PROFILES["dedup"], cfg).run("linux")
+        swaptions = ParsecWorkload(PARSEC_PROFILES["swaptions"], cfg).run("linux")
+        assert dedup.metric("shootdowns_per_sec") > 10 * swaptions.metric(
+            "shootdowns_per_sec"
+        )
+
+
+class TestNumaWorkload:
+    def test_migrations_happen(self):
+        # The refresh->sample->two-faults->migrate pipeline needs ~40 ms to
+        # produce its first migrations; 80 ms gives a steady stream.
+        cfg = NumaConfig(work_per_core_ms=80)
+        result = NumaWorkload(NUMA_PROFILES["graph500"], cfg).run("linux")
+        assert result.metric("migrations") > 50
+
+    def test_latr_sends_no_sampling_ipis(self):
+        cfg = NumaConfig(work_per_core_ms=60)
+        linux = NumaWorkload(NUMA_PROFILES["graph500"], cfg).run("linux")
+        latr = NumaWorkload(NUMA_PROFILES["graph500"], cfg).run("latr")
+        assert linux.metric("ipis_per_sec") > 1000
+        assert latr.metric("ipis_per_sec") == 0
+
+    def test_graph500_latr_faster_on_average(self):
+        # The migration dynamics are chaotic at short horizons; average two
+        # seeds the way the fig11 experiment does.
+        ratios = []
+        for seed in (1, 2):
+            cfg = NumaConfig(work_per_core_ms=80, seed=seed)
+            linux = NumaWorkload(NUMA_PROFILES["graph500"], cfg).run("linux")
+            latr = NumaWorkload(NUMA_PROFILES["graph500"], cfg).run("latr")
+            ratios.append(latr.metric("runtime_ms") / linux.metric("runtime_ms"))
+        assert sum(ratios) / len(ratios) < 1.0
+
+    def test_pbzip2_neutral(self):
+        cfg = NumaConfig(work_per_core_ms=60)
+        linux = NumaWorkload(NUMA_PROFILES["pbzip2"], cfg).run("linux")
+        latr = NumaWorkload(NUMA_PROFILES["pbzip2"], cfg).run("latr")
+        ratio = latr.metric("runtime_ms") / linux.metric("runtime_ms")
+        assert 0.97 < ratio < 1.03

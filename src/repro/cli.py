@@ -6,6 +6,7 @@ Examples::
     python -m repro fig6
     python -m repro fig9 --fast
     python -m repro all --fast -o results.txt
+    python -m repro fuzz --seed 7 --ops 500
 """
 
 from __future__ import annotations
@@ -26,12 +27,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig6, tab5), 'all', or 'list'",
+        help="experiment id (e.g. fig6, tab5), 'all', 'list', or 'fuzz'",
     )
     parser.add_argument(
         "--fast",
         action="store_true",
         help="reduced sweeps/durations (for smoke runs and CI)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="fuzz: RNG seed for the workload+schedule plan",
+    )
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=200,
+        help="fuzz: operations per plan",
+    )
+    parser.add_argument(
+        "--mutate",
+        default=None,
+        help="fuzz: inject a known-bad LATR variant "
+        "(reclaim_delay_zero, skip_sweep_invalidate)",
     )
     parser.add_argument(
         "-o",
@@ -50,6 +69,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for exp_id in available_experiments():
             print(exp_id)
         return 0
+
+    if args.experiment == "fuzz":
+        return _run_fuzz_command(args)
 
     exp_ids = available_experiments() if args.experiment == "all" else [args.experiment]
     sink = open(args.output, "a") if args.output else None
@@ -76,6 +98,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         if sink:
             sink.close()
     return 0
+
+
+def _run_fuzz_command(args) -> int:
+    """``python -m repro fuzz --seed N --ops M [--fast] [--mutate X]``:
+    one differential campaign; exit 0 iff every mechanism is clean."""
+    from .verify import MUTATIONS, FuzzConfig, run_fuzz
+
+    if args.mutate is not None and args.mutate not in MUTATIONS:
+        print(
+            f"unknown mutation {args.mutate!r}; have {', '.join(MUTATIONS)}",
+            file=sys.stderr,
+        )
+        return 2
+    n_ops = min(args.ops, 120) if args.fast else args.ops
+    config = FuzzConfig(
+        seed=args.seed,
+        n_ops=n_ops,
+        mutate=args.mutate,
+        shrink_budget=30 if args.fast else 60,
+    )
+    started = time.time()
+    report = run_fuzz(config)
+    text = report.render()
+    print(text)
+    print(f"[fuzz done in {time.time() - started:.1f}s]")
+    if args.output:
+        with open(args.output, "a") as sink:
+            sink.write(text + "\n\n")
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

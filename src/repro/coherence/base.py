@@ -210,6 +210,8 @@ class TLBCoherence:
         stats.latency("shootdown.sync_wait").record(self.kernel.sim.now - start)
         if tracer is not None:
             tracer.emit("ipi", "round.end", core=core.id)
+        if self.kernel.invariant_monitor is not None:
+            self.kernel.invariant_monitor.notify("ipi.round", core=core.id)
 
     # ---- mechanism API (overridden) ------------------------------------------
 

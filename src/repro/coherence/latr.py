@@ -178,11 +178,26 @@ class LatrCoherence(TLBCoherence):
             yield from core.execute(0)
             return state.done
         if not self.queues[core.id].post(state):
+            # Queue full: synchronous fallback (paper section 8). This is
+            # still a shootdown -- record the same counters/rates as every
+            # other path so fallback rounds show up in experiments, and
+            # complete the state's own ``done`` signal so gating callers
+            # (swap finisher, migration gate) observe the completion.
             self._stats.counter("latr.fallback_ipi").add()
+            self._stats.counter("shootdown.initiated").add()
+            self._stats.rate("shootdowns").hit()
             apply_pte_change()
+            state.pte_applied = True
             yield from core.execute(self.local_invalidate(core, mm, vrange))
             yield from self.ipi_round(core, mm, vrange, targets, ShootdownReason.FALLBACK)
-            return Signal(self.kernel.sim).succeed(None)
+            state.cpu_bitmask.clear()
+            state.active = False
+            state.completed_at = self.kernel.sim.now
+            state.done.succeed(state)
+            self._stats.latency("shootdown.migration").record(
+                self.kernel.sim.now - state.posted_at
+            )
+            return state.done
         yield from core.execute(self._lat.latr_state_write_ns)
         self._migration_states.append(state)
         self.kernel.machine.llc.record_state_traffic(STATE_LINES)
@@ -265,6 +280,8 @@ class LatrCoherence(TLBCoherence):
         self._stats.counter("latr.entries_examined").add(examined)
         self._stats.counter("latr.entries_invalidated").add(invalidated_states)
         self._stats.latency("latr.sweep").record(cost)
+        if self.kernel.invariant_monitor is not None:
+            self.kernel.invariant_monitor.notify("latr.sweep", core=core.id)
         return cost
 
     # ---- scheduler hooks ---------------------------------------------------------
@@ -333,3 +350,5 @@ class LatrCoherence(TLBCoherence):
         self._stats.counter("latr.frames_reclaimed").add(len(state.pfns))
         cost = FrameBatch.units_of(state.pfns) * lat.page_free_ns + lat.vma_op_ns
         owner_costs[state.owner_core] = owner_costs.get(state.owner_core, 0) + cost
+        if self.kernel.invariant_monitor is not None:
+            self.kernel.invariant_monitor.notify("latr.reclaim", core=state.owner_core)

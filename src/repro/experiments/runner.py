@@ -28,7 +28,10 @@ class ExperimentResult:
         widths = [len(str(h)) for h in self.headers]
         formatted_rows = []
         for row in self.rows:
-            cells = [self._fmt(cell) for cell in row]
+            # Render ragged rows defensively: short rows pad with empty
+            # cells, long rows truncate to the header count.
+            cells = [self._fmt(cell) for cell in row][:cols]
+            cells += [""] * (cols - len(cells))
             formatted_rows.append(cells)
             for i, cell in enumerate(cells):
                 widths[i] = max(widths[i], len(cell))
@@ -107,6 +110,7 @@ def _load_all() -> None:
         fig_numa,
         fig_parsec,
         fig_timelines,
+        fuzz,
         mech_compare,
         memoverhead,
         model_check,

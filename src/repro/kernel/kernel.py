@@ -57,6 +57,10 @@ class Kernel:
         self.khugepaged = None
         #: Optional structured event tracer (repro.sim.trace.Tracer).
         self.tracer = None
+        #: Optional continuous invariant monitor (repro.verify.InvariantMonitor):
+        #: when attached, the coherence/mm paths call ``notify`` after every
+        #: sweep, reclaim, IPI round, PTE change, and frame free.
+        self.invariant_monitor = None
 
         coherence.attach(self)
 
@@ -86,6 +90,8 @@ class Kernel:
         self.mm_registry[mm.pcid] = mm
         proc = KProcess(name, mm)
         self.processes.append(proc)
+        if self.invariant_monitor is not None:
+            self.invariant_monitor.watch_mm(mm)
         return proc
 
     def spawn_thread(self, process: KProcess, name: str, core_id: int) -> Task:
@@ -101,10 +107,16 @@ class Kernel:
 
     def release_frames(self, pfns: Iterable[int]) -> None:
         """Drop the mapping reference of each frame (frees at refcount 0)."""
+        any_freed = False
         for pfn in pfns:
             freed = self.frames.put(pfn)
             if freed:
+                any_freed = True
                 self.page_contents.pop(pfn, None)
+        if any_freed and self.invariant_monitor is not None:
+            # The instant a frame returns to the allocator is exactly when a
+            # still-cached translation becomes a use-after-free window.
+            self.invariant_monitor.notify("frame.free")
 
     def set_page_content(self, pfn: int, tag: str) -> None:
         """Workload hook: tag a frame's contents (drives KSM dedup)."""

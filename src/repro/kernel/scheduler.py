@@ -34,6 +34,10 @@ class Scheduler:
         self._cpu_locks: Dict[int, Lock] = {
             core.id: Lock(kernel.sim, name=f"cpu{core.id}") for core in machine.cores
         }
+        #: Optional per-core tick-phase override (core id -> offset ns within
+        #: the tick interval). The coherence fuzzer randomizes these; when
+        #: unset, phases are deterministically staggered.
+        self.tick_offsets: Optional[Dict[int, int]] = None
         self._started = False
 
     # ---- lifecycle -------------------------------------------------------------
@@ -46,6 +50,8 @@ class Scheduler:
         n = self.kernel.machine.n_cores
         for core in self.kernel.machine.cores:
             offset = (core.id * self.tick_interval) // max(1, n)
+            if self.tick_offsets is not None:
+                offset = self.tick_offsets.get(core.id, offset) % self.tick_interval
             self.kernel.sim.spawn(self._tick_loop(core, offset), name=f"tick{core.id}")
 
     def _tick_loop(self, core, offset: int) -> Generator:

@@ -39,6 +39,9 @@ class PageTable:
         self._huge: Dict[int, Pte] = {}
         #: table-page allocations, for memory-overhead accounting
         self.table_pages_allocated = 1  # the root
+        #: Optional ``observer(event, vpn)`` invoked after every mutation
+        #: (the InvariantMonitor's continuous-checking hook).
+        self.observer = None
 
     def __len__(self) -> int:
         return self._count
@@ -72,9 +75,14 @@ class PageTable:
             if self._walk_4k(vpn) is not None:
                 raise ValueError(f"4K entry at {vpn:#x} blocks huge mapping")
         self._huge[base_vpn] = pte
+        if self.observer is not None:
+            self.observer("set_huge", base_vpn)
 
     def clear_huge_pte(self, base_vpn: int) -> Optional[Pte]:
-        return self._huge.pop(base_vpn, None)
+        prev = self._huge.pop(base_vpn, None)
+        if prev is not None and self.observer is not None:
+            self.observer("clear_huge", base_vpn)
+        return prev
 
     def huge_in_range(self, vrange: VirtRange):
         """(base_vpn, pte) for huge mappings fully inside ``vrange``."""
@@ -111,6 +119,8 @@ class PageTable:
         node[pt] = pte
         if prev is None:
             self._count += 1
+        if self.observer is not None:
+            self.observer("set", vpn)
         return prev
 
     def clear_pte(self, vpn: int) -> Optional[Pte]:
@@ -136,6 +146,8 @@ class PageTable:
             if child:
                 break
             del parent[idx]
+        if self.observer is not None:
+            self.observer("clear", vpn)
         return prev
 
     def update_pte(self, vpn: int, pte: Pte) -> None:

@@ -161,27 +161,8 @@ class Process:
             raise SimulationError(f"process {self.name!r} yielded unsupported {yielded!r}")
 
     def _wait_all(self, children: List[Any]) -> None:
-        if not children:
-            self.sim.after(0, self._step, [])
-            return
-        remaining = [len(children)]
-        values: List[Any] = [None] * len(children)
-
-        def make_cb(i: int) -> Callable[[Signal], None]:
-            def cb(sig: Signal) -> None:
-                values[i] = sig.value
-                remaining[0] -= 1
-                if remaining[0] == 0:
-                    self._step(values)
-
-            return cb
-
-        for i, child in enumerate(children):
-            if isinstance(child, Timeout):
-                done = Signal(self.sim)
-                self.sim.after(child.delay, done.succeed, None)
-                child = done
-            child.add_callback(make_cb(i))
+        gathered = _gather(self.sim, children, self.name)
+        gathered.add_callback(lambda sig: self._step(sig.value))
 
     def interrupt(self) -> None:
         """Kill the process; its ``done`` signal fires with ``None``."""
@@ -190,6 +171,42 @@ class Process:
             self.gen.close()
             if not self.done.triggered:
                 self.done.succeed(None)
+
+
+def _gather(sim: "Simulator", children: Iterable[Any], owner: str = "") -> Signal:
+    """A signal firing once every child has; its value is the list of child
+    values in the order given. Nested :class:`AllOf` children gather
+    recursively, so their value is itself a (possibly nested) list."""
+    children = list(children)
+    out = Signal(sim)
+    if not children:
+        sim.after(0, out.succeed, [])
+        return out
+    remaining = [len(children)]
+    values: List[Any] = [None] * len(children)
+
+    def make_cb(i: int) -> Callable[[Signal], None]:
+        def cb(sig: Signal) -> None:
+            values[i] = sig.value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                out.succeed(values)
+
+        return cb
+
+    for i, child in enumerate(children):
+        if isinstance(child, Timeout):
+            done = Signal(sim)
+            sim.after(child.delay, done.succeed, None)
+            child = done
+        elif isinstance(child, AllOf):
+            child = _gather(sim, child.children, owner)
+        elif not isinstance(child, (Signal, Process)):
+            raise SimulationError(
+                f"process {owner!r}: AllOf child {child!r} is not waitable"
+            )
+        child.add_callback(make_cb(i))
+    return out
 
 
 class Simulator:
@@ -252,8 +269,11 @@ class Simulator:
         """Run events until the heap drains or ``until`` (absolute ns) passes.
 
         Returns the number of events executed. When ``until`` is given the
-        clock is advanced to exactly ``until`` even if the heap drains early,
-        so rate computations over a fixed window stay well-defined.
+        clock is advanced to exactly ``until`` if the heap drained of events
+        at or before ``until``, so rate computations over a fixed window stay
+        well-defined. If a ``max_events`` break leaves such events pending,
+        the clock stays at the last executed event -- force-advancing would
+        make the next :meth:`step` move time backwards.
         """
         executed = 0
         self._running = True
@@ -272,8 +292,20 @@ class Simulator:
         finally:
             self._running = False
         if until is not None and self._now < until:
-            self._now = until
+            next_time = self._next_event_time()
+            if next_time is None or next_time > until:
+                self._now = until
         return executed
+
+    def _next_event_time(self) -> Optional[int]:
+        """Time of the earliest pending (non-cancelled) event, or None."""
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return head.time
+        return None
 
     def pending(self) -> int:
         """Number of scheduled, non-cancelled events."""

@@ -1,0 +1,45 @@
+"""Verification tooling: continuous invariant monitoring + the
+differential, schedule-randomizing coherence fuzzer (``python -m repro
+fuzz --seed N --ops M``)."""
+
+from .fuzzer import (
+    FUZZ_MECHANISMS,
+    FuzzConfig,
+    FuzzReport,
+    RunResult,
+    diff_snapshots,
+    run_fuzz,
+    run_one,
+    shrink_plan,
+)
+from .monitor import (
+    CONTINUOUS_CHECKS,
+    QUIESCENT_CHECKS,
+    InvariantMonitor,
+    InvariantViolationError,
+    Violation,
+)
+from .mutations import MUTATIONS, mutated_latr_class
+from .plan import FuzzPlan, Op, SchedulePlan, generate_plan
+
+__all__ = [
+    "CONTINUOUS_CHECKS",
+    "FUZZ_MECHANISMS",
+    "FuzzConfig",
+    "FuzzPlan",
+    "FuzzReport",
+    "InvariantMonitor",
+    "InvariantViolationError",
+    "MUTATIONS",
+    "Op",
+    "QUIESCENT_CHECKS",
+    "RunResult",
+    "SchedulePlan",
+    "Violation",
+    "diff_snapshots",
+    "generate_plan",
+    "mutated_latr_class",
+    "run_fuzz",
+    "run_one",
+    "shrink_plan",
+]

@@ -1,0 +1,106 @@
+"""Mutation injection: deliberately-broken LATR variants.
+
+The fuzzer's own correctness claim ("zero violations means the mechanism is
+safe under this schedule") is only credible if a *broken* mechanism fails
+the same harness. These subclasses re-introduce the two bug classes the
+paper's design rules exist to prevent:
+
+* ``reclaim_delay_zero`` -- the reclamation daemon trusts the age-based
+  delay alone (the paper's two-tick rule) instead of also requiring an
+  empty CPU bitmask, and the delay is forced to zero: frames return to the
+  allocator while remote TLBs still cache them.
+* ``skip_sweep_invalidate`` -- the sweep clears its bitmask bit (so
+  reclamation proceeds on schedule) but "forgets" the TLB invalidation,
+  modelling a lost INVLPG: every reclaim then races a live stale entry.
+
+Both must be caught by the :class:`~repro.verify.monitor.InvariantMonitor`
+-- the mutation tests in ``tests/test_fuzzer.py`` gate on exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Type
+
+from ..coherence.latr import LatrCoherence
+from ..coherence.states import LatrFlag, LatrState
+from ..sim.engine import Timeout
+
+MUTATIONS = ("reclaim_delay_zero", "skip_sweep_invalidate")
+
+
+class EagerReclaimLatr(LatrCoherence):
+    """Mutation: age-only reclamation with zero delay (no bitmask guard)."""
+
+    mutation = "reclaim_delay_zero"
+
+    def __init__(self, **kwargs):
+        kwargs["reclaim_delay_ticks"] = 0
+        super().__init__(**kwargs)
+
+    def _reclaimd(self) -> Generator:
+        tick = self.kernel.machine.spec.tick_interval_ns
+        delay = self.reclaim_delay_ticks * tick
+        # Poll far more often than the healthy daemon so the zero-delay free
+        # lands inside the stale window instead of after the next sweep.
+        poll = max(1, tick // 10)
+        while True:
+            yield Timeout(poll)
+            now = self.kernel.sim.now
+            still_pending: List[LatrState] = []
+            owner_costs: Dict[int, int] = {}
+            for state in self._pending_reclaim:
+                if now - state.posted_at < delay:  # BUG: no state.active guard
+                    still_pending.append(state)
+                    continue
+                state.cpu_bitmask.clear()
+                if state.active:
+                    state.active = False
+                    state.completed_at = now
+                    state.done.succeed(state)
+                self._reclaim_state(state, owner_costs)
+            self._pending_reclaim = still_pending
+            self._migration_states = [s for s in self._migration_states if s.active]
+            for core_id, cost in owner_costs.items():
+                self.kernel.machine.core(core_id).steal_time(cost)
+
+
+class SkipSweepInvalidateLatr(LatrCoherence):
+    """Mutation: sweeps acknowledge states without invalidating the TLB."""
+
+    mutation = "skip_sweep_invalidate"
+
+    def sweep(self, core) -> int:
+        lat = self._lat
+        now = self.kernel.sim.now
+        cost = lat.latr_sweep_base_ns
+        for queue in self.queues.values():
+            for state in queue.active_states():
+                cost += lat.latr_sweep_per_entry_ns
+                if core.id not in state.cpu_bitmask:
+                    continue
+                if state.flag is LatrFlag.MIGRATION and not state.pte_applied:
+                    state.pte_applied = True
+                    state.apply_pte_change()
+                # BUG: the bitmask bit clears (so reclamation proceeds) but
+                # core.tlb is never invalidated.
+                state.clear_cpu(core.id, now)
+        self._stats.counter("latr.sweeps").add()
+        if self.kernel.invariant_monitor is not None:
+            self.kernel.invariant_monitor.notify("latr.sweep", core=core.id)
+        return cost
+
+
+_MUTATED_CLASSES: Dict[str, Type[LatrCoherence]] = {
+    EagerReclaimLatr.mutation: EagerReclaimLatr,
+    SkipSweepInvalidateLatr.mutation: SkipSweepInvalidateLatr,
+}
+
+
+def mutated_latr_class(mutation: str) -> Type[LatrCoherence]:
+    """The broken-LATR class for ``mutation`` (see :data:`MUTATIONS`)."""
+    try:
+        return _MUTATED_CLASSES[mutation]
+    except KeyError:
+        raise KeyError(
+            f"unknown mutation {mutation!r}; have {sorted(_MUTATED_CLASSES)}"
+        ) from None

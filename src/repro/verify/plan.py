@@ -1,0 +1,160 @@
+"""Fuzz plans: seeded, mechanism-independent workload + schedule recipes.
+
+A plan is *symbolic*: operations reference regions by slot index (resolved
+modulo the live-region count at execution time) and cores by index, so any
+subsequence of a plan is still executable -- the property the shrinker
+relies on. The same plan replayed under two mechanisms performs the
+identical operation sequence, which is what makes the differential
+end-state comparison meaningful.
+
+Schedule perturbations ride along in :class:`SchedulePlan`: per-core tick
+phases, synthetic context-switch timing, the reclaim daemon's delay, and
+the LATR queue depth. They are all derived from the same seed, so one
+``--seed`` reproduces both the workload and the interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+#: Operation kinds the generator draws from (ISSUE: mmap, munmap, madvise,
+#: AutoNUMA migration, swap) plus the explicit settle barrier.
+OP_KINDS = ("mmap", "munmap", "madvise", "touch", "migrate", "swap", "settle")
+
+#: Draw weights: touches dominate (they are what populates TLBs and makes
+#: stale windows observable), frees and migrations follow.
+_WEIGHTS = {
+    "mmap": 18,
+    "touch": 30,
+    "munmap": 12,
+    "madvise": 10,
+    "migrate": 10,
+    "swap": 10,
+    "settle": 4,
+}
+
+
+@dataclass(frozen=True)
+class Op:
+    """One symbolic operation."""
+
+    kind: str
+    #: Region slot selector (taken modulo the live-region count).
+    region: int = 0
+    #: Pages: mmap size, or the window width for range operations.
+    pages: int = 1
+    #: Page offset selector inside the region (modulo its size).
+    offset: int = 0
+    #: Core/thread selector (modulo core count).
+    core: int = 0
+    #: Process selector (modulo process count).
+    proc: int = 0
+    write: bool = False
+    #: Content tag stamped by writing touches (differential payload check).
+    tag: str = ""
+
+    def __str__(self) -> str:
+        bits = [self.kind, f"r{self.region}", f"p{self.pages}", f"c{self.core}"]
+        if self.offset:
+            bits.append(f"+{self.offset}")
+        if self.write:
+            bits.append("w")
+        return ":".join(bits)
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """The randomized interleaving knobs for one run."""
+
+    #: core id -> tick phase offset (ns within the tick interval).
+    tick_offsets: Dict[int, int] = field(default_factory=dict)
+    #: Per-core synthetic context-switch gap draws (ns); each core's
+    #: perturber loops over its list, so the switch times are identical
+    #: across mechanisms regardless of workload timing.
+    ctx_switch_gaps: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    reclaim_delay_ticks: int = 2
+    queue_depth: int = 64
+
+
+@dataclass(frozen=True)
+class FuzzPlan:
+    """A complete reproducible recipe: workload ops + schedule."""
+
+    seed: int
+    n_cores: int
+    n_procs: int
+    ops: Tuple[Op, ...]
+    schedule: SchedulePlan
+
+    def with_ops(self, ops) -> "FuzzPlan":
+        return replace(self, ops=tuple(ops))
+
+    def describe(self) -> str:
+        return " ".join(str(op) for op in self.ops)
+
+
+def generate_plan(
+    seed: int,
+    n_ops: int,
+    n_cores: int = 4,
+    n_procs: int = 2,
+    tick_interval_ns: int = 1_000_000,
+    max_pages: int = 48,
+) -> FuzzPlan:
+    """Draw a plan from ``seed``. ``max_pages`` > the 32-page full-flush
+    threshold so both the per-page and full-flush invalidation paths get
+    exercised."""
+    rng = random.Random(seed)
+    kinds = list(_WEIGHTS)
+    weights = [_WEIGHTS[k] for k in kinds]
+    ops: List[Op] = []
+    # Open with a few mappings so early draws have regions to work on.
+    for i in range(min(3, max(1, n_ops // 8))):
+        ops.append(
+            Op(
+                kind="mmap",
+                pages=rng.randint(1, max_pages),
+                core=rng.randrange(n_cores),
+                proc=rng.randrange(n_procs),
+                write=True,
+                tag=f"init{i}",
+            )
+        )
+    while len(ops) < n_ops:
+        kind = rng.choices(kinds, weights=weights)[0]
+        pages = rng.randint(1, max_pages if kind == "mmap" else 16)
+        ops.append(
+            Op(
+                kind=kind,
+                region=rng.randrange(1 << 16),
+                pages=pages,
+                offset=rng.randrange(1 << 16),
+                core=rng.randrange(n_cores),
+                proc=rng.randrange(n_procs),
+                write=rng.random() < 0.6,
+                tag=f"t{len(ops)}" if kind in ("mmap", "touch") else "",
+            )
+        )
+
+    tick_offsets = {c: rng.randrange(tick_interval_ns) for c in range(n_cores)}
+    ctx_switch_gaps = {
+        c: tuple(
+            int(tick_interval_ns * rng.uniform(0.13, 1.7)) for _ in range(8)
+        )
+        for c in range(n_cores)
+    }
+    schedule = SchedulePlan(
+        tick_offsets=tick_offsets,
+        ctx_switch_gaps=ctx_switch_gaps,
+        reclaim_delay_ticks=rng.choice((1, 2, 3)),
+        queue_depth=rng.choice((3, 8, 64)),
+    )
+    return FuzzPlan(
+        seed=seed,
+        n_cores=n_cores,
+        n_procs=n_procs,
+        ops=tuple(ops),
+        schedule=schedule,
+    )

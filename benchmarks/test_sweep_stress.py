@@ -1,0 +1,35 @@
+"""Benchmark the LATR sweep hot path on the paper's 120-core machine.
+
+Times the sweep-stress microbench with the active-state index on and off;
+the indexed run must be at least 2x faster (the same gate the wall-clock
+harness records in BENCH_*.json).
+"""
+
+import time
+
+
+def test_sweep_stress_index_speedup(benchmark):
+    from repro.bench import SWEEP_STRESS_MS, run_sweep_stress
+
+    started = time.perf_counter()
+    full_summary = run_sweep_stress(SWEEP_STRESS_MS, use_sweep_index=False)
+    full_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    indexed_summary = benchmark.pedantic(
+        run_sweep_stress,
+        args=(SWEEP_STRESS_MS,),
+        kwargs={"use_sweep_index": True},
+        rounds=1,
+        iterations=1,
+    )
+    indexed_wall = time.perf_counter() - started
+
+    print(
+        f"\nsweep-stress-120c: indexed {indexed_wall:.2f}s, "
+        f"full scan {full_wall:.2f}s, speedup {full_wall / indexed_wall:.2f}x"
+    )
+    assert indexed_summary == full_summary, "index changed a modelled result"
+    assert full_wall >= 2.0 * indexed_wall, (
+        f"sweep index speedup below 2x: {full_wall / indexed_wall:.2f}x"
+    )

@@ -1,0 +1,317 @@
+"""Wall-clock benchmark harness: how fast does the *simulator* run?
+
+Everything else in the repo measures simulated nanoseconds; this module
+measures host seconds. ``python -m repro bench`` times a fixed suite --
+fast-mode fig6/fig9/fuzz-smoke plus a 120-core sweep-stress microbench --
+and writes ``BENCH_<timestamp>.json`` into ``benchmarks/results/`` with
+per-case wall-clock and simulator events/sec. Each run is compared against
+the most recent previous ``BENCH_*.json`` so perf regressions fail loudly
+(``--check-regression`` turns a regression into a non-zero exit).
+
+The sweep-stress case runs twice on the paper's 8-socket/120-core machine:
+once with the LATR active-state index (the default) and once with the
+original full O(cores x queue_depth) scan (``use_sweep_index=False``). The
+JSON records both wall-clocks and the speedup, and the two legs' complete
+``StatsRegistry.summary()`` dicts are asserted identical -- the index must
+never change a modelled result.
+
+JSON format (one file per run)::
+
+    {
+      "schema": 1,
+      "created": "2026-08-06T12:34:56",
+      "quick": false,
+      "python": "3.11.9",
+      "threshold_pct": 25.0,
+      "cases": {
+        "fig6-fast": {"wall_s": 0.21, "events": 412345, "events_per_sec": 1.9e6},
+        ...,
+        "sweep-stress-120c": {
+          "wall_s": 1.8, "events": ..., "events_per_sec": ...,
+          "full_scan_wall_s": 9.4, "speedup_vs_full_scan": 5.2,
+          "stats_match": true
+        }
+      },
+      "comparison": {"previous": "BENCH_...json", "regressions": []}
+    }
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+DEFAULT_BENCH_DIR = os.path.join("benchmarks", "results")
+DEFAULT_THRESHOLD_PCT = 25.0
+SCHEMA_VERSION = 1
+
+#: Simulated milliseconds the sweep-stress microbench runs for. Long enough
+#: that tick sweeps dominate the one-off machine-build cost, so the indexed
+#: vs full-scan wall-clock ratio reflects the sweep hot path.
+SWEEP_STRESS_MS = 60
+SWEEP_STRESS_MS_QUICK = 20
+
+
+# ---------------------------------------------------------------------------
+# Timed execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CaseResult:
+    """One timed suite entry."""
+
+    name: str
+    wall_s: float
+    events: int
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_json(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "wall_s": round(self.wall_s, 4),
+            "events": self.events,
+            "events_per_sec": round(self.events_per_sec, 1),
+        }
+        out.update(self.extra)
+        return out
+
+
+def _timed(fn: Callable[[], object]) -> Tuple[float, int, object]:
+    """Run ``fn`` returning (wall seconds, simulator events executed, result)."""
+    from .sim.engine import Simulator
+
+    events_before = Simulator.total_events_executed
+    started = time.perf_counter()
+    result = fn()
+    wall = time.perf_counter() - started
+    return wall, Simulator.total_events_executed - events_before, result
+
+
+# ---------------------------------------------------------------------------
+# The sweep-stress microbench
+# ---------------------------------------------------------------------------
+
+
+def run_sweep_stress(
+    duration_ms: int = SWEEP_STRESS_MS,
+    use_sweep_index: bool = True,
+    machine: str = "large-numa-8s120c",
+) -> Dict[str, object]:
+    """Tick-dominated load on the big box: a task pinned to every core (so
+    every core sweeps every tick) while core 0 keeps a trickle of munmaps
+    posting LATR states that a scatter of remote cores has cached. Returns
+    the final ``StatsRegistry.summary()`` so callers can assert the indexed
+    and full-scan runs are modelled identically."""
+    from . import build_system
+    from .mm.addr import PAGE_SIZE
+    from .sim.engine import MSEC, AllOf, Timeout
+
+    system = build_system(
+        "latr", machine=machine, seed=7, use_sweep_index=use_sweep_index
+    )
+    kernel = system.kernel
+    cores = kernel.machine.cores
+    proc = kernel.create_process("sweep-stress")
+    tasks = [kernel.spawn_thread(proc, f"ss.t{core.id}", core.id) for core in cores]
+
+    def touch(task, vrange):
+        core = kernel.machine.core(task.home_core_id)
+        yield from kernel.syscalls.touch_pages(task, core, vrange, write=False)
+
+    def driver():
+        t0, c0 = tasks[0], kernel.machine.core(0)
+        rep = 0
+        while True:
+            vrange = yield from kernel.syscalls.mmap(t0, c0, 4 * PAGE_SIZE)
+            yield from kernel.syscalls.touch_pages(t0, c0, vrange, write=True)
+            # A few cacheing cores scattered across the sockets, rotating
+            # with the rep count so sweeps keep pulling fresh remote state;
+            # kept small so sweeps (not touches) dominate the wall-clock.
+            remote = [tasks[(rep * 7 + i * 15 + 1) % len(tasks)] for i in range(4)]
+            spawned = [
+                system.sim.spawn(touch(task, vrange), name=f"ss.touch{task.tid}")
+                for task in remote
+            ]
+            yield AllOf(spawned)
+            yield from kernel.syscalls.munmap(t0, c0, vrange)
+            rep += 1
+            yield Timeout(MSEC)
+
+    system.sim.spawn(driver(), name="sweep-stress-driver")
+    system.sim.run(until=duration_ms * MSEC)
+    return kernel.stats.summary()
+
+
+def _sweep_stress_case(duration_ms: int) -> CaseResult:
+    """Time both legs; report the indexed leg as the case proper and the
+    full scan as its recorded pre-index baseline."""
+    wall_idx, events_idx, summary_idx = _timed(
+        lambda: run_sweep_stress(duration_ms, use_sweep_index=True)
+    )
+    wall_full, _events_full, summary_full = _timed(
+        lambda: run_sweep_stress(duration_ms, use_sweep_index=False)
+    )
+    return CaseResult(
+        name="sweep-stress-120c",
+        wall_s=wall_idx,
+        events=events_idx,
+        extra={
+            "sim_ms": duration_ms,
+            "full_scan_wall_s": round(wall_full, 4),
+            "speedup_vs_full_scan": round(wall_full / wall_idx, 2) if wall_idx > 0 else 0.0,
+            "stats_match": summary_idx == summary_full,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# The suite
+# ---------------------------------------------------------------------------
+
+
+def _experiment_case(exp_id: str) -> CaseResult:
+    from .experiments import run_experiment
+
+    wall, events, result = _timed(lambda: run_experiment(exp_id, fast=True))
+    return CaseResult(
+        name=f"{exp_id}-fast", wall_s=wall, events=events,
+        extra={"rows": len(result.rows)},
+    )
+
+
+def bench_suite(quick: bool = False) -> List[Callable[[], CaseResult]]:
+    """The fixed suite, as thunks (so case failures are attributable)."""
+    if quick:
+        return [
+            lambda: _experiment_case("fig6"),
+            lambda: _sweep_stress_case(SWEEP_STRESS_MS_QUICK),
+        ]
+    return [
+        lambda: _experiment_case("fig6"),
+        lambda: _experiment_case("fig9"),
+        lambda: _experiment_case("fuzz-smoke"),
+        lambda: _sweep_stress_case(SWEEP_STRESS_MS),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Persistence + regression comparison
+# ---------------------------------------------------------------------------
+
+
+def previous_bench_file(bench_dir: str) -> Optional[str]:
+    """Most recent BENCH_*.json already in ``bench_dir`` (lexicographic ==
+    chronological, the filenames embed a sortable timestamp)."""
+    files = sorted(glob.glob(os.path.join(bench_dir, "BENCH_*.json")))
+    return files[-1] if files else None
+
+
+def compare_to_previous(
+    cases: Dict[str, Dict[str, object]],
+    previous: Optional[Dict[str, object]],
+    threshold_pct: float,
+) -> List[str]:
+    """Human-readable regression lines: cases whose wall-clock grew more
+    than ``threshold_pct`` percent over the previous run's."""
+    if not previous:
+        return []
+    regressions: List[str] = []
+    prev_cases = previous.get("cases", {})
+    for name, entry in cases.items():
+        prev = prev_cases.get(name)
+        if not isinstance(prev, dict):
+            continue
+        if prev.get("sim_ms") != entry.get("sim_ms"):
+            # Quick and full runs use different sweep-stress durations;
+            # their wall-clocks are not comparable.
+            continue
+        prev_wall = prev.get("wall_s")
+        wall = entry.get("wall_s")
+        if not isinstance(prev_wall, (int, float)) or not isinstance(wall, (int, float)):
+            continue
+        if prev_wall > 0 and wall > prev_wall * (1.0 + threshold_pct / 100.0):
+            regressions.append(
+                f"{name}: {wall:.3f}s vs previous {prev_wall:.3f}s "
+                f"(+{(wall / prev_wall - 1.0) * 100.0:.0f}%, threshold {threshold_pct:.0f}%)"
+            )
+    return regressions
+
+
+def run_bench(
+    bench_dir: str = DEFAULT_BENCH_DIR,
+    quick: bool = False,
+    check_regression: bool = False,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    suite: Optional[List[Callable[[], CaseResult]]] = None,
+    echo: Callable[[str], None] = print,
+) -> Tuple[Dict[str, object], int]:
+    """Run the suite, write BENCH_<timestamp>.json, compare to the previous
+    file. Returns (report dict, exit code): exit 1 means a case failed its
+    own correctness check (sweep-stress stats mismatch) or, when
+    ``check_regression`` is set, a wall-clock regression beyond threshold."""
+    os.makedirs(bench_dir, exist_ok=True)
+    prev_path = previous_bench_file(bench_dir)
+    previous = None
+    if prev_path:
+        try:
+            with open(prev_path) as fh:
+                previous = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            echo(f"warning: could not read previous bench file {prev_path}")
+
+    cases: Dict[str, Dict[str, object]] = {}
+    failed = False
+    for thunk in suite if suite is not None else bench_suite(quick):
+        case = thunk()
+        cases[case.name] = case.to_json()
+        line = (
+            f"  {case.name:<20} {case.wall_s:7.3f}s  "
+            f"{case.events_per_sec:>12,.0f} events/s"
+        )
+        if "speedup_vs_full_scan" in case.extra:
+            line += (
+                f"  (full scan {case.extra['full_scan_wall_s']}s, "
+                f"{case.extra['speedup_vs_full_scan']}x speedup)"
+            )
+        echo(line)
+        if case.extra.get("stats_match") is False:
+            echo(f"  {case.name}: FAIL -- indexed and full-scan stats diverge")
+            failed = True
+
+    regressions = compare_to_previous(cases, previous, threshold_pct)
+    report: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "quick": quick,
+        "python": platform.python_version(),
+        "threshold_pct": threshold_pct,
+        "cases": cases,
+        "comparison": {
+            "previous": os.path.basename(prev_path) if prev_path else None,
+            "regressions": regressions,
+        },
+    }
+    out_path = os.path.join(
+        bench_dir, f"BENCH_{time.strftime('%Y%m%d-%H%M%S')}.json"
+    )
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    echo(f"wrote {out_path}")
+
+    for line in regressions:
+        echo(f"  REGRESSION: {line}")
+    if not regressions and prev_path:
+        echo(f"  no regressions vs {os.path.basename(prev_path)}")
+
+    exit_code = 1 if failed or (check_regression and regressions) else 0
+    return report, exit_code

@@ -27,7 +27,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig6, tab5), 'all', 'list', or 'fuzz'",
+        help="experiment id (e.g. fig6, tab5), 'all', 'list', 'fuzz', or 'bench'",
     )
     parser.add_argument(
         "--fast",
@@ -53,6 +53,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(reclaim_delay_zero, skip_sweep_invalidate)",
     )
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench: reduced suite (fig6 + a short sweep-stress) for CI smoke",
+    )
+    parser.add_argument(
+        "--check-regression",
+        action="store_true",
+        help="bench: exit non-zero if wall-clock regresses beyond --threshold",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="bench: regression threshold in percent (default 25)",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=None,
+        help="bench: directory for BENCH_*.json files (default benchmarks/results)",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default=None,
@@ -72,6 +93,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.experiment == "fuzz":
         return _run_fuzz_command(args)
+
+    if args.experiment == "bench":
+        return _run_bench_command(args)
 
     exp_ids = available_experiments() if args.experiment == "all" else [args.experiment]
     sink = open(args.output, "a") if args.output else None
@@ -98,6 +122,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         if sink:
             sink.close()
     return 0
+
+
+def _run_bench_command(args) -> int:
+    """``python -m repro bench [--quick] [--check-regression]``: time the
+    fixed wall-clock suite, write BENCH_<timestamp>.json, compare to the
+    previous one."""
+    from .bench import DEFAULT_BENCH_DIR, DEFAULT_THRESHOLD_PCT, run_bench
+
+    started = time.time()
+    print(f"wall-clock bench ({'quick' if args.quick else 'full'} suite):")
+    _report, code = run_bench(
+        bench_dir=args.bench_dir or DEFAULT_BENCH_DIR,
+        quick=args.quick,
+        check_regression=args.check_regression,
+        threshold_pct=args.threshold if args.threshold is not None else DEFAULT_THRESHOLD_PCT,
+    )
+    print(f"[bench done in {time.time() - started:.1f}s]")
+    return code
 
 
 def _run_fuzz_command(args) -> int:

@@ -83,9 +83,8 @@ class AbisShootdown(TLBCoherence):
         self._stats.counter("abis.ipis_saved").add(
             max(0, len(mm.shootdown_targets(core.id)) - len(targets))
         )
-        if targets:
-            self._stats.counter("shootdown.initiated").add()
-            self._stats.rate("shootdowns").hit()
+        self._stats.counter("shootdown.initiated").add()
+        self._stats.rate("shootdowns").hit()
         yield from self.ipi_round(core, mm, vrange, targets, ShootdownReason.FREE)
         self._stats.latency("shootdown.free").record(self.kernel.sim.now - start)
         yield from core.execute(FrameBatch.units_of(pfns) * self._lat.page_free_ns)
@@ -104,8 +103,7 @@ class AbisShootdown(TLBCoherence):
         yield from core.execute(self.local_invalidate(core, mm, vrange))
         yield from core.execute(vrange.n_pages * self.lookup_per_page_ns)
         targets = self._targets_for_range(core, mm, vrange)
-        if targets:
-            self._stats.counter("shootdown.initiated").add()
-            self._stats.rate("shootdowns").hit()
+        self._stats.counter("shootdown.initiated").add()
+        self._stats.rate("shootdowns").hit()
         yield from self.ipi_round(core, mm, vrange, targets, ShootdownReason.MIGRATION)
         return Signal(self.kernel.sim).succeed(None)

@@ -102,9 +102,8 @@ class BarrelfishShootdown(TLBCoherence):
         start = self.kernel.sim.now
         yield from core.execute(self.local_invalidate(core, mm, vrange))
         targets = self.select_targets(core, mm)
-        if targets:
-            self._stats.counter("shootdown.initiated").add()
-            self._stats.rate("shootdowns").hit()
+        self._stats.counter("shootdown.initiated").add()
+        self._stats.rate("shootdowns").hit()
         yield from self._message_round(core, mm, vrange, targets)
         self._stats.latency("shootdown.free").record(self.kernel.sim.now - start)
         yield from core.execute(FrameBatch.units_of(pfns) * self._lat.page_free_ns)
@@ -134,8 +133,7 @@ class BarrelfishShootdown(TLBCoherence):
         apply_pte_change()
         yield from core.execute(self.local_invalidate(core, mm, vrange))
         targets = self.select_targets(core, mm)
-        if targets:
-            self._stats.counter("shootdown.initiated").add()
-            self._stats.rate("shootdowns").hit()
+        self._stats.counter("shootdown.initiated").add()
+        self._stats.rate("shootdowns").hit()
         yield from self._message_round(core, mm, vrange, targets)
         return Signal(self.kernel.sim).succeed(None)

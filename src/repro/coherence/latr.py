@@ -14,6 +14,32 @@ only invalidate. The migration (page fault side) is gated until the bitmask
 empties (section 4.4).
 
 Queue-full falls back to the synchronous IPI round (section 8).
+
+The sweep hot path
+------------------
+
+The *modelled* sweep visits every core's 64-slot queue (that is what the
+hardware-free design costs, and the ns cost model charges exactly that), but
+simulating it naively makes the simulator's inner loop O(cores^2 x
+queue_depth) per simulated millisecond -- on the 8-socket/120-core box the
+empty sweep dominates wall-clock. Like numaPTE's observation that tracking
+*where* translations live turns broadcast work into targeted work, the
+simulator keeps an **active-state index**:
+
+* a global count of active states -- the empty sweep (the common case)
+  returns the base cost in O(1);
+* per-queue active counts (maintained by ``LatrStateQueue.post`` and the
+  notifying ``LatrState.active`` property) -- sweeps skip empty queues;
+* a per-core "last swept seq" cursor -- a repeat sweep never re-examines a
+  state it already cleared itself from, because a state posted before this
+  core's previous sweep can no longer carry this core's bitmask bit (the
+  bitmask only shrinks and ``active`` is monotone).
+
+The index changes *no modelled result*: every ns cost, counter, latency and
+experiment row is bit-for-bit identical to the full scan (gated by the
+differential fuzzer and ``tests/test_sweep_index.py``). Construct with
+``use_sweep_index=False`` to force the original full scan -- the benchmark
+harness uses that as its pre-index wall-clock baseline.
 """
 
 from __future__ import annotations
@@ -43,12 +69,16 @@ class LatrCoherence(TLBCoherence):
         reclaim_delay_ticks: int = 2,
         sweep_on_context_switch: bool = True,
         sweep_on_tick: bool = True,
+        use_sweep_index: bool = True,
     ):
         super().__init__()
         self.queue_depth = queue_depth
         self.reclaim_delay_ticks = reclaim_delay_ticks
         self.sweep_on_context_switch = sweep_on_context_switch
         self.sweep_on_tick = sweep_on_tick
+        #: False forces the original O(cores x queue_depth) full scan; the
+        #: bench harness and the equivalence tests compare both paths.
+        self.use_sweep_index = use_sweep_index
         self.queues: Dict[int, LatrStateQueue] = {}
         #: Extra per-sweep cost for cache-thrashing applications whose state
         #: queue lines never stay resident (workload profiles set this; the
@@ -59,6 +89,13 @@ class LatrCoherence(TLBCoherence):
         #: Active MIGRATION states indexed for the fault-path gate.
         self._migration_states: List[LatrState] = []
         self._reclaimd_started = False
+        # --- the active-state index ---
+        #: Posted states whose bitmask is non-empty, across all queues.
+        self._active_state_count = 0
+        #: Highest seq ever posted (cursor watermark for sweeps).
+        self._last_posted_seq = 0
+        #: core id -> last posted seq observed at that core's previous sweep.
+        self._sweep_cursor: Dict[int, int] = {}
 
     # ---- wiring ---------------------------------------------------------------
 
@@ -68,12 +105,35 @@ class LatrCoherence(TLBCoherence):
             core.id: LatrStateQueue(core.id, self.queue_depth)
             for core in kernel.machine.cores
         }
+        for queue in self.queues.values():
+            queue.index = self
+        self._active_state_count = 0
+        self._last_posted_seq = 0
+        self._sweep_cursor = {}
 
     def start(self) -> None:
         """Spawn the background reclamation daemon (kernel.start calls this)."""
         if not self._reclaimd_started:
             self._reclaimd_started = True
             self.kernel.sim.spawn(self._reclaimd(), name="latr-reclaimd")
+
+    # ---- the active-state index (queue callbacks) -------------------------------
+
+    def note_posted(self, queue: LatrStateQueue, state: LatrState) -> None:
+        """A queue accepted an active state (called by ``LatrStateQueue.post``)."""
+        self._active_state_count += 1
+        if state.seq > self._last_posted_seq:
+            self._last_posted_seq = state.seq
+
+    def note_deactivated(self, queue: LatrStateQueue, state: LatrState) -> None:
+        """A posted state went inactive (via the ``LatrState.active`` setter)."""
+        if self._active_state_count > 0:
+            self._active_state_count -= 1
+
+    def active_state_count(self) -> int:
+        """Posted, still-active states across all queues (index invariant:
+        equals what a full scan of every queue would count)."""
+        return self._active_state_count
 
     # ---- free operations (4.2) --------------------------------------------------
 
@@ -91,7 +151,10 @@ class LatrCoherence(TLBCoherence):
         if not targets:
             # No remote core can cache these translations; the local TLB is
             # already clean, so immediate reuse is safe (same as Linux's
-            # no-IPI path).
+            # no-IPI path). Still one initiated free-class shootdown, so the
+            # counters stay comparable across mechanisms.
+            self._stats.counter("shootdown.initiated").add()
+            self._stats.rate("shootdowns").hit()
             yield from core.execute(FrameBatch.units_of(pfns) * self._lat.page_free_ns)
             self.kernel.release_frames(pfns)
             if vrange_to_free is not None:
@@ -114,6 +177,8 @@ class LatrCoherence(TLBCoherence):
             # Queue full: fall back to the synchronous IPI mechanism
             # (paper section 8) and complete like Linux would.
             self._stats.counter("latr.fallback_ipi").add()
+            self._stats.counter("shootdown.initiated").add()
+            self._stats.rate("shootdowns").hit()
             yield from self.ipi_round(core, mm, vrange, targets, ShootdownReason.FALLBACK)
             yield from core.execute(FrameBatch.units_of(pfns) * self._lat.page_free_ns)
             self.kernel.release_frames(pfns)
@@ -170,7 +235,10 @@ class LatrCoherence(TLBCoherence):
             reclaimed=True,
         )
         if not bitmask:
-            # Nothing can cache the translation: apply immediately.
+            # Nothing can cache the translation: apply immediately. Still an
+            # initiated migration-class shootdown (counter comparability).
+            self._stats.counter("shootdown.initiated").add()
+            self._stats.rate("shootdowns").hit()
             apply_pte_change()
             state.pte_applied = True
             state.active = False
@@ -191,8 +259,8 @@ class LatrCoherence(TLBCoherence):
             yield from core.execute(self.local_invalidate(core, mm, vrange))
             yield from self.ipi_round(core, mm, vrange, targets, ShootdownReason.FALLBACK)
             state.cpu_bitmask.clear()
-            state.active = False
             state.completed_at = self.kernel.sim.now
+            state.active = False
             state.done.succeed(state)
             self._stats.latency("shootdown.migration").record(
                 self.kernel.sim.now - state.posted_at
@@ -200,11 +268,25 @@ class LatrCoherence(TLBCoherence):
             return state.done
         yield from core.execute(self._lat.latr_state_write_ns)
         self._migration_states.append(state)
+        # Lazily-completed migrations record their latency when the last
+        # sweeper empties the bitmask (clear_cpu fires ``done``) -- the lazy
+        # path, not just the queue-full fallback above.
+        state.done.add_callback(self._record_lazy_migration_latency)
         self.kernel.machine.llc.record_state_traffic(STATE_LINES)
         self._stats.counter("latr.states_posted").add()
         self._stats.counter("latr.migration_states").add()
+        self._stats.counter("shootdown.initiated").add()
         self._stats.rate("shootdowns").hit()
         return state.done
+
+    def _record_lazy_migration_latency(self, sig: Signal) -> None:
+        state = sig.value
+        completed_at = state.completed_at
+        if completed_at is None:  # defensive: interrupted signal
+            completed_at = self.kernel.sim.now
+        self._stats.latency("shootdown.migration").record(
+            completed_at - state.posted_at
+        )
 
     def migration_gate(self, mm: MmStruct, vpn: int) -> Optional[Signal]:
         for state in self._migration_states:
@@ -220,43 +302,99 @@ class LatrCoherence(TLBCoherence):
         Cost model is Table 5's 158 ns base (the states are contiguous and
         prefetched) plus per-active-entry examination, a cacheline pull the
         first time this core reads a state written on another socket, and
-        the local invalidation work for matching entries.
+        the local invalidation work for matching entries. The indexed and
+        full implementations charge identical costs; only the simulator's
+        own wall-clock differs.
         """
+        if self.use_sweep_index:
+            return self._sweep_indexed(core)
+        return self._sweep_full(core)
+
+    def _sweep_indexed(self, core) -> int:
         lat = self._lat
-        spec = self.kernel.machine.spec
+        cost = lat.latr_sweep_base_ns + self.cold_sweep_extra_ns
+        examined = self._active_state_count
+        if examined == 0:
+            # Empty-sweep fast path: the modelled sweep walked every slot
+            # and found nothing, which costs exactly the base; the simulator
+            # gets there in O(1).
+            return self._finish_sweep(core, [], 0, cost, 0)
+
+        cost += examined * lat.latr_sweep_per_entry_ns
         topo = self.kernel.machine.topology
-        now = self.kernel.sim.now
+        cursor = self._sweep_cursor.get(core.id, 0)
+        matching: List[LatrState] = []
+        total_pages = 0
+        # Only queues that currently hold active states, and within them only
+        # states posted after this core's previous sweep: older still-active
+        # states were already examined then -- their cross-socket pull is
+        # paid (pulled_by) and their bitmask can no longer contain this core.
+        for queue in self.queues.values():
+            if queue.active_count == 0:
+                continue
+            for state in queue.active_states_after(cursor):
+                cost += self._pull_cost(core, state, topo)
+                if core.id not in state.cpu_bitmask:
+                    continue
+                cost += self._apply_deferred_migration(state)
+                matching.append(state)
+                total_pages += state.vrange.n_pages
+        self._sweep_cursor[core.id] = self._last_posted_seq
+        return self._finish_sweep(core, matching, total_pages, cost, examined)
+
+    def _sweep_full(self, core) -> int:
+        """The original scan: every queue, every slot (pre-index baseline)."""
+        lat = self._lat
+        topo = self.kernel.machine.topology
         cost = lat.latr_sweep_base_ns + self.cold_sweep_extra_ns
         examined = 0
-
-        # Pass 1: scan every core's queue, collect the states addressed to
-        # this core, and apply deferred migration PTE changes.
         matching: List[LatrState] = []
         total_pages = 0
         for queue in self.queues.values():
             for state in queue.active_states():
                 examined += 1
                 cost += lat.latr_sweep_per_entry_ns
-                hops = topo.core_hops(core.id, state.owner_core)
-                if hops > 0 and core.id not in state.pulled_by:
-                    state.pulled_by.add(core.id)
-                    cost += lat.latr_state_pull(hops)
-                    self.kernel.machine.llc.record_state_traffic(STATE_LINES)
+                cost += self._pull_cost(core, state, topo)
                 if core.id not in state.cpu_bitmask:
                     continue
-                if state.flag is LatrFlag.MIGRATION and not state.pte_applied:
-                    # First sweeper applies the deferred PTE change
-                    # ("Clear PTE" in Figure 3b).
-                    state.pte_applied = True
-                    state.apply_pte_change()
-                    cost += state.vrange.n_pages * lat.pte_set_ns
+                cost += self._apply_deferred_migration(state)
                 matching.append(state)
                 total_pages += state.vrange.n_pages
+        return self._finish_sweep(core, matching, total_pages, cost, examined)
 
-        # Pass 2: invalidate. Like Linux's 32-page batching rule, a sweep
-        # with more work than the threshold does one full flush instead of
-        # per-page INVLPGs (paper 4.1: "LATR flushes the entire TLB during
-        # state sweep").
+    def _pull_cost(self, core, state: LatrState, topo) -> int:
+        """Cacheline pull the first time ``core`` reads a remote-socket state."""
+        hops = topo.core_hops(core.id, state.owner_core)
+        if hops > 0 and core.id not in state.pulled_by:
+            state.pulled_by.add(core.id)
+            self.kernel.machine.llc.record_state_traffic(STATE_LINES)
+            return self._lat.latr_state_pull(hops)
+        return 0
+
+    def _apply_deferred_migration(self, state: LatrState) -> int:
+        """First sweeper applies the deferred PTE change ("Clear PTE" in
+        Figure 3b); returns the PTE-write cost."""
+        if state.flag is LatrFlag.MIGRATION and not state.pte_applied:
+            state.pte_applied = True
+            state.apply_pte_change()
+            return state.vrange.n_pages * self._lat.pte_set_ns
+        return 0
+
+    def _finish_sweep(
+        self,
+        core,
+        matching: List[LatrState],
+        total_pages: int,
+        cost: int,
+        examined: int,
+    ) -> int:
+        """Pass 2: invalidate. Like Linux's 32-page batching rule, a sweep
+        with more work than the threshold does one full flush instead of
+        per-page INVLPGs (paper 4.1: "LATR flushes the entire TLB during
+        state sweep")."""
+        lat = self._lat
+        spec = self.kernel.machine.spec
+        now = self.kernel.sim.now
         if total_pages > spec.full_flush_threshold:
             core.tlb.flush()
             cost += lat.tlb_full_flush_ns + len(matching) * 30

@@ -42,9 +42,11 @@ class LinuxShootdown(TLBCoherence):
         start = self.kernel.sim.now
         yield from core.execute(self.local_invalidate(core, mm, vrange))
         targets = self.select_targets(core, mm)
-        if targets:
-            self._stats.counter("shootdown.initiated").add()
-            self._stats.rate("shootdowns").hit()
+        # Counted even when target selection leaves nobody to IPI (all-idle
+        # remote cores): the *operation* initiated a shootdown, and every
+        # mechanism counts the same way so mech_compare rows line up.
+        self._stats.counter("shootdown.initiated").add()
+        self._stats.rate("shootdowns").hit()
         yield from self.ipi_round(core, mm, vrange, targets, ShootdownReason.FREE)
         self._stats.latency("shootdown.free").record(self.kernel.sim.now - start)
         # Synchronous completion: immediate reuse is safe. Freeing happens on
@@ -66,9 +68,8 @@ class LinuxShootdown(TLBCoherence):
         apply_pte_change()
         yield from core.execute(self.local_invalidate(core, mm, vrange))
         targets = self.select_targets(core, mm)
-        if targets:
-            self._stats.counter("shootdown.initiated").add()
-            self._stats.rate("shootdowns").hit()
+        self._stats.counter("shootdown.initiated").add()
+        self._stats.rate("shootdowns").hit()
         yield from self.ipi_round(core, mm, vrange, targets, ShootdownReason.MIGRATION)
         # Synchronous: coherence is complete at return.
         return Signal(self.kernel.sim).succeed(None)

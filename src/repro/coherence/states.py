@@ -6,6 +6,15 @@ invalidate, flags distinguishing free from migration operations, and an
 active flag. Cores sweep *all* cores' queues at every scheduler tick or
 context switch, invalidate what concerns them, clear their bitmask bit with
 an atomic, and the last core deactivates the entry.
+
+To keep the simulator's sweep sub-linear (the paper's observation that the
+common sweep is the *empty* sweep), every queue maintains an
+:attr:`~LatrStateQueue.active_count` and reports post/deactivation events to
+an optional :attr:`~LatrStateQueue.index` (the owning
+:class:`~repro.coherence.latr.LatrCoherence`). Deactivation is caught at the
+``active`` attribute itself -- it is a notifying property -- so every path
+that retires a state (``clear_cpu``, queue-full fallbacks, the deliberately
+broken fuzzer mutations) keeps the counts exact.
 """
 
 from __future__ import annotations
@@ -61,17 +70,43 @@ class LatrState:
     completed_at: Optional[int] = None
     reclaimed: bool = False
     seq: int = field(default_factory=lambda: next(_state_seq))
+    #: The queue this state was posted to (None until posted). Deactivation
+    #: notifies it so active counts and the sweep index never drift.
+    queue: Optional["LatrStateQueue"] = None
 
     def clear_cpu(self, core_id: int, now: int) -> bool:
         """Remove ``core_id`` from the bitmask; returns True when this was
         the last core (the state deactivates, paper Figure 5 step 3)."""
         self.cpu_bitmask.discard(core_id)
         if not self.cpu_bitmask and self.active:
-            self.active = False
+            # Set the completion time before flipping ``active``: the
+            # deactivation notification (and the done callbacks) may read it.
             self.completed_at = now
+            self.active = False
             self.done.succeed(self)
             return True
         return False
+
+
+def _active_get(self: LatrState) -> bool:
+    return self.__dict__.get("_active_value", True)
+
+
+def _active_set(self: LatrState, value: bool) -> None:
+    prev = self.__dict__.get("_active_value")
+    self.__dict__["_active_value"] = bool(value)
+    if prev and not value:
+        queue = getattr(self, "queue", None)
+        if queue is not None:
+            queue.note_deactivated(self)
+
+
+# ``active`` is a notifying property so that *every* deactivation path --
+# clear_cpu, the queue-full fallbacks that assign ``state.active = False``
+# directly, and the fuzzer's broken-LATR mutations -- decrements the queue
+# and index counts exactly once. States never reactivate (the flag is
+# monotone), which is what makes the sweep cursor in LatrCoherence sound.
+LatrState.active = property(_active_get, _active_set)  # type: ignore[assignment]
 
 
 class LatrStateQueue:
@@ -93,6 +128,12 @@ class LatrStateQueue:
         self._cursor = 0
         self.posts = 0
         self.full_rejections = 0
+        #: Number of currently-active states in this queue; sweeps skip the
+        #: queue entirely when it is zero.
+        self.active_count = 0
+        #: Optional owner implementing ``note_posted(queue, state)`` /
+        #: ``note_deactivated(queue, state)`` (the LatrCoherence sweep index).
+        self.index = None
 
     def post(self, state: LatrState) -> bool:
         """Install a state; False when the queue is full (caller falls back).
@@ -108,11 +149,31 @@ class LatrStateQueue:
         self._slots[self._cursor] = state
         self._cursor = (self._cursor + 1) % self.depth
         self.posts += 1
+        state.queue = self
+        if state.active:
+            self.active_count += 1
+            if self.index is not None:
+                self.index.note_posted(self, state)
         return True
+
+    def note_deactivated(self, state: LatrState) -> None:
+        """A posted state flipped active -> inactive (called by the
+        ``LatrState.active`` setter exactly once per state)."""
+        if self.active_count > 0:
+            self.active_count -= 1
+        if self.index is not None:
+            self.index.note_deactivated(self, state)
 
     def active_states(self) -> Iterator[LatrState]:
         for state in self._slots:
             if state is not None and state.active:
+                yield state
+
+    def active_states_after(self, seq: int) -> Iterator[LatrState]:
+        """Active states with a posting sequence newer than ``seq``, in slot
+        order (the same order the full scan visits them)."""
+        for state in self._slots:
+            if state is not None and state.active and state.seq > seq:
                 yield state
 
     def all_states(self) -> Iterator[LatrState]:

@@ -50,7 +50,8 @@ def fig10(fast: bool = False) -> ExperimentResult:
 def fig12(fast: bool = False) -> ExperimentResult:
     rows = []
     duration = 40 if fast else 120
-    # Webservers on a single core: no remote cores, so no shootdowns at all.
+    # Webservers on a single core: no remote cores, so every shootdown takes
+    # the no-target fast path (still counted as initiated, but no IPI work).
     for server, use_mmap in (("nginx", False), ("apache", True)):
         results = {}
         for mech in ("linux", "latr"):

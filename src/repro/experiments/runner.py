@@ -64,9 +64,14 @@ class ExperimentResult:
 
         buf = io.StringIO()
         writer = csv.writer(buf)
+        cols = len(self.headers)
         writer.writerow(list(self.headers))
         for row in self.rows:
-            writer.writerow(list(row))
+            # Same pad/truncate-to-headers rule as render(): every CSV row
+            # parses with a fixed column count.
+            cells = list(row)[:cols]
+            cells += [""] * (cols - len(cells))
+            writer.writerow(cells)
         return buf.getvalue()
 
 

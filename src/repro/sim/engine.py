@@ -212,11 +212,18 @@ def _gather(sim: "Simulator", children: Iterable[Any], owner: str = "") -> Signa
 class Simulator:
     """The event loop: a time-ordered heap of callbacks plus process support."""
 
+    #: Events executed across all Simulator instances in this process; the
+    #: benchmark harness snapshots it around a timed run to report events/sec
+    #: even when the run builds several machines internally.
+    total_events_executed = 0
+
     def __init__(self):
         self._heap: List[EventHandle] = []
         self._seq = 0
         self._now = 0
         self._running = False
+        #: Events executed by this instance (monotonic, never reset).
+        self.events_executed = 0
 
     @property
     def now(self) -> int:
@@ -262,6 +269,8 @@ class Simulator:
                 continue
             self._now = handle.time
             handle.fn(*handle.args)
+            self.events_executed += 1
+            Simulator.total_events_executed += 1
             return True
         return False
 

@@ -35,11 +35,13 @@ class LatencyRecorder:
     def __init__(self, name: str):
         self.name = name
         self.samples: List[int] = []
+        self._sorted: Optional[List[int]] = None
 
     def record(self, latency_ns: int) -> None:
         if latency_ns < 0:
             raise ValueError(f"negative latency sample on {self.name!r}: {latency_ns}")
         self.samples.append(latency_ns)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -67,7 +69,12 @@ class LatencyRecorder:
             return 0.0
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile out of range: {pct}")
-        ordered = sorted(self.samples)
+        # Tail-latency experiments ask for several percentiles per recorder;
+        # sort once and reuse until the next record() invalidates. The length
+        # guard catches direct appends to ``samples`` (tests do this).
+        if self._sorted is None or len(self._sorted) != len(self.samples):
+            self._sorted = sorted(self.samples)
+        ordered = self._sorted
         if len(ordered) == 1:
             return float(ordered[0])
         rank = (pct / 100.0) * (len(ordered) - 1)

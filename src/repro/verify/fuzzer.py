@@ -92,6 +92,7 @@ def build_fuzz_system(
     with_tracer: bool = False,
     frames_per_node: int = FRAMES_PER_NODE,
     monitor_stride: int = 1,
+    latr_kwargs: Optional[Dict[str, object]] = None,
 ) -> FuzzSystem:
     """Boot a system for one fuzz run, with every schedule knob applied
     *before* the kernel starts (tick offsets matter from the first tick)."""
@@ -118,6 +119,7 @@ def build_fuzz_system(
         coherence = LatrCoherence(
             queue_depth=plan.schedule.queue_depth,
             reclaim_delay_ticks=plan.schedule.reclaim_delay_ticks,
+            **(latr_kwargs or {}),
         )
     else:
         coherence = make_mechanism(mechanism)
@@ -475,6 +477,9 @@ class RunResult:
     checks_run: int
     sim_time_ns: int
     tracer: Optional[Tracer] = field(default=None, repr=False)
+    #: StatsRegistry.summary() at end of run -- the sweep-index equivalence
+    #: tests assert this is bit-for-bit identical across implementations.
+    stats_summary: Dict[str, object] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -488,6 +493,7 @@ def run_one(
     with_tracer: bool = False,
     frames_per_node: int = FRAMES_PER_NODE,
     monitor_stride: int = 1,
+    latr_kwargs: Optional[Dict[str, object]] = None,
 ) -> RunResult:
     """Replay ``plan`` once on ``mechanism``; never raises -- harness
     exceptions come back as errors (they are findings, not crashes)."""
@@ -498,6 +504,7 @@ def run_one(
         with_tracer=with_tracer,
         frames_per_node=frames_per_node,
         monitor_stride=monitor_stride,
+        latr_kwargs=latr_kwargs,
     )
     sim, kernel = system.sim, system.kernel
     tick = system.machine.spec.tick_interval_ns
@@ -547,6 +554,7 @@ def run_one(
         checks_run=system.monitor.checks_run,
         sim_time_ns=sim.now,
         tracer=system.tracer,
+        stats_summary=kernel.stats.summary(),
     )
 
 

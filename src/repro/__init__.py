@@ -21,6 +21,7 @@ Quickstart::
 """
 
 from dataclasses import dataclass
+from typing import Optional
 
 from .coherence import MECHANISMS, LatrCoherence, LinuxShootdown, make_mechanism
 from .hw import COMMODITY_2S16C, LARGE_NUMA_8S120C, Machine, MachineSpec, preset
@@ -50,10 +51,10 @@ class System:
 def build_system(
     mechanism: str = "latr",
     machine: str = "commodity-2s16c",
-    cores: int = None,
+    cores: Optional[int] = None,
     pcid: bool = False,
     seed: int = 1,
-    frames_per_node: int = None,
+    frames_per_node: Optional[int] = None,
     **mechanism_kwargs,
 ) -> System:
     """Build and boot a simulated machine running one coherence mechanism.

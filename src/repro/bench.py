@@ -15,6 +15,12 @@ JSON records both wall-clocks and the speedup, and the two legs' complete
 ``StatsRegistry.summary()`` dicts are asserted identical -- the index must
 never change a modelled result.
 
+The all-fast-parallel case (full suite only) runs every registered
+experiment in fast mode twice -- serially, then with the run cells sharded
+over one worker process per CPU -- and records the jobs=1 vs jobs=N
+speedup. The two legs' rendered tables are asserted byte-identical
+(``tables_match``); a mismatch fails the bench like a stats divergence.
+
 JSON format (one file per run)::
 
     {
@@ -188,6 +194,46 @@ def _experiment_case(exp_id: str) -> CaseResult:
     )
 
 
+def _all_parallel_case(jobs: Optional[int] = None) -> CaseResult:
+    """``repro all --fast`` serially, then again sharded over ``jobs``
+    worker processes. Records the speedup and asserts the rendered tables
+    are byte-identical (``tables_match`` fails the bench when not).
+
+    On a single-CPU host the parallel leg is skipped (sharding one core
+    only measures pool overhead) and the speedup is reported as 1.0."""
+    from .experiments import available_experiments, run_many
+
+    exp_ids = available_experiments()
+    jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    wall_serial, _parent_events, serial_runs = _timed(
+        lambda: run_many(exp_ids, fast=True, jobs=1)
+    )
+    serial_tables = [run.result.render() for run in serial_runs]
+    events = sum(run.events for run in serial_runs)
+    cells = sum(len(run.outcomes) for run in serial_runs)
+    extra: Dict[str, object] = {
+        "experiments": len(exp_ids),
+        "cells": cells,
+        "jobs": jobs,
+        "serial_wall_s": round(wall_serial, 4),
+    }
+    if jobs > 1:
+        wall_par, _parent_events, parallel_runs = _timed(
+            lambda: run_many(exp_ids, fast=True, jobs=jobs)
+        )
+        parallel_tables = [run.result.render() for run in parallel_runs]
+        extra["speedup_vs_serial"] = (
+            round(wall_serial / wall_par, 2) if wall_par > 0 else 0.0
+        )
+        extra["tables_match"] = parallel_tables == serial_tables
+        wall = wall_par
+    else:
+        extra["speedup_vs_serial"] = 1.0
+        extra["note"] = "single-CPU host: parallel leg skipped"
+        wall = wall_serial
+    return CaseResult(name="all-fast-parallel", wall_s=wall, events=events, extra=extra)
+
+
 def bench_suite(quick: bool = False) -> List[Callable[[], CaseResult]]:
     """The fixed suite, as thunks (so case failures are attributable)."""
     if quick:
@@ -200,6 +246,7 @@ def bench_suite(quick: bool = False) -> List[Callable[[], CaseResult]]:
         lambda: _experiment_case("fig9"),
         lambda: _experiment_case("fuzz-smoke"),
         lambda: _sweep_stress_case(SWEEP_STRESS_MS),
+        lambda: _all_parallel_case(),
     ]
 
 
@@ -233,6 +280,9 @@ def compare_to_previous(
         if prev.get("sim_ms") != entry.get("sim_ms"):
             # Quick and full runs use different sweep-stress durations;
             # their wall-clocks are not comparable.
+            continue
+        if prev.get("jobs") != entry.get("jobs"):
+            # all-fast-parallel on hosts with different CPU counts.
             continue
         prev_wall = prev.get("wall_s")
         wall = entry.get("wall_s")
@@ -282,9 +332,18 @@ def run_bench(
                 f"  (full scan {case.extra['full_scan_wall_s']}s, "
                 f"{case.extra['speedup_vs_full_scan']}x speedup)"
             )
+        if "speedup_vs_serial" in case.extra:
+            line += (
+                f"  (serial {case.extra['serial_wall_s']}s, "
+                f"{case.extra['speedup_vs_serial']}x speedup on "
+                f"{case.extra['jobs']} jobs)"
+            )
         echo(line)
         if case.extra.get("stats_match") is False:
             echo(f"  {case.name}: FAIL -- indexed and full-scan stats diverge")
+            failed = True
+        if case.extra.get("tables_match") is False:
+            echo(f"  {case.name}: FAIL -- parallel tables differ from serial")
             failed = True
 
     regressions = compare_to_previous(cases, previous, threshold_pct)

@@ -6,17 +6,20 @@ Examples::
     python -m repro fig6
     python -m repro fig9 --fast
     python -m repro all --fast -o results.txt
+    python -m repro all --fast --jobs 4
     python -m repro fuzz --seed 7 --ops 500
+    python -m repro ci
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
-from .experiments import available_experiments, run_experiment
+from .experiments import available_experiments, run_experiment, run_many
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -27,12 +30,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig6, tab5), 'all', 'list', 'fuzz', or 'bench'",
+        help="experiment id (e.g. fig6, tab5), 'all', 'list', 'fuzz', 'bench', or 'ci'",
     )
     parser.add_argument(
         "--fast",
         action="store_true",
         help="reduced sweeps/durations (for smoke runs and CI)",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="run cells on N worker processes (0 = one per CPU); tables are "
+        "byte-identical to --jobs 1 (default: 1, fully in-process)",
     )
     parser.add_argument(
         "--seed",
@@ -97,24 +108,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "bench":
         return _run_bench_command(args)
 
+    if args.experiment == "ci":
+        return _run_ci_command(args)
+
     exp_ids = available_experiments() if args.experiment == "all" else [args.experiment]
     sink = open(args.output, "a") if args.output else None
     try:
-        for exp_id in exp_ids:
+        if args.jobs != 1:
+            # Sharded backend: the union of every experiment's cells goes
+            # into one worker pool; tables come back in experiment order,
+            # byte-identical to the serial path.
             started = time.time()
-            result = run_experiment(exp_id, fast=args.fast)
-            text = result.render()
+            runs = run_many(exp_ids, fast=args.fast, jobs=args.jobs)
             elapsed = time.time() - started
-            print(text)
-            print(f"[{exp_id} done in {elapsed:.1f}s]\n")
-            if sink:
-                sink.write(text + "\n\n")
-            if args.csv_dir:
-                import os
-
-                os.makedirs(args.csv_dir, exist_ok=True)
-                with open(os.path.join(args.csv_dir, f"{exp_id}.csv"), "w") as csv_file:
-                    csv_file.write(result.to_csv())
+            for run in runs:
+                _emit(run.exp_id, run.result, sink, args.csv_dir)
+                print(
+                    f"[{run.exp_id} done: {len(run.outcomes)} cell(s), "
+                    f"{run.cell_seconds:.1f}s cell time]\n"
+                )
+            total_cells = sum(len(run.outcomes) for run in runs)
+            print(
+                f"[{total_cells} cells on {args.jobs or 'auto'} jobs "
+                f"in {elapsed:.1f}s wall]"
+            )
+        else:
+            for exp_id in exp_ids:
+                started = time.time()
+                result = run_experiment(exp_id, fast=args.fast)
+                elapsed = time.time() - started
+                _emit(exp_id, result, sink, args.csv_dir)
+                print(f"[{exp_id} done in {elapsed:.1f}s]\n")
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -122,6 +146,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if sink:
             sink.close()
     return 0
+
+
+def _emit(exp_id: str, result, sink, csv_dir: Optional[str]) -> None:
+    """Print one rendered table and mirror it to the optional sinks."""
+    text = result.render()
+    print(text)
+    if sink:
+        sink.write(text + "\n\n")
+    if csv_dir:
+        os.makedirs(csv_dir, exist_ok=True)
+        with open(os.path.join(csv_dir, f"{exp_id}.csv"), "w") as csv_file:
+            csv_file.write(result.to_csv())
 
 
 def _run_bench_command(args) -> int:
@@ -169,6 +205,52 @@ def _run_fuzz_command(args) -> int:
         with open(args.output, "a") as sink:
             sink.write(text + "\n\n")
     return 0 if report.ok else 1
+
+
+def _run_ci_command(args) -> int:
+    """``python -m repro ci``: the full local gate -- tier-1 pytest, a
+    parallel fast-mode smoke of every experiment, and the quick wall-clock
+    bench with its regression check. Exits non-zero on the first failure.
+
+    Needs a source checkout (it locates ``tests/`` next to ``src/``)."""
+    import subprocess
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    repo_root = os.path.dirname(src_dir)
+    started = time.time()
+
+    def step(label: str, runner) -> int:
+        step_start = time.time()
+        print(f"ci: {label} ...", flush=True)
+        code = runner()
+        status = "ok" if code == 0 else f"FAILED (exit {code})"
+        print(f"ci: {label}: {status} [{time.time() - step_start:.1f}s]", flush=True)
+        return code
+
+    def tier1() -> int:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return subprocess.call(
+            [sys.executable, "-m", "pytest", "-x", "-q"], cwd=repo_root, env=env
+        )
+
+    steps = [
+        ("tier-1 pytest", tier1),
+        ("repro all --fast --jobs 2", lambda: main(["all", "--fast", "--jobs", "2"])),
+        (
+            "repro bench --quick --check-regression",
+            lambda: main(["bench", "--quick", "--check-regression"]),
+        ),
+    ]
+    for label, runner in steps:
+        code = step(label, runner)
+        if code != 0:
+            print(f"ci: FAILED at '{label}' [{time.time() - started:.1f}s total]")
+            return code
+    print(f"ci: all gates passed [{time.time() - started:.1f}s total]")
+    return 0
 
 
 if __name__ == "__main__":

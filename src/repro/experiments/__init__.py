@@ -4,8 +4,36 @@ Use ``python -m repro <id>`` or::
 
     from repro.experiments import run_experiment
     print(run_experiment("fig6", fast=True).render())
+
+Experiments decompose into declarative :class:`RunCell` units that can run
+inline or sharded across worker processes::
+
+    from repro.experiments import run_many
+    runs = run_many(["fig6", "fig7"], fast=True, jobs=4)
 """
 
-from .runner import ExperimentResult, available_experiments, run_experiment
+from .runner import (
+    CellExecutionError,
+    CellOutcome,
+    ExperimentResult,
+    ExperimentRun,
+    RunCell,
+    available_experiments,
+    execute_experiment,
+    experiment_cells,
+    run_experiment,
+    run_many,
+)
 
-__all__ = ["ExperimentResult", "available_experiments", "run_experiment"]
+__all__ = [
+    "CellExecutionError",
+    "CellOutcome",
+    "ExperimentResult",
+    "ExperimentRun",
+    "RunCell",
+    "available_experiments",
+    "execute_experiment",
+    "experiment_cells",
+    "run_experiment",
+    "run_many",
+]

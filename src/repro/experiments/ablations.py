@@ -4,6 +4,10 @@ These go beyond the paper's own figures: they quantify the trade-offs the
 paper only names -- the 64-entry queue depth (section 8), the two-tick
 reclamation delay (section 3), the sweep triggers (section 4.1), and PCID
 mode (section 4.5).
+
+Every sweep point is an independent boot, so abl-queue/abl-reclaim/
+abl-pcid/abl-flushthresh decompose into run cells; abl-sweep instruments
+one live system with closures and keeps the single-cell fallback.
 """
 
 from __future__ import annotations
@@ -11,21 +15,39 @@ from __future__ import annotations
 from .. import build_system
 from ..mm.addr import PAGE_SIZE
 from ..sim.engine import MSEC, AllOf
-from ..workloads.apache import ApacheConfig, ApacheWorkload
-from ..workloads.microbench import MicrobenchConfig, MunmapMicrobench
-from .runner import ExperimentResult, experiment
+from .runner import ExperimentResult, RunCell, cell_experiment, experiment
+
+APACHE_FN = "repro.workloads.apache:run_apache"
 
 
-@experiment("abl-queue")
-def ablation_queue_depth(fast: bool = False) -> ExperimentResult:
+def _queue_depths(fast: bool):
+    return (4, 16, 64) if fast else (2, 4, 8, 16, 32, 64, 128)
+
+
+def abl_queue_cells(fast: bool = False):
     """Queue depth vs fallback-IPI rate under a high munmap rate."""
-    depths = (4, 16, 64) if fast else (2, 4, 8, 16, 32, 64, 128)
     duration = 30 if fast else 80
+    return [
+        RunCell(
+            exp_id="abl-queue",
+            cell_id=f"depth={depth}",
+            fn=APACHE_FN,
+            params=dict(
+                mechanism="latr",
+                mechanism_kwargs={"queue_depth": depth},
+                cores=8,
+                duration_ms=duration,
+                warmup_ms=10,
+            ),
+            fast=fast,
+        )
+        for depth in _queue_depths(fast)
+    ]
+
+
+def abl_queue_assemble(values, fast: bool = False) -> ExperimentResult:
     rows = []
-    for depth in depths:
-        result = ApacheWorkload(
-            ApacheConfig(cores=8, duration_ms=duration, warmup_ms=10)
-        ).run("latr", queue_depth=depth)
+    for depth, result in zip(_queue_depths(fast), values):
         posted = result.counters.get("latr.states_posted", 0)
         fallbacks = result.counters.get("latr.fallback_ipi", 0)
         total = posted + fallbacks
@@ -49,17 +71,40 @@ def ablation_queue_depth(fast: bool = False) -> ExperimentResult:
     )
 
 
-@experiment("abl-reclaim")
-def ablation_reclaim_delay(fast: bool = False) -> ExperimentResult:
+def _reclaim_delays(fast: bool):
+    return (1, 2, 4) if fast else (1, 2, 3, 4, 6, 8)
+
+
+def reclaim_cell(ticks: int, fast: bool):
+    """One reclamation-delay point: the latency run plus the held-memory
+    run, both on a fresh system (module-level so cells can name it)."""
+    from ..workloads.microbench import MicrobenchConfig, MunmapMicrobench
+
+    bench = MunmapMicrobench(
+        MicrobenchConfig(cores=8, pages=16, reps=120 if fast else 260)
+    )
+    result = bench.run("latr", reclaim_delay_ticks=ticks)
+    overhead = bench.lazy_memory_overhead("latr", reclaim_delay_ticks=ticks)
+    return result, overhead
+
+
+def abl_reclaim_cells(fast: bool = False):
     """Reclamation delay vs transiently-held memory."""
-    delays = (1, 2, 4) if fast else (1, 2, 3, 4, 6, 8)
-    rows = []
-    for ticks in delays:
-        bench = MunmapMicrobench(
-            MicrobenchConfig(cores=8, pages=16, reps=120 if fast else 260)
+    return [
+        RunCell(
+            exp_id="abl-reclaim",
+            cell_id=f"ticks={ticks}",
+            fn="repro.experiments.ablations:reclaim_cell",
+            params=dict(ticks=ticks, fast=fast),
+            fast=fast,
         )
-        result = bench.run("latr", reclaim_delay_ticks=ticks)
-        overhead = bench.lazy_memory_overhead("latr", reclaim_delay_ticks=ticks)
+        for ticks in _reclaim_delays(fast)
+    ]
+
+
+def abl_reclaim_assemble(values, fast: bool = False) -> ExperimentResult:
+    rows = []
+    for ticks, (result, overhead) in zip(_reclaim_delays(fast), values):
         rows.append(
             (
                 ticks,
@@ -148,16 +193,28 @@ def ablation_sweep_triggers(fast: bool = False) -> ExperimentResult:
     )
 
 
-@experiment("abl-pcid")
-def ablation_pcid(fast: bool = False) -> ExperimentResult:
+def abl_pcid_cells(fast: bool = False):
     """PCID on/off (paper section 4.5): throughput and TLB behaviour."""
     duration = 30 if fast else 80
-    rows = []
-    for pcid in (False, True):
-        result = ApacheWorkload(
-            ApacheConfig(cores=8, duration_ms=duration, warmup_ms=10, pcid=pcid)
-        ).run("latr")
-        rows.append((("on" if pcid else "off"), result.metric("requests_per_sec")))
+    return [
+        RunCell(
+            exp_id="abl-pcid",
+            cell_id=f"pcid={'on' if pcid else 'off'}",
+            fn=APACHE_FN,
+            params=dict(
+                mechanism="latr", cores=8, duration_ms=duration, warmup_ms=10, pcid=pcid
+            ),
+            fast=fast,
+        )
+        for pcid in (False, True)
+    ]
+
+
+def abl_pcid_assemble(values, fast: bool = False) -> ExperimentResult:
+    rows = [
+        (("on" if pcid else "off"), result.metric("requests_per_sec"))
+        for pcid, result in zip((False, True), values)
+    ]
     return ExperimentResult(
         exp_id="abl-pcid",
         title="Ablation: PCID-tagged TLBs (paper section 4.5)",
@@ -168,9 +225,16 @@ def ablation_pcid(fast: bool = False) -> ExperimentResult:
     )
 
 
-@experiment("abl-flushthresh")
-def ablation_flush_threshold(fast: bool = False) -> ExperimentResult:
-    """Linux's 32-page full-flush heuristic (visible in Figure 8)."""
+FLUSHTHRESH_PAGES = 48
+
+
+def _flush_thresholds(fast: bool):
+    return (8, 32, 128) if fast else (8, 16, 32, 64, 128)
+
+
+def flushthresh_cell(threshold: int, fast: bool):
+    """One full-flush-threshold point on a dedicated 8-core Linux boot
+    (module-level so cells can name it)."""
     from dataclasses import replace
 
     from ..hw.spec import COMMODITY_2S16C
@@ -179,41 +243,56 @@ def ablation_flush_threshold(fast: bool = False) -> ExperimentResult:
     from ..coherence import make_mechanism
     from ..sim.engine import Simulator
 
-    thresholds = (8, 32, 128) if fast else (8, 16, 32, 64, 128)
-    pages = 48
-    rows = []
-    for threshold in thresholds:
-        spec = replace(
-            COMMODITY_2S16C.with_cores(8), name=f"t{threshold}", full_flush_threshold=threshold
-        )
-        sim = Simulator()
-        machine = Machine(sim, spec)
-        kernel = Kernel(machine, make_mechanism("linux"))
-        kernel.start()
-        proc = kernel.create_process("p")
-        tasks = [kernel.spawn_thread(proc, f"t{i}", i) for i in range(8)]
-        samples = []
+    spec = replace(
+        COMMODITY_2S16C.with_cores(8), name=f"t{threshold}", full_flush_threshold=threshold
+    )
+    sim = Simulator()
+    machine = Machine(sim, spec)
+    kernel = Kernel(machine, make_mechanism("linux"))
+    kernel.start()
+    proc = kernel.create_process("p")
+    tasks = [kernel.spawn_thread(proc, f"t{i}", i) for i in range(8)]
+    samples = []
 
-        def body():
-            t0, c0 = tasks[0], kernel.machine.core(0)
-            for _ in range(10 if fast else 30):
-                vrange = yield from kernel.syscalls.mmap(t0, c0, pages * PAGE_SIZE)
-                for t in tasks:
-                    core = kernel.machine.core(t.home_core_id)
-                    yield from kernel.syscalls.touch_pages(t, core, vrange, write=True)
-                start = sim.now
-                yield from kernel.syscalls.munmap(t0, c0, vrange)
-                samples.append(sim.now - start)
+    def body():
+        t0, c0 = tasks[0], kernel.machine.core(0)
+        for _ in range(10 if fast else 30):
+            vrange = yield from kernel.syscalls.mmap(t0, c0, FLUSHTHRESH_PAGES * PAGE_SIZE)
+            for t in tasks:
+                core = kernel.machine.core(t.home_core_id)
+                yield from kernel.syscalls.touch_pages(t, core, vrange, write=True)
+            start = sim.now
+            yield from kernel.syscalls.munmap(t0, c0, vrange)
+            samples.append(sim.now - start)
 
-        sim.spawn(body())
-        sim.run(until=2000 * MSEC)
-        full_flushes = sum(c.tlb.full_flushes for c in machine.cores)
-        rows.append(
-            (threshold, sum(samples) / len(samples) / 1000.0, full_flushes)
+    sim.spawn(body())
+    sim.run(until=2000 * MSEC)
+    full_flushes = sum(c.tlb.full_flushes for c in machine.cores)
+    return sum(samples) / len(samples) / 1000.0, full_flushes
+
+
+def abl_flushthresh_cells(fast: bool = False):
+    """Linux's 32-page full-flush heuristic (visible in Figure 8)."""
+    return [
+        RunCell(
+            exp_id="abl-flushthresh",
+            cell_id=f"threshold={threshold}",
+            fn="repro.experiments.ablations:flushthresh_cell",
+            params=dict(threshold=threshold, fast=fast),
+            fast=fast,
         )
+        for threshold in _flush_thresholds(fast)
+    ]
+
+
+def abl_flushthresh_assemble(values, fast: bool = False) -> ExperimentResult:
+    rows = [
+        (threshold, munmap_us, full_flushes)
+        for threshold, (munmap_us, full_flushes) in zip(_flush_thresholds(fast), values)
+    ]
     return ExperimentResult(
         exp_id="abl-flushthresh",
-        title=f"Ablation: full-flush threshold, {pages}-page munmap, 8 cores (Linux)",
+        title=f"Ablation: full-flush threshold, {FLUSHTHRESH_PAGES}-page munmap, 8 cores (Linux)",
         headers=("threshold (pages)", "munmap us", "full flushes"),
         rows=rows,
         paper_expectation=(
@@ -221,3 +300,9 @@ def ablation_flush_threshold(fast: bool = False) -> ExperimentResult:
             "single cheap full flush (the kink in Figure 8)"
         ),
     )
+
+
+cell_experiment("abl-queue", abl_queue_cells, abl_queue_assemble)
+cell_experiment("abl-reclaim", abl_reclaim_cells, abl_reclaim_assemble)
+cell_experiment("abl-pcid", abl_pcid_cells, abl_pcid_assemble)
+cell_experiment("abl-flushthresh", abl_flushthresh_cells, abl_flushthresh_assemble)

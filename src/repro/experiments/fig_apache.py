@@ -1,31 +1,62 @@
-"""Figures 1, 9 and the Apache rows of Figure 12 / Tables 4, 5."""
+"""Figures 1, 9 and the Apache rows of Figure 12 / Tables 4, 5.
+
+One (core count, mechanism) Apache boot per run cell; ``assemble``
+re-derives the core sweep from ``fast`` and interleaves the req/s and
+shootdown/s columns exactly like the historical serial loop.
+"""
 
 from __future__ import annotations
 
-from ..workloads.apache import ApacheConfig, ApacheWorkload
-from .runner import ExperimentResult, experiment
+from .runner import ExperimentResult, RunCell, cell_experiment
+
+APACHE_FN = "repro.workloads.apache:run_apache"
 
 
-def _apache_sweep(mechanisms, core_counts, fast: bool) -> list:
+def _apache_cores(fast: bool):
+    return (2, 6, 12) if fast else (2, 4, 6, 8, 10, 12)
+
+
+def _apache_sweep_cells(exp_id: str, mechanisms, fast: bool):
     duration = 40 if fast else 120
     warmup = 10 if fast else 20
-    rows = []
-    for cores in core_counts:
-        row = [cores]
+    cells = []
+    for cores in _apache_cores(fast):
         for mech in mechanisms:
-            result = ApacheWorkload(
-                ApacheConfig(cores=cores, duration_ms=duration, warmup_ms=warmup)
-            ).run(mech)
+            cells.append(
+                RunCell(
+                    exp_id=exp_id,
+                    cell_id=f"cores={cores}/{mech}",
+                    fn=APACHE_FN,
+                    params=dict(
+                        mechanism=mech,
+                        cores=cores,
+                        duration_ms=duration,
+                        warmup_ms=warmup,
+                    ),
+                    fast=fast,
+                )
+            )
+    return cells
+
+
+def _apache_sweep_assemble(mechanisms, core_counts, values) -> list:
+    rows = []
+    per_row = len(mechanisms)
+    for i, cores in enumerate(core_counts):
+        row = [cores]
+        for result in values[i * per_row : (i + 1) * per_row]:
             row.append(result.metric("requests_per_sec"))
             row.append(result.metric("shootdowns_per_sec"))
         rows.append(tuple(row))
     return rows
 
 
-@experiment("fig1")
-def fig1(fast: bool = False) -> ExperimentResult:
-    core_counts = (2, 6, 12) if fast else (2, 4, 6, 8, 10, 12)
-    rows = _apache_sweep(("linux", "latr"), core_counts, fast)
+def fig1_cells(fast: bool = False):
+    return _apache_sweep_cells("fig1", ("linux", "latr"), fast)
+
+
+def fig1_assemble(values, fast: bool = False) -> ExperimentResult:
+    rows = _apache_sweep_assemble(("linux", "latr"), _apache_cores(fast), values)
     return ExperimentResult(
         exp_id="fig1",
         title="Apache requests/sec and TLB shootdowns/sec: Linux vs LATR",
@@ -38,10 +69,12 @@ def fig1(fast: bool = False) -> ExperimentResult:
     )
 
 
-@experiment("fig9")
-def fig9(fast: bool = False) -> ExperimentResult:
-    core_counts = (2, 6, 12) if fast else (2, 4, 6, 8, 10, 12)
-    rows = _apache_sweep(("linux", "abis", "latr"), core_counts, fast)
+def fig9_cells(fast: bool = False):
+    return _apache_sweep_cells("fig9", ("linux", "abis", "latr"), fast)
+
+
+def fig9_assemble(values, fast: bool = False) -> ExperimentResult:
+    rows = _apache_sweep_assemble(("linux", "abis", "latr"), _apache_cores(fast), values)
     return ExperimentResult(
         exp_id="fig9",
         title="Apache requests/sec: Linux vs ABIS vs LATR",
@@ -61,3 +94,7 @@ def fig9(fast: bool = False) -> ExperimentResult:
             "ABIS's shootdown rate collapses (sharer tracking)"
         ),
     )
+
+
+cell_experiment("fig1", fig1_cells, fig1_assemble)
+cell_experiment("fig9", fig9_cells, fig9_assemble)

@@ -1,19 +1,52 @@
-"""Figures 6, 7, 8: the munmap/shootdown microbenchmark."""
+"""Figures 6, 7, 8: the munmap/shootdown microbenchmark.
+
+Each (core-count|page-count, mechanism) pair is one independent simulated
+boot, so the sweeps decompose into run cells executed by the sharded
+backend; ``assemble`` re-derives the sweep axes from ``fast`` and folds the
+cell results pairwise into the table rows.
+"""
 
 from __future__ import annotations
 
-from ..workloads.microbench import MicrobenchConfig, MunmapMicrobench
-from .runner import ExperimentResult, experiment
+from .runner import ExperimentResult, RunCell, cell_experiment
+
+MICROBENCH_FN = "repro.workloads.microbench:run_microbench"
 
 
-def _core_sweep(machine: str, core_counts, reps: int) -> ExperimentResult:
-    rows = []
+def _fig6_cores(fast: bool):
+    return (2, 4, 8, 16) if fast else (1, 2, 4, 6, 8, 10, 12, 14, 16)
+
+
+def _fig7_cores(fast: bool):
+    return (15, 60, 120) if fast else (15, 30, 45, 60, 75, 90, 105, 120)
+
+
+def _fig8_pages(fast: bool):
+    return (1, 32, 512) if fast else (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+def _core_sweep_cells(exp_id: str, machine: str, core_counts, reps: int, fast: bool):
+    cells = []
     for cores in core_counts:
-        bench = MunmapMicrobench(
-            MicrobenchConfig(machine=machine, cores=cores, pages=1, reps=reps)
-        )
-        linux = bench.run("linux")
-        latr = bench.run("latr")
+        for mech in ("linux", "latr"):
+            cells.append(
+                RunCell(
+                    exp_id=exp_id,
+                    cell_id=f"cores={cores}/{mech}",
+                    fn=MICROBENCH_FN,
+                    params=dict(
+                        mechanism=mech, machine=machine, cores=cores, pages=1, reps=reps
+                    ),
+                    fast=fast,
+                )
+            )
+    return cells
+
+
+def _core_sweep_assemble(core_counts, values) -> ExperimentResult:
+    rows = []
+    pairs = [values[i : i + 2] for i in range(0, len(values), 2)]
+    for cores, (linux, latr) in zip(core_counts, pairs):
         improvement = 100.0 * (1 - latr.metric("munmap_us") / linux.metric("munmap_us"))
         rows.append(
             (
@@ -42,11 +75,12 @@ def _core_sweep(machine: str, core_counts, reps: int) -> ExperimentResult:
     )
 
 
-@experiment("fig6")
-def fig6(fast: bool = False) -> ExperimentResult:
-    core_counts = (2, 4, 8, 16) if fast else (1, 2, 4, 6, 8, 10, 12, 14, 16)
-    reps = 20 if fast else 60
-    result = _core_sweep("commodity-2s16c", core_counts, reps)
+def fig6_cells(fast: bool = False):
+    return _core_sweep_cells("fig6", "commodity-2s16c", _fig6_cores(fast), 20 if fast else 60, fast)
+
+
+def fig6_assemble(values, fast: bool = False) -> ExperimentResult:
+    result = _core_sweep_assemble(_fig6_cores(fast), values)
     result.exp_id = "fig6"
     result.title = "munmap cost vs cores, 1 page, 2-socket/16-core"
     result.paper_expectation = (
@@ -56,11 +90,14 @@ def fig6(fast: bool = False) -> ExperimentResult:
     return result
 
 
-@experiment("fig7")
-def fig7(fast: bool = False) -> ExperimentResult:
-    core_counts = (15, 60, 120) if fast else (15, 30, 45, 60, 75, 90, 105, 120)
-    reps = 8 if fast else 25
-    result = _core_sweep("large-numa-8s120c", core_counts, reps)
+def fig7_cells(fast: bool = False):
+    return _core_sweep_cells(
+        "fig7", "large-numa-8s120c", _fig7_cores(fast), 8 if fast else 25, fast
+    )
+
+
+def fig7_assemble(values, fast: bool = False) -> ExperimentResult:
+    result = _core_sweep_assemble(_fig7_cores(fast), values)
     result.exp_id = "fig7"
     result.title = "munmap cost vs cores, 1 page, 8-socket/120-core"
     result.paper_expectation = (
@@ -71,17 +108,33 @@ def fig7(fast: bool = False) -> ExperimentResult:
     return result
 
 
-@experiment("fig8")
-def fig8(fast: bool = False) -> ExperimentResult:
-    page_counts = (1, 32, 512) if fast else (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
-    rows = []
-    for pages in page_counts:
+def fig8_cells(fast: bool = False):
+    cells = []
+    for pages in _fig8_pages(fast):
         reps = 10 if (fast or pages >= 128) else 40
-        bench = MunmapMicrobench(
-            MicrobenchConfig(machine="commodity-2s16c", cores=16, pages=pages, reps=reps)
-        )
-        linux = bench.run("linux")
-        latr = bench.run("latr")
+        for mech in ("linux", "latr"):
+            cells.append(
+                RunCell(
+                    exp_id="fig8",
+                    cell_id=f"pages={pages}/{mech}",
+                    fn=MICROBENCH_FN,
+                    params=dict(
+                        mechanism=mech,
+                        machine="commodity-2s16c",
+                        cores=16,
+                        pages=pages,
+                        reps=reps,
+                    ),
+                    fast=fast,
+                )
+            )
+    return cells
+
+
+def fig8_assemble(values, fast: bool = False) -> ExperimentResult:
+    rows = []
+    pairs = [values[i : i + 2] for i in range(0, len(values), 2)]
+    for pages, (linux, latr) in zip(_fig8_pages(fast), pairs):
         improvement = 100.0 * (1 - latr.metric("munmap_us") / linux.metric("munmap_us"))
         rows.append(
             (
@@ -110,3 +163,8 @@ def fig8(fast: bool = False) -> ExperimentResult:
             "LATR improves 70.8% at 1 page, still 7.5% at 512 pages"
         ),
     )
+
+
+cell_experiment("fig6", fig6_cells, fig6_assemble)
+cell_experiment("fig7", fig7_cells, fig7_assemble)
+cell_experiment("fig8", fig8_cells, fig8_assemble)

@@ -1,24 +1,58 @@
-"""Figure 11: AutoNUMA applications, normalized runtime + migration rates."""
+"""Figure 11: AutoNUMA applications, normalized runtime + migration rates.
+
+One (application, seed, mechanism) boot per run cell; ``assemble`` averages
+the per-seed ratios and reports the last seed's rate columns, matching the
+historical serial loop.
+"""
 
 from __future__ import annotations
 
-from ..workloads.numa_apps import NUMA_PROFILES, NumaConfig, NumaWorkload
-from .runner import ExperimentResult, experiment
+from ..workloads.numa_apps import NUMA_PROFILES
+from .runner import ExperimentResult, RunCell, cell_experiment
+
+NUMA_FN = "repro.workloads.numa_apps:run_numa"
+
+#: The refresh->sample->migrate pipeline needs ~40 ms to reach steady
+#: state, so even fast mode runs 80 ms and averages two seeds.
+SEEDS = (1, 2)
 
 
-@experiment("fig11")
-def fig11(fast: bool = False) -> ExperimentResult:
-    names = ("graph500", "pbzip2") if fast else list(NUMA_PROFILES)
-    # The refresh->sample->migrate pipeline needs ~40 ms to reach steady
-    # state, so even fast mode runs 80 ms and averages two seeds.
-    seeds = (1, 2)
+def _fig11_names(fast: bool):
+    return ("graph500", "pbzip2") if fast else list(NUMA_PROFILES)
+
+
+def fig11_cells(fast: bool = False):
+    cells = []
+    for name in _fig11_names(fast):
+        for seed in SEEDS:
+            for mech in ("linux", "latr"):
+                cells.append(
+                    RunCell(
+                        exp_id="fig11",
+                        cell_id=f"{name}/seed={seed}/{mech}",
+                        fn=NUMA_FN,
+                        params=dict(
+                            profile=name,
+                            mechanism=mech,
+                            work_per_core_ms=80 if fast else 120,
+                            seed=seed,
+                        ),
+                        seed=seed,
+                        fast=fast,
+                    )
+                )
+    return cells
+
+
+def fig11_assemble(values, fast: bool = False) -> ExperimentResult:
     rows = []
-    for name in names:
+    per_name = 2 * len(SEEDS)
+    for i, name in enumerate(_fig11_names(fast)):
+        chunk = values[i * per_name : (i + 1) * per_name]
         ratios = []
-        for seed in seeds:
-            cfg = NumaConfig(work_per_core_ms=80 if fast else 120, seed=seed)
-            linux = NumaWorkload(NUMA_PROFILES[name], cfg).run("linux")
-            latr = NumaWorkload(NUMA_PROFILES[name], cfg).run("latr")
+        linux = latr = None
+        for j in range(len(SEEDS)):
+            linux, latr = chunk[2 * j], chunk[2 * j + 1]
             ratios.append(latr.metric("runtime_ms") / linux.metric("runtime_ms"))
         ratio = sum(ratios) / len(ratios)
         rows.append(
@@ -51,3 +85,6 @@ def fig11(fast: bool = False) -> ExperimentResult:
         ),
         notes="LATR eliminates the per-sample IPI round of AutoNUMA's unmap",
     )
+
+
+cell_experiment("fig11", fig11_cells, fig11_assemble)

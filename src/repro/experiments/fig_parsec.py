@@ -1,27 +1,49 @@
-"""Figure 10 (PARSEC normalized runtime) and Figure 12 (low-shootdown apps)."""
+"""Figure 10 (PARSEC normalized runtime) and Figure 12 (low-shootdown apps).
+
+One (application, mechanism) boot per run cell; ``assemble`` re-derives the
+benchmark lists from ``fast`` and computes the normalized-runtime ratios.
+"""
 
 from __future__ import annotations
 
-from ..workloads.apache import ApacheConfig, ApacheWorkload
-from ..workloads.parsec import PARSEC_PROFILES, ParsecConfig, ParsecWorkload
-from .runner import ExperimentResult, experiment
+from ..workloads.parsec import PARSEC_PROFILES
+from .runner import ExperimentResult, RunCell, cell_experiment
+
+APACHE_FN = "repro.workloads.apache:run_apache"
+PARSEC_FN = "repro.workloads.parsec:run_parsec"
 
 
-def _normalized_runtime(profile_name: str, fast: bool):
-    cfg = ParsecConfig(work_per_core_ms=40 if fast else 120)
-    linux = ParsecWorkload(PARSEC_PROFILES[profile_name], cfg).run("linux")
-    latr = ParsecWorkload(PARSEC_PROFILES[profile_name], cfg).run("latr")
-    ratio = latr.metric("runtime_ms") / linux.metric("runtime_ms")
-    return ratio, linux, latr
+def _parsec_pair_cells(exp_id: str, name: str, fast: bool):
+    work = 40 if fast else 120
+    return [
+        RunCell(
+            exp_id=exp_id,
+            cell_id=f"{name}/{mech}",
+            fn=PARSEC_FN,
+            params=dict(profile=name, mechanism=mech, work_per_core_ms=work),
+            fast=fast,
+        )
+        for mech in ("linux", "latr")
+    ]
 
 
-@experiment("fig10")
-def fig10(fast: bool = False) -> ExperimentResult:
-    names = ("blackscholes", "canneal", "dedup", "vips") if fast else sorted(PARSEC_PROFILES)
+def _fig10_names(fast: bool):
+    return ("blackscholes", "canneal", "dedup", "vips") if fast else sorted(PARSEC_PROFILES)
+
+
+def fig10_cells(fast: bool = False):
+    cells = []
+    for name in _fig10_names(fast):
+        cells.extend(_parsec_pair_cells("fig10", name, fast))
+    return cells
+
+
+def fig10_assemble(values, fast: bool = False) -> ExperimentResult:
     rows = []
     ratios = []
-    for name in names:
-        ratio, linux, latr = _normalized_runtime(name, fast)
+    pairs = [values[i : i + 2] for i in range(0, len(values), 2)]
+    for name, (linux, latr) in zip(_fig10_names(fast), pairs):
+        ratio = latr.metric("runtime_ms") / linux.metric("runtime_ms")
         ratios.append(ratio)
         rows.append(
             (
@@ -46,30 +68,50 @@ def fig10(fast: bool = False) -> ExperimentResult:
     )
 
 
-@experiment("fig12")
-def fig12(fast: bool = False) -> ExperimentResult:
-    rows = []
+def _fig12_parsec_names(fast: bool):
+    return ("canneal",) if fast else ("bodytrack", "canneal", "facesim", "ferret", "streamcluster")
+
+
+def fig12_cells(fast: bool = False):
     duration = 40 if fast else 120
+    cells = []
     # Webservers on a single core: no remote cores, so every shootdown takes
     # the no-target fast path (still counted as initiated, but no IPI work).
     for server, use_mmap in (("nginx", False), ("apache", True)):
-        results = {}
         for mech in ("linux", "latr"):
-            results[mech] = ApacheWorkload(
-                ApacheConfig(cores=1, use_mmap=use_mmap, duration_ms=duration, warmup_ms=10)
-            ).run(mech)
+            cells.append(
+                RunCell(
+                    exp_id="fig12",
+                    cell_id=f"{server}/{mech}",
+                    fn=APACHE_FN,
+                    params=dict(
+                        mechanism=mech,
+                        cores=1,
+                        use_mmap=use_mmap,
+                        duration_ms=duration,
+                        warmup_ms=10,
+                    ),
+                    fast=fast,
+                )
+            )
+    for name in _fig12_parsec_names(fast):
+        cells.extend(_parsec_pair_cells("fig12", name, fast))
+    return cells
+
+
+def fig12_assemble(values, fast: bool = False) -> ExperimentResult:
+    rows = []
+    pairs = [values[i : i + 2] for i in range(0, len(values), 2)]
+    for (server, _use_mmap), (linux, latr) in zip(
+        (("nginx", False), ("apache", True)), pairs[:2]
+    ):
         # Normalized performance: higher is better, so invert for "runtime".
-        ratio = results["linux"].metric("requests_per_sec") / max(
-            1.0, results["latr"].metric("requests_per_sec")
+        ratio = linux.metric("requests_per_sec") / max(
+            1.0, latr.metric("requests_per_sec")
         )
-        rows.append(
-            (f"{server} (1 core)", ratio, results["latr"].metric("shootdowns_per_sec"))
-        )
-    parsec_subset = (
-        ("canneal",) if fast else ("bodytrack", "canneal", "facesim", "ferret", "streamcluster")
-    )
-    for name in parsec_subset:
-        ratio, linux, latr = _normalized_runtime(name, fast)
+        rows.append((f"{server} (1 core)", ratio, latr.metric("shootdowns_per_sec")))
+    for name, (linux, latr) in zip(_fig12_parsec_names(fast), pairs[2:]):
+        ratio = latr.metric("runtime_ms") / linux.metric("runtime_ms")
         rows.append((f"{name} (16 cores)", ratio, latr.metric("shootdowns_per_sec")))
     return ExperimentResult(
         exp_id="fig12",
@@ -78,3 +120,7 @@ def fig12(fast: bool = False) -> ExperimentResult:
         rows=rows,
         paper_expectation="at most 1.7% overhead (canneal); some apps slightly improve",
     )
+
+
+cell_experiment("fig10", fig10_cells, fig10_assemble)
+cell_experiment("fig12", fig12_cells, fig12_assemble)

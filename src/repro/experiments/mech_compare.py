@@ -4,30 +4,51 @@ Runs every implemented mechanism -- including the hardware proposals DiDi
 and UNITD -- on the Figure 6 microbenchmark and the Apache workload. The
 punchline is the paper's thesis: LATR, requiring no hardware changes,
 matches the hardware-assisted designs on the free-operation path.
+
+One mechanism = one run cell (its microbench + Apache boots together).
 """
 
 from __future__ import annotations
 
 from ..coherence import MECHANISMS
-from ..workloads.apache import ApacheConfig, ApacheWorkload
-from ..workloads.microbench import MicrobenchConfig, MunmapMicrobench
-from .runner import ExperimentResult, experiment
+from .runner import ExperimentResult, RunCell, cell_experiment
 
 ORDER = ("linux", "barrelfish", "abis", "didi", "unitd", "latr")
 
 
-@experiment("mech-compare")
-def mech_compare(fast: bool = False) -> ExperimentResult:
+def mech_cell(mechanism: str, reps: int, duration: int):
+    """Both workload boots for one mechanism (module-level so cells can
+    name it)."""
+    from ..workloads.apache import ApacheConfig, ApacheWorkload
+    from ..workloads.microbench import MicrobenchConfig, MunmapMicrobench
+
+    micro = MunmapMicrobench(
+        MicrobenchConfig(cores=16, pages=1, reps=reps)
+    ).run(mechanism)
+    apache = ApacheWorkload(
+        ApacheConfig(cores=12, duration_ms=duration, warmup_ms=10)
+    ).run(mechanism)
+    return micro, apache
+
+
+def mech_compare_cells(fast: bool = False):
     reps = 20 if fast else 50
     duration = 30 if fast else 80
+    return [
+        RunCell(
+            exp_id="mech-compare",
+            cell_id=mech,
+            fn="repro.experiments.mech_compare:mech_cell",
+            params=dict(mechanism=mech, reps=reps, duration=duration),
+            fast=fast,
+        )
+        for mech in ORDER
+    ]
+
+
+def mech_compare_assemble(values, fast: bool = False) -> ExperimentResult:
     rows = []
-    for mech in ORDER:
-        micro = MunmapMicrobench(
-            MicrobenchConfig(cores=16, pages=1, reps=reps)
-        ).run(mech)
-        apache = ApacheWorkload(
-            ApacheConfig(cores=12, duration_ms=duration, warmup_ms=10)
-        ).run(mech)
+    for mech, (micro, apache) in zip(ORDER, values):
         props = MECHANISMS[mech].properties
         rows.append(
             (
@@ -59,3 +80,6 @@ def mech_compare(fast: bool = False) -> ExperimentResult:
             "free-operation latency in software (Table 2's argument)"
         ),
     )
+
+
+cell_experiment("mech-compare", mech_compare_cells, mech_compare_assemble)

@@ -1,13 +1,13 @@
-"""Section 6.4: LATR's transient memory overhead."""
+"""Section 6.4: LATR's transient memory overhead.
+
+One (cores, pages-per-munmap) configuration per run cell."""
 
 from __future__ import annotations
 
-from ..workloads.microbench import MicrobenchConfig, MunmapMicrobench
-from .runner import ExperimentResult, experiment
+from .runner import ExperimentResult, RunCell, cell_experiment
 
 
-@experiment("memoverhead")
-def memoverhead(fast: bool = False) -> ExperimentResult:
+def _configs(fast: bool):
     configs = [
         (2, 1),
         (16, 1),
@@ -15,14 +15,28 @@ def memoverhead(fast: bool = False) -> ExperimentResult:
     ]
     if not fast:
         configs.append((16, 512))
-    rows = []
-    for cores, pages in configs:
-        reps = 30 if fast else 120
-        bench = MunmapMicrobench(
-            MicrobenchConfig(cores=cores, pages=pages, reps=reps)
+    return configs
+
+
+def memoverhead_cells(fast: bool = False):
+    reps = 30 if fast else 120
+    return [
+        RunCell(
+            exp_id="memoverhead",
+            cell_id=f"cores={cores}/pages={pages}",
+            fn="repro.workloads.microbench:run_memoverhead",
+            params=dict(mechanism="latr", cores=cores, pages=pages, reps=reps),
+            fast=fast,
         )
-        result = bench.lazy_memory_overhead("latr")
-        rows.append((cores, pages, result.metric("peak_lazy_mb")))
+        for cores, pages in _configs(fast)
+    ]
+
+
+def memoverhead_assemble(values, fast: bool = False) -> ExperimentResult:
+    rows = [
+        (cores, pages, result.metric("peak_lazy_mb"))
+        for (cores, pages), result in zip(_configs(fast), values)
+    ]
     return ExperimentResult(
         exp_id="memoverhead",
         title="Peak physical memory parked on LATR lazy lists (section 6.4)",
@@ -34,3 +48,6 @@ def memoverhead(fast: bool = False) -> ExperimentResult:
         ),
         notes="the bound is rate x pages x 4 KB x reclamation delay",
     )
+
+
+cell_experiment("memoverhead", memoverhead_cells, memoverhead_assemble)

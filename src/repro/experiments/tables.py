@@ -1,12 +1,19 @@
-"""Tables 1-5 of the paper."""
+"""Tables 1-5 of the paper.
+
+Tables 1-3 are static property tables (single-cell fallback); Tables 4 and
+5 sweep real workload boots and decompose into run cells.
+"""
 
 from __future__ import annotations
 
 from ..coherence.base import MECHANISM_PROPERTIES, OPERATION_CLASSES
 from ..hw.spec import PRESETS
-from ..workloads.apache import APACHE_CACHE_PROFILES, ApacheConfig, ApacheWorkload
-from ..workloads.parsec import PARSEC_PROFILES, ParsecConfig, ParsecWorkload
-from .runner import ExperimentResult, experiment
+from ..workloads.apache import APACHE_CACHE_PROFILES
+from ..workloads.parsec import PARSEC_PROFILES
+from .runner import ExperimentResult, RunCell, cell_experiment, experiment
+
+APACHE_FN = "repro.workloads.apache:run_apache"
+PARSEC_FN = "repro.workloads.parsec:run_parsec"
 
 
 @experiment("tab1")
@@ -74,38 +81,64 @@ def tab3(fast: bool = False) -> ExperimentResult:
     )
 
 
-@experiment("tab4")
-def tab4(fast: bool = False) -> ExperimentResult:
-    """LLC miss-ratio comparison.
+# ---------------------------------------------------------------------------
+# Table 4: LLC miss-ratio comparison
+#
+# The Linux column is the measured baseline (we anchor it to the paper's
+# Table 4 values via each workload's CacheProfile); the LATR column adds
+# the *difference* in cache disturbance between the two runs: IPI-handler
+# pollution removed, LATR state traffic added.
+# ---------------------------------------------------------------------------
 
-    The Linux column is the measured baseline (we anchor it to the paper's
-    Table 4 values via each workload's CacheProfile); the LATR column adds
-    the *difference* in cache disturbance between the two runs: IPI-handler
-    pollution removed, LATR state traffic added.
-    """
-    rows = []
+
+def _tab4_apache_cores(fast: bool):
+    return (1, 12) if fast else (1, 6, 12)
+
+
+def _tab4_parsec_names(fast: bool):
+    return ("dedup",) if fast else ("canneal", "dedup", "ferret", "streamcluster", "swaptions")
+
+
+def tab4_cells(fast: bool = False):
     duration = 40 if fast else 120
-
-    apache_cores = (1, 12) if fast else (1, 6, 12)
-    for cores in apache_cores:
-        profile = APACHE_CACHE_PROFILES[cores]
-        runs = {}
+    cells = []
+    for cores in _tab4_apache_cores(fast):
         for mech in ("linux", "latr"):
-            runs[mech] = ApacheWorkload(
-                ApacheConfig(cores=cores, duration_ms=duration, warmup_ms=10)
-            ).run(mech)
-        rows.append(_tab4_row(f"apache_{cores}", profile, runs, cores))
+            cells.append(
+                RunCell(
+                    exp_id="tab4",
+                    cell_id=f"apache_{cores}/{mech}",
+                    fn=APACHE_FN,
+                    params=dict(
+                        mechanism=mech, cores=cores, duration_ms=duration, warmup_ms=10
+                    ),
+                    fast=fast,
+                )
+            )
+    for name in _tab4_parsec_names(fast):
+        for mech in ("linux", "latr"):
+            cells.append(
+                RunCell(
+                    exp_id="tab4",
+                    cell_id=f"{name}_16/{mech}",
+                    fn=PARSEC_FN,
+                    params=dict(profile=name, mechanism=mech, work_per_core_ms=duration),
+                    fast=fast,
+                )
+            )
+    return cells
 
-    parsec_names = ("dedup",) if fast else ("canneal", "dedup", "ferret", "streamcluster", "swaptions")
-    cfg = ParsecConfig(work_per_core_ms=duration)
-    for name in parsec_names:
+
+def tab4_assemble(values, fast: bool = False) -> ExperimentResult:
+    rows = []
+    pairs = [values[i : i + 2] for i in range(0, len(values), 2)]
+    apache_cores = _tab4_apache_cores(fast)
+    for cores, (linux, latr) in zip(apache_cores, pairs):
+        profile = APACHE_CACHE_PROFILES[cores]
+        rows.append(_tab4_row(f"apache_{cores}", profile, {"linux": linux, "latr": latr}, cores))
+    for name, (linux, latr) in zip(_tab4_parsec_names(fast), pairs[len(apache_cores) :]):
         profile = PARSEC_PROFILES[name].cache
-        runs = {
-            mech: ParsecWorkload(PARSEC_PROFILES[name], cfg).run(mech)
-            for mech in ("linux", "latr")
-        }
-        rows.append(_tab4_row(f"{name}_16", profile, runs, 16))
-
+        rows.append(_tab4_row(f"{name}_16", profile, {"linux": linux, "latr": latr}, 16))
     return ExperimentResult(
         exp_id="tab4",
         title="LLC miss ratio: Linux vs LATR (paper Table 4)",
@@ -140,11 +173,22 @@ def _tab4_row(label, profile, runs, cores):
     return (label, round(linux_pct, 2), round(latr_pct, 3), round(rel, 2))
 
 
-@experiment("tab5")
-def tab5(fast: bool = False) -> ExperimentResult:
+def tab5_cells(fast: bool = False):
     duration = 40 if fast else 120
-    linux = ApacheWorkload(ApacheConfig(cores=12, duration_ms=duration, warmup_ms=10)).run("linux")
-    latr = ApacheWorkload(ApacheConfig(cores=12, duration_ms=duration, warmup_ms=10)).run("latr")
+    return [
+        RunCell(
+            exp_id="tab5",
+            cell_id=f"apache/{mech}",
+            fn=APACHE_FN,
+            params=dict(mechanism=mech, cores=12, duration_ms=duration, warmup_ms=10),
+            fast=fast,
+        )
+        for mech in ("linux", "latr")
+    ]
+
+
+def tab5_assemble(values, fast: bool = False) -> ExperimentResult:
+    linux, latr = values
     save = latr.metrics.get("state_write_ns", 0.0)
     # The paper's 158 ns is the cost of sweeping a single state; our sweep
     # recorder times whole passes that batch ~100 in-flight states, so
@@ -173,3 +217,7 @@ def tab5(fast: bool = False) -> ExperimentResult:
             "spread its event-MPM processes across fewer)"
         ),
     )
+
+
+cell_experiment("tab4", tab4_cells, tab4_assemble)
+cell_experiment("tab5", tab5_cells, tab5_assemble)

@@ -6,23 +6,47 @@ services in data centers". This experiment measures the per-request latency
 distribution of the Apache workload: the synchronous shootdown sits inside
 the per-request critical section, so requests queue behind each other's IPI
 rounds and the tail inflates; LATR removes it.
+
+Each (workload, mechanism) measurement is one independent boot -> one run
+cell: three Apache runs and two munmap-microbench runs.
 """
 
 from __future__ import annotations
 
-from ..workloads.apache import ApacheConfig, ApacheWorkload
-from ..workloads.microbench import MicrobenchConfig, MunmapMicrobench
-from .runner import ExperimentResult, experiment
+from .runner import ExperimentResult, RunCell, cell_experiment
+
+APACHE_MECHS = ("linux", "abis", "latr")
+MICRO_MECHS = ("linux", "latr")
 
 
-@experiment("tail")
-def tail_latency(fast: bool = False) -> ExperimentResult:
+def tail_cells(fast: bool = False):
     duration = 40 if fast else 120
+    cells = [
+        RunCell(
+            exp_id="tail",
+            cell_id=f"apache/{mech}",
+            fn="repro.workloads.apache:run_apache",
+            params=dict(mechanism=mech, cores=12, duration_ms=duration, warmup_ms=15),
+            fast=fast,
+        )
+        for mech in APACHE_MECHS
+    ]
+    cells.extend(
+        RunCell(
+            exp_id="tail",
+            cell_id=f"munmap/{mech}",
+            fn="repro.workloads.microbench:run_microbench",
+            params=dict(mechanism=mech, cores=16, reps=20 if fast else 60),
+            fast=fast,
+        )
+        for mech in MICRO_MECHS
+    )
+    return cells
+
+
+def tail_assemble(values, fast: bool = False) -> ExperimentResult:
     rows = []
-    for mech in ("linux", "abis", "latr"):
-        result = ApacheWorkload(
-            ApacheConfig(cores=12, duration_ms=duration, warmup_ms=15)
-        ).run(mech)
+    for mech, result in zip(APACHE_MECHS, values[: len(APACHE_MECHS)]):
         rows.append(
             (
                 f"apache request ({mech})",
@@ -32,10 +56,7 @@ def tail_latency(fast: bool = False) -> ExperimentResult:
             )
         )
     # The munmap() syscall itself, p99 (microbench).
-    for mech in ("linux", "latr"):
-        micro = MunmapMicrobench(
-            MicrobenchConfig(cores=16, reps=20 if fast else 60)
-        ).run(mech)
+    for mech, micro in zip(MICRO_MECHS, values[len(APACHE_MECHS) :]):
         rows.append(
             (
                 f"munmap syscall ({mech})",
@@ -55,3 +76,6 @@ def tail_latency(fast: bool = False) -> ExperimentResult:
             "(section 1's 'killer microseconds'); LATR flattens it"
         ),
     )
+
+
+cell_experiment("tail", tail_cells, tail_assemble)

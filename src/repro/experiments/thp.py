@@ -3,7 +3,8 @@
 Figure 8's discussion ends with: "applications can use huge pages ... to
 mitigate the effects of unmapping many pages at once", and section 7
 sketches LATR's THP extension. This experiment quantifies both: unmapping
-2 MiB as 512 base pages vs one PD-level entry, under Linux and LATR.
+2 MiB as 512 base pages vs one PD-level entry, under Linux and LATR -- four
+independent boots, one run cell each.
 """
 
 from __future__ import annotations
@@ -11,10 +12,14 @@ from __future__ import annotations
 from .. import build_system
 from ..mm.addr import HUGE_PAGE_SIZE
 from ..sim.engine import MSEC, AllOf
-from .runner import ExperimentResult, experiment
+from .runner import ExperimentResult, RunCell, cell_experiment
+
+SHAPES = (("512 x 4 KiB pages", False), ("1 x 2 MiB huge page", True))
 
 
-def _measure_unmap(mechanism: str, huge: bool, reps: int) -> float:
+def measure_unmap(mechanism: str, huge: bool, reps: int) -> float:
+    """Mean munmap() latency (us) of a 2 MiB mapping shared by 16 cores
+    (module-level so cells can name it)."""
     system = build_system(mechanism, cores=16)
     kernel = system.kernel
     proc = kernel.create_process("thp")
@@ -46,13 +51,27 @@ def _measure_unmap(mechanism: str, huge: bool, reps: int) -> float:
     return sum(samples) / len(samples) / 1000.0
 
 
-@experiment("thp")
-def thp(fast: bool = False) -> ExperimentResult:
+def thp_cells(fast: bool = False):
     reps = 4 if fast else 12
+    cells = []
+    for label, huge in SHAPES:
+        for mech in ("linux", "latr"):
+            cells.append(
+                RunCell(
+                    exp_id="thp",
+                    cell_id=f"{'huge' if huge else 'base'}/{mech}",
+                    fn="repro.experiments.thp:measure_unmap",
+                    params=dict(mechanism=mech, huge=huge, reps=reps),
+                    fast=fast,
+                )
+            )
+    return cells
+
+
+def thp_assemble(values, fast: bool = False) -> ExperimentResult:
     rows = []
-    for label, huge in (("512 x 4 KiB pages", False), ("1 x 2 MiB huge page", True)):
-        linux_us = _measure_unmap("linux", huge, reps)
-        latr_us = _measure_unmap("latr", huge, reps)
+    pairs = [values[i : i + 2] for i in range(0, len(values), 2)]
+    for (label, _huge), (linux_us, latr_us) in zip(SHAPES, pairs):
         rows.append(
             (
                 label,
@@ -73,3 +92,6 @@ def thp(fast: bool = False) -> ExperimentResult:
         ),
         notes="section 7 extension: LATR states cover huge mappings transparently",
     )
+
+
+cell_experiment("thp", thp_cells, thp_assemble)

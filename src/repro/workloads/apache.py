@@ -50,6 +50,14 @@ class ApacheConfig:
     seed: int = 1
 
 
+def run_apache(mechanism: str, mechanism_kwargs=None, **config_kwargs) -> WorkloadResult:
+    """Run-one-cell entry point: boot a fresh system and run the Apache
+    workload. Module-level (and all-picklable arguments) so run cells can
+    name it across process boundaries."""
+    workload = ApacheWorkload(ApacheConfig(**config_kwargs))
+    return workload.run(mechanism, **(mechanism_kwargs or {}))
+
+
 #: Table 4 rows for Apache (baseline LLC miss % measured under Linux).
 APACHE_CACHE_PROFILES = {
     1: CacheProfile(accesses_per_sec_per_core=45e6, baseline_miss_pct=6.08),

@@ -30,6 +30,20 @@ class MicrobenchConfig:
     seed: int = 1
 
 
+def run_microbench(mechanism: str, mechanism_kwargs=None, **config_kwargs) -> WorkloadResult:
+    """Run-one-cell entry point: boot a fresh system and run the munmap
+    microbenchmark. Module-level (and all-picklable arguments) so run cells
+    can name it across process boundaries."""
+    bench = MunmapMicrobench(MicrobenchConfig(**config_kwargs))
+    return bench.run(mechanism, **(mechanism_kwargs or {}))
+
+
+def run_memoverhead(mechanism: str = "latr", mechanism_kwargs=None, **config_kwargs) -> WorkloadResult:
+    """Run-one-cell entry point for the section 6.4 lazy-memory bound."""
+    bench = MunmapMicrobench(MicrobenchConfig(**config_kwargs))
+    return bench.lazy_memory_overhead(mechanism, **(mechanism_kwargs or {}))
+
+
 class MunmapMicrobench:
     """Figures 6, 7, 8."""
 

@@ -169,3 +169,11 @@ class NumaWorkload:
             },
             counters=kernel.stats.counters_snapshot(),
         )
+
+
+def run_numa(profile: str, mechanism: str, mechanism_kwargs=None, **config_kwargs) -> WorkloadResult:
+    """Run-one-cell entry point: boot a fresh system and run one AutoNUMA
+    application profile (by name, keeping the cell picklable). Module-level
+    so run cells can name it across process boundaries."""
+    workload = NumaWorkload(NUMA_PROFILES[profile], NumaConfig(**config_kwargs))
+    return workload.run(mechanism, **(mechanism_kwargs or {}))

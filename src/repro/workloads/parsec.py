@@ -179,3 +179,11 @@ class ParsecWorkload:
             },
             counters=kernel.stats.counters_snapshot(),
         )
+
+
+def run_parsec(profile: str, mechanism: str, mechanism_kwargs=None, **config_kwargs) -> WorkloadResult:
+    """Run-one-cell entry point: boot a fresh system and run one PARSEC
+    profile (by name, keeping the cell picklable). Module-level so run
+    cells can name it across process boundaries."""
+    workload = ParsecWorkload(PARSEC_PROFILES[profile], ParsecConfig(**config_kwargs))
+    return workload.run(mechanism, **(mechanism_kwargs or {}))

@@ -29,3 +29,18 @@ def run_to_completion(system, gen, timeout_ms=2_000):
 def drain(system, ms=5):
     """Advance the simulation by ``ms`` simulated milliseconds."""
     system.sim.run(until=system.sim.now + ms * MSEC)
+
+
+#: Mutated by :func:`marker_cell`; proves where a cell executed (inline
+#: cells change it in this process, sharded ones only in their worker).
+MARKER_CALLS = []
+
+
+def marker_cell(tag: str) -> str:
+    MARKER_CALLS.append(tag)
+    return tag
+
+
+def crash_cell(message: str = "boom"):
+    """A run-cell entry point that always raises (crash-surfacing tests)."""
+    raise ValueError(message)

@@ -1,0 +1,47 @@
+"""Smoke test: every script in examples/ must keep running cleanly.
+
+The examples import ``build_system`` and the workload configs directly, so
+they pin the public API the experiment refactor rides on. Each script runs
+in a fresh interpreter (they are documentation, not a library).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+EXAMPLE_SCRIPTS = sorted(glob.glob(os.path.join(EXAMPLES_DIR, "*.py")))
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_SCRIPTS) >= 8
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[os.path.basename(s) for s in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_cleanly(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, script],
+        env=env,
+        cwd=EXAMPLES_DIR,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{os.path.basename(script)} exited {proc.returncode}\n"
+        f"stdout:\n{proc.stdout[-2000:]}\nstderr:\n{proc.stderr[-2000:]}"
+    )

@@ -1,0 +1,164 @@
+"""The run-cell model and the sharded multi-process experiment backend."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.experiments import (
+    CellExecutionError,
+    ExperimentResult,
+    RunCell,
+    available_experiments,
+    execute_experiment,
+    experiment_cells,
+    run_experiment,
+    run_many,
+)
+from repro.experiments.runner import execute_cell, run_cells
+
+import helpers
+
+
+class TestRunCellModel:
+    def test_every_experiment_enumerates_picklable_cells(self):
+        """Every registered experiment's fast-mode cells must cross a
+        process boundary: picklable, resolvable, uniquely identified."""
+        for exp_id in available_experiments():
+            cells = experiment_cells(exp_id, fast=True)
+            assert cells, exp_id
+            assert len({cell.cell_id for cell in cells}) == len(cells), exp_id
+            for cell in cells:
+                assert cell.exp_id == exp_id
+                assert cell.fast is True
+                restored = pickle.loads(pickle.dumps(cell))
+                assert restored == cell
+                assert callable(restored.resolve())
+
+    def test_sequential_experiments_fall_back_to_a_single_cell(self):
+        for exp_id in ("fig2", "fig3", "fuzz-smoke", "fuzz-mutation", "model-check", "abl-sweep"):
+            cells = experiment_cells(exp_id, fast=True)
+            assert len(cells) == 1, exp_id
+
+    def test_sweeps_decompose_into_many_cells(self):
+        assert len(experiment_cells("fig6", fast=True)) == 8  # 4 core counts x 2 mechs
+        assert len(experiment_cells("fig9", fast=True)) == 9  # 3 core counts x 3 mechs
+        assert len(experiment_cells("mech-compare", fast=True)) == 6
+
+    def test_bad_entry_point_spelling_rejected(self):
+        cell = RunCell(exp_id="x", cell_id="c", fn="no_colon_here")
+        with pytest.raises(ValueError):
+            cell.run()
+
+
+class TestInlineExecution:
+    def test_jobs1_runs_in_this_process(self):
+        helpers.MARKER_CALLS.clear()
+        cell = RunCell(exp_id="x", cell_id="c", fn="helpers:marker_cell", params={"tag": "t1"})
+        outcomes = run_cells([cell], jobs=1)
+        assert helpers.MARKER_CALLS == ["t1"]
+        assert outcomes[0].value == "t1"
+        assert outcomes[0].wall_s >= 0.0
+
+    def test_outcome_counts_simulator_events(self):
+        cell = experiment_cells("fig6", fast=True)[0]
+        outcome = execute_cell(cell)
+        assert outcome.events > 0
+        assert outcome.cell is cell
+
+
+class TestShardedExecution:
+    CHEAP_IDS = ["fig6", "memoverhead", "abl-flushthresh"]
+
+    def test_serial_and_parallel_tables_byte_identical(self):
+        """The acceptance gate: --jobs 4 renders byte-identical tables to
+        --jobs 1 across (at least) three experiment ids."""
+        serial = run_many(self.CHEAP_IDS, fast=True, jobs=1)
+        parallel = run_many(self.CHEAP_IDS, fast=True, jobs=4)
+        for s_run, p_run in zip(serial, parallel):
+            assert s_run.result.render() == p_run.result.render(), s_run.exp_id
+            assert s_run.result.to_csv() == p_run.result.to_csv(), s_run.exp_id
+
+    def test_parallel_keeps_workers_out_of_this_process(self):
+        helpers.MARKER_CALLS.clear()
+        cells = [
+            RunCell(exp_id="x", cell_id=f"c{i}", fn="helpers:marker_cell", params={"tag": f"t{i}"})
+            for i in range(3)
+        ]
+        outcomes = run_cells(cells, jobs=2)
+        # Values come back in cell order; the parent process never ran them.
+        assert [o.value for o in outcomes] == ["t0", "t1", "t2"]
+        assert helpers.MARKER_CALLS == []
+
+    def test_worker_failure_surfaces_the_cell(self):
+        cells = [
+            RunCell(exp_id="x", cell_id="ok", fn="helpers:marker_cell", params={"tag": "a"}),
+            RunCell(exp_id="x", cell_id="bad", fn="helpers:crash_cell", params={"message": "kapow"}),
+        ]
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells(cells, jobs=2)
+        assert "x/bad" in str(excinfo.value)
+        assert "kapow" in str(excinfo.value)
+        assert excinfo.value.cell.cell_id == "bad"
+
+    def test_inline_failure_also_wrapped_in_cell_order(self):
+        cell = RunCell(exp_id="x", cell_id="bad", fn="helpers:crash_cell")
+        with pytest.raises(ValueError):
+            run_cells([cell], jobs=1)
+
+    def test_execute_experiment_reports_per_cell_timing(self):
+        run = execute_experiment("fig6", fast=True, jobs=2)
+        timings = run.cell_timings()
+        assert len(timings) == 8
+        assert all(wall >= 0.0 for _cell_id, wall in timings)
+        assert run.cell_seconds == pytest.approx(sum(w for _c, w in timings))
+        assert run.events > 0
+
+    def test_single_id_parallel_equals_serial(self):
+        serial = run_experiment("fig6", fast=True, jobs=1)
+        parallel = run_experiment("fig6", fast=True, jobs=2)
+        assert serial.render() == parallel.render()
+
+
+class TestResultRoundTrip:
+    def test_to_json_from_json_renders_identically(self):
+        result = ExperimentResult(
+            exp_id="x",
+            title="demo",
+            headers=("a", "b", "c"),
+            rows=[(1, 2.5, "s"), ("ragged",), (3, 4, 5, 6)],
+            paper_expectation="expected",
+            notes="note",
+        )
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.render() == result.render()
+        assert restored.to_csv() == result.to_csv()
+        assert restored.exp_id == "x"
+
+    def test_round_trip_preserves_numeric_types(self):
+        result = ExperimentResult("x", "t", ("i", "f"), [(7, 7.0)])
+        restored = ExperimentResult.from_json(result.to_json())
+        (row,) = restored.rows
+        assert isinstance(row[0], int) and isinstance(row[1], float)
+
+    def test_real_experiment_round_trips(self):
+        result = run_experiment("tab3", fast=True)
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.render() == result.render()
+
+
+class TestCliJobs:
+    def test_cli_jobs_flag_byte_identical_tables(self, tmp_path, capsys):
+        from repro.cli import main
+
+        serial_out = tmp_path / "serial.txt"
+        parallel_out = tmp_path / "parallel.txt"
+        assert main(["fig6", "--fast", "-o", str(serial_out)]) == 0
+        assert main(["fig6", "--fast", "--jobs", "2", "-o", str(parallel_out)]) == 0
+        assert serial_out.read_text() == parallel_out.read_text()
+
+    def test_cli_all_parallel_unknown_id_still_errors(self, capsys):
+        from repro.cli import main
+
+        assert main(["nope", "--jobs", "2"]) == 2

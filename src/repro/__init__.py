@@ -55,6 +55,8 @@ def build_system(
     pcid: bool = False,
     seed: int = 1,
     frames_per_node: Optional[int] = None,
+    use_timer_wheel: Optional[bool] = None,
+    use_tlb_index: Optional[bool] = None,
     **mechanism_kwargs,
 ) -> System:
     """Build and boot a simulated machine running one coherence mechanism.
@@ -66,15 +68,19 @@ def build_system(
         pcid: enable PCID-tagged TLBs (paper section 4.5).
         seed: deterministic RNG seed for workloads.
         frames_per_node: physical memory size override (frames).
+        use_timer_wheel: engine escape hatch -- False routes every event
+            through the plain heap instead of the timer wheel (default on).
+        use_tlb_index: TLB escape hatch -- False keeps the linear-scan
+            invalidation paths (default on).
         mechanism_kwargs: forwarded to the mechanism constructor (e.g.
             ``queue_depth=`` for LATR ablations).
     """
     spec = preset(machine) if isinstance(machine, str) else machine
     if cores is not None:
         spec = spec.with_cores(cores)
-    sim = Simulator()
+    sim = Simulator(use_timer_wheel=use_timer_wheel)
     mech = make_mechanism(mechanism, **mechanism_kwargs)
-    hw = Machine(sim, spec, pcid_enabled=pcid)
+    hw = Machine(sim, spec, pcid_enabled=pcid, use_tlb_index=use_tlb_index)
     kwargs = {}
     if frames_per_node is not None:
         kwargs["frames_per_node"] = frames_per_node

@@ -46,7 +46,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Generator, List, Optional, Set, Tuple
 
-from ..mm.addr import VirtRange
+from ..mm.addr import PAGE_SHIFT, VirtRange
 from ..mm.frames import FrameBatch
 from ..mm.mmstruct import MmStruct
 from ..sim.engine import Signal, Timeout
@@ -96,6 +96,14 @@ class LatrCoherence(TLBCoherence):
         self._last_posted_seq = 0
         #: core id -> last posted seq observed at that core's previous sweep.
         self._sweep_cursor: Dict[int, int] = {}
+        #: Core ids whose queues currently hold active states; sweeps visit
+        #: only these (in core-id order, matching the full scan's order).
+        self._active_queue_ids: set = set()
+        #: Snapshot of every posted active state in full-scan visit order
+        #: -- (core id, slot index) -- or None when stale. Membership only
+        #: changes on a post or a final deactivation, which happen orders
+        #: of magnitude less often than the per-tick sweeps that read it.
+        self._active_states_sorted: Optional[List[LatrState]] = None
 
     # ---- wiring ---------------------------------------------------------------
 
@@ -110,18 +118,44 @@ class LatrCoherence(TLBCoherence):
         self._active_state_count = 0
         self._last_posted_seq = 0
         self._sweep_cursor = {}
+        self._active_queue_ids = set()
+        self._active_states_sorted = None
+        # The sweep fires on every tick and context switch: resolve its
+        # stats objects and timing constants once instead of going through
+        # the registry / the machine attribute chain each time.
+        stats = self._stats
+        self._sweeps_counter = stats.counter("latr.sweeps")
+        self._examined_counter = stats.counter("latr.entries_examined")
+        self._invalidated_counter = stats.counter("latr.entries_invalidated")
+        self._sweep_latency = stats.latency("latr.sweep")
+        machine = kernel.machine
+        self._sim = kernel.sim
+        self._topo = machine.topology
+        self._llc = machine.llc
+        self._full_flush_threshold = machine.spec.full_flush_threshold
+        lat = machine.latency
+        self._sweep_base_ns = lat.latr_sweep_base_ns
+        self._sweep_per_entry_ns = lat.latr_sweep_per_entry_ns
+        self._invlpg_ns = lat.tlb_invlpg_ns
+        self._full_flush_ns = lat.tlb_full_flush_ns
+        self._state_pull = lat.latr_state_pull
+        self._core_hops = machine.topology.core_hops
+        self._record_state_traffic = machine.llc.record_state_traffic
 
     def start(self) -> None:
         """Spawn the background reclamation daemon (kernel.start calls this)."""
         if not self._reclaimd_started:
             self._reclaimd_started = True
-            self.kernel.sim.spawn(self._reclaimd(), name="latr-reclaimd")
+            # One reusable periodic handle instead of a Timeout per tick.
+            self.kernel.sim.every(self._reclaim_period_ns(), self._reclaim_round)
 
     # ---- the active-state index (queue callbacks) -------------------------------
 
     def note_posted(self, queue: LatrStateQueue, state: LatrState) -> None:
         """A queue accepted an active state (called by ``LatrStateQueue.post``)."""
         self._active_state_count += 1
+        self._active_queue_ids.add(queue.core_id)
+        self._active_states_sorted = None
         if state.seq > self._last_posted_seq:
             self._last_posted_seq = state.seq
 
@@ -129,6 +163,9 @@ class LatrCoherence(TLBCoherence):
         """A posted state went inactive (via the ``LatrState.active`` setter)."""
         if self._active_state_count > 0:
             self._active_state_count -= 1
+        if queue.active_count == 0:
+            self._active_queue_ids.discard(queue.core_id)
+        self._active_states_sorted = None
 
     def active_state_count(self) -> int:
         """Posted, still-active states across all queues (index invariant:
@@ -311,34 +348,57 @@ class LatrCoherence(TLBCoherence):
         return self._sweep_full(core)
 
     def _sweep_indexed(self, core) -> int:
-        lat = self._lat
-        cost = lat.latr_sweep_base_ns + self.cold_sweep_extra_ns
+        cost = self._sweep_base_ns + self.cold_sweep_extra_ns
         examined = self._active_state_count
         if examined == 0:
             # Empty-sweep fast path: the modelled sweep walked every slot
             # and found nothing, which costs exactly the base; the simulator
-            # gets there in O(1).
-            return self._finish_sweep(core, [], 0, cost, 0)
+            # gets there in O(1). (_finish_sweep specialised for the
+            # nothing-matched case -- the majority of all sweeps.)
+            self._sweeps_counter.value += 1
+            self._sweep_latency.record(cost)
+            kernel = self.kernel
+            if kernel.invariant_monitor is not None:
+                kernel.invariant_monitor.notify("latr.sweep", core=core.id)
+            return cost
 
-        cost += examined * lat.latr_sweep_per_entry_ns
-        topo = self.kernel.machine.topology
+        cost += examined * self._sweep_per_entry_ns
+        topo = self._topo
         cursor = self._sweep_cursor.get(core.id, 0)
         matching: List[LatrState] = []
         total_pages = 0
-        # Only queues that currently hold active states, and within them only
-        # states posted after this core's previous sweep: older still-active
-        # states were already examined then -- their cross-socket pull is
-        # paid (pulled_by) and their bitmask can no longer contain this core.
-        for queue in self.queues.values():
-            if queue.active_count == 0:
+        # Only states posted after this core's previous sweep, visited in
+        # full-scan order (core id, then slot): older still-active states
+        # were already examined then -- their cross-socket pull is paid
+        # (pulled_by) and their bitmask can no longer contain this core.
+        # _pull_cost is inlined (bound methods cached at attach): this loop
+        # runs on every tick of every core.
+        core_id = core.id
+        core_hops = self._core_hops
+        states = self._active_states_sorted
+        if states is None:
+            queues = self.queues
+            states = [
+                state
+                for queue_id in sorted(self._active_queue_ids)
+                for state in queues[queue_id].active_states_after(-1)
+            ]
+            self._active_states_sorted = states
+        for state in states:
+            if state.seq <= cursor:
                 continue
-            for state in queue.active_states_after(cursor):
-                cost += self._pull_cost(core, state, topo)
-                if core.id not in state.cpu_bitmask:
-                    continue
-                cost += self._apply_deferred_migration(state)
-                matching.append(state)
-                total_pages += state.vrange.n_pages
+            hops = core_hops(core_id, state.owner_core)
+            if hops > 0 and core_id not in state.pulled_by:
+                state.pulled_by.add(core_id)
+                self._record_state_traffic(STATE_LINES)
+                cost += self._state_pull(hops)
+            if core_id not in state.cpu_bitmask:
+                continue
+            cost += self._apply_deferred_migration(state)
+            matching.append(state)
+            vrange = state.vrange
+            # vrange.n_pages, without the property call (hot loop).
+            total_pages += (vrange.end - vrange.start) >> PAGE_SHIFT
         self._sweep_cursor[core.id] = self._last_posted_seq
         return self._finish_sweep(core, matching, total_pages, cost, examined)
 
@@ -367,7 +427,7 @@ class LatrCoherence(TLBCoherence):
         hops = topo.core_hops(core.id, state.owner_core)
         if hops > 0 and core.id not in state.pulled_by:
             state.pulled_by.add(core.id)
-            self.kernel.machine.llc.record_state_traffic(STATE_LINES)
+            self._llc.record_state_traffic(STATE_LINES)
             return self._lat.latr_state_pull(hops)
         return 0
 
@@ -392,41 +452,52 @@ class LatrCoherence(TLBCoherence):
         with more work than the threshold does one full flush instead of
         per-page INVLPGs (paper 4.1: "LATR flushes the entire TLB during
         state sweep")."""
-        lat = self._lat
-        spec = self.kernel.machine.spec
-        now = self.kernel.sim.now
-        if total_pages > spec.full_flush_threshold:
-            core.tlb.flush()
-            cost += lat.tlb_full_flush_ns + len(matching) * 30
-            for state in matching:
-                state.clear_cpu(core.id, now)
-        else:
-            for state in matching:
-                core.tlb.invalidate_range(
-                    state.mm.pcid, state.vrange.vpn_start, state.vrange.vpn_end
-                )
-                cost += state.vrange.n_pages * lat.tlb_invlpg_ns + 30
-                state.clear_cpu(core.id, now)
         invalidated_states = len(matching)
+        if invalidated_states:
+            now = self._sim.now
+            if total_pages > self._full_flush_threshold:
+                core.tlb.flush()
+                cost += self._full_flush_ns + invalidated_states * 30
+                for state in matching:
+                    state.clear_cpu(core.id, now)
+            else:
+                tlb = core.tlb
+                invlpg_ns = self._invlpg_ns
+                for state in matching:
+                    vrange = state.vrange
+                    start, end = vrange.start, vrange.end
+                    tlb.invalidate_range(
+                        state.mm.pcid, start >> PAGE_SHIFT, end >> PAGE_SHIFT
+                    )
+                    cost += ((end - start) >> PAGE_SHIFT) * invlpg_ns + 30
+                    state.clear_cpu(core.id, now)
 
-        self._stats.counter("latr.sweeps").add()
-        if self.kernel.tracer is not None and invalidated_states:
-            self.kernel.tracer.emit(
-                "latr", "sweep", core=core.id,
-                detail=f"states={invalidated_states} pages={total_pages}",
-            )
-        self._stats.counter("latr.entries_examined").add(examined)
-        self._stats.counter("latr.entries_invalidated").add(invalidated_states)
-        self._stats.latency("latr.sweep").record(cost)
-        if self.kernel.invariant_monitor is not None:
-            self.kernel.invariant_monitor.notify("latr.sweep", core=core.id)
+        self._sweeps_counter.value += 1
+        kernel = self.kernel
+        if invalidated_states:
+            if kernel.tracer is not None:
+                kernel.tracer.emit(
+                    "latr", "sweep", core=core.id,
+                    detail=f"states={invalidated_states} pages={total_pages}",
+                )
+            self._invalidated_counter.value += invalidated_states
+        if examined:
+            self._examined_counter.value += examined
+        self._sweep_latency.record(cost)
+        if kernel.invariant_monitor is not None:
+            kernel.invariant_monitor.notify("latr.sweep", core=core.id)
         return cost
 
     # ---- scheduler hooks ---------------------------------------------------------
 
     def on_tick(self, core) -> None:
         if self.sweep_on_tick:
-            core.steal_time(self.sweep(core))
+            # Inlined sweep() dispatch and steal_time (a bare increment):
+            # this is the per-tick hot path.
+            if self.use_sweep_index:
+                core._pending_interrupt_ns += self._sweep_indexed(core)
+            else:
+                core._pending_interrupt_ns += self._sweep_full(core)
 
     def on_context_switch(self, core, old_mm, new_mm) -> None:
         if self.sweep_on_context_switch:
@@ -445,8 +516,12 @@ class LatrCoherence(TLBCoherence):
 
         return sum(len(s.pfns) for s in self._pending_reclaim) * PAGE_SIZE
 
-    def _reclaimd(self) -> Generator:
-        """Background thread: frees lazy memory after two tick intervals.
+    def _reclaim_period_ns(self) -> int:
+        """Reclaim-daemon polling period (mutations override this)."""
+        return self.kernel.machine.spec.tick_interval_ns
+
+    def _reclaim_round(self) -> None:
+        """Periodic reclaim pass: frees lazy memory after two tick intervals.
 
         Ticks are unsynchronized across cores, so one interval only
         guarantees *some* cores swept; two intervals guarantee every running
@@ -456,20 +531,18 @@ class LatrCoherence(TLBCoherence):
         """
         tick = self.kernel.machine.spec.tick_interval_ns
         delay = self.reclaim_delay_ticks * tick
-        while True:
-            yield Timeout(tick)
-            now = self.kernel.sim.now
-            still_pending: List[LatrState] = []
-            owner_costs: Dict[int, int] = {}
-            for state in self._pending_reclaim:
-                if state.active or now - state.posted_at < delay:
-                    still_pending.append(state)
-                    continue
-                self._reclaim_state(state, owner_costs)
-            self._pending_reclaim = still_pending
-            self._migration_states = [s for s in self._migration_states if s.active]
-            for core_id, cost in owner_costs.items():
-                self.kernel.machine.core(core_id).steal_time(cost)
+        now = self.kernel.sim.now
+        still_pending: List[LatrState] = []
+        owner_costs: Dict[int, int] = {}
+        for state in self._pending_reclaim:
+            if state.active or now - state.posted_at < delay:
+                still_pending.append(state)
+                continue
+            self._reclaim_state(state, owner_costs)
+        self._pending_reclaim = still_pending
+        self._migration_states = [s for s in self._migration_states if s.active]
+        for core_id, cost in owner_costs.items():
+            self.kernel.machine.core(core_id).steal_time(cost)
 
     def _reclaim_state(self, state: LatrState, owner_costs: Dict[int, int]) -> None:
         lat = self._lat

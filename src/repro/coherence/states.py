@@ -70,6 +70,9 @@ class LatrState:
     completed_at: Optional[int] = None
     reclaimed: bool = False
     seq: int = field(default_factory=lambda: next(_state_seq))
+    #: Ring slot this state occupies in its queue (set by ``post``); lets
+    #: the sweep index reproduce slot order without scanning every slot.
+    slot_idx: int = -1
     #: The queue this state was posted to (None until posted). Deactivation
     #: notifies it so active counts and the sweep index never drift.
     queue: Optional["LatrStateQueue"] = None
@@ -109,6 +112,10 @@ def _active_set(self: LatrState, value: bool) -> None:
 LatrState.active = property(_active_get, _active_set)  # type: ignore[assignment]
 
 
+def _slot_key(state: LatrState) -> int:
+    return state.slot_idx
+
+
 class LatrStateQueue:
     """A per-core cyclic queue of LATR states.
 
@@ -131,6 +138,10 @@ class LatrStateQueue:
         #: Number of currently-active states in this queue; sweeps skip the
         #: queue entirely when it is zero.
         self.active_count = 0
+        #: The active posted states keyed by seq (kept exact by the same
+        #: post/deactivation notifications as ``active_count``); at most one
+        #: active state per slot, so slot order is recoverable by sorting.
+        self._active_map: dict = {}
         #: Optional owner implementing ``note_posted(queue, state)`` /
         #: ``note_deactivated(queue, state)`` (the LatrCoherence sweep index).
         self.index = None
@@ -147,11 +158,13 @@ class LatrStateQueue:
             self.full_rejections += 1
             return False
         self._slots[self._cursor] = state
+        state.slot_idx = self._cursor
         self._cursor = (self._cursor + 1) % self.depth
         self.posts += 1
         state.queue = self
         if state.active:
             self.active_count += 1
+            self._active_map[state.seq] = state
             if self.index is not None:
                 self.index.note_posted(self, state)
         return True
@@ -161,20 +174,27 @@ class LatrStateQueue:
         ``LatrState.active`` setter exactly once per state)."""
         if self.active_count > 0:
             self.active_count -= 1
+        self._active_map.pop(state.seq, None)
         if self.index is not None:
             self.index.note_deactivated(self, state)
 
     def active_states(self) -> Iterator[LatrState]:
+        # Reads the backing __dict__ slot directly: the ``active`` property
+        # costs a descriptor call per state, and sweeps run every tick.
         for state in self._slots:
-            if state is not None and state.active:
+            if state is not None and state.__dict__.get("_active_value", True):
                 yield state
 
-    def active_states_after(self, seq: int) -> Iterator[LatrState]:
+    def active_states_after(self, seq: int) -> List[LatrState]:
         """Active states with a posting sequence newer than ``seq``, in slot
-        order (the same order the full scan visits them)."""
-        for state in self._slots:
-            if state is not None and state.active and state.seq > seq:
-                yield state
+        order (the same order the full scan visits them). O(active), not
+        O(depth): the candidates come from the active map and are put back
+        into slot order by their recorded slot index (at most one active
+        state per slot, so the ordering is total)."""
+        states = [s for s in self._active_map.values() if s.seq > seq]
+        if len(states) > 1:
+            states.sort(key=_slot_key)
+        return states
 
     def all_states(self) -> Iterator[LatrState]:
         for state in self._slots:

@@ -25,6 +25,7 @@ class Machine:
         latency: Optional[LatencyModel] = None,
         stats: Optional[StatsRegistry] = None,
         pcid_enabled: bool = False,
+        use_tlb_index: Optional[bool] = None,
     ):
         self.sim = sim
         self.spec = spec
@@ -37,7 +38,11 @@ class Machine:
                 core_id=c,
                 socket=spec.socket_of(c),
                 sim=sim,
-                tlb=Tlb(spec.l1_dtlb_entries, pcid_enabled=pcid_enabled),
+                tlb=Tlb(
+                    spec.l1_dtlb_entries,
+                    pcid_enabled=pcid_enabled,
+                    use_index=use_tlb_index,
+                ),
             )
             for c in range(spec.total_cores)
         ]

@@ -10,16 +10,27 @@ PCID support (paper section 4.5) is modelled with explicit tags: without
 PCIDs a context switch flushes everything; with PCIDs entries of inactive
 processes survive switches and must still be swept by LATR before the PCID
 is reused.
+
+``invalidate_range``, ``flush(pcid)`` and ``cached_vpns`` are O(victims)
+rather than O(resident): a per-pcid secondary index (pcid -> vpn set,
+maintained on fill/evict/invalidate) names exactly the entries a victim
+pcid owns, so range shootdowns never scan the other processes' entries.
+``Tlb(..., use_index=False)`` keeps the original linear scans selectable --
+the differential tests prove both paths drop the same entries and report
+the same stats.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 #: PCID used for every process when PCID support is off.
 NO_PCID = 0
+
+#: Default for ``Tlb(use_index=...)`` when left unspecified.
+DEFAULT_USE_TLB_INDEX = True
 
 
 @dataclass
@@ -44,15 +55,26 @@ HUGE_SPAN = 512
 class Tlb:
     """A single core's TLB (split 4 KiB / 2 MiB arrays, like x86 L1 dTLBs)."""
 
-    def __init__(self, capacity: int, pcid_enabled: bool = False, huge_capacity: int = 32):
+    def __init__(
+        self,
+        capacity: int,
+        pcid_enabled: bool = False,
+        huge_capacity: int = 32,
+        use_index: Optional[bool] = None,
+    ):
         if capacity < 1:
             raise ValueError("TLB capacity must be positive")
         self.capacity = capacity
         self.huge_capacity = huge_capacity
         self.pcid_enabled = pcid_enabled
+        self.use_index = DEFAULT_USE_TLB_INDEX if use_index is None else bool(use_index)
         self._entries: "OrderedDict[Tuple[int, int], TlbEntry]" = OrderedDict()
         #: 2 MiB entries keyed by (pcid, base_vpn).
         self._huge_entries: "OrderedDict[Tuple[int, int], TlbEntry]" = OrderedDict()
+        #: Secondary index: effective pcid -> vpns resident in _entries.
+        self._index: Dict[int, Set[int]] = {}
+        #: Same for the huge array (base vpns).
+        self._huge_index: Dict[int, Set[int]] = {}
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -67,6 +89,23 @@ class Tlb:
 
     def _huge_key(self, pcid: int, vpn: int) -> Tuple[int, int]:
         return (pcid if self.pcid_enabled else NO_PCID, vpn - vpn % HUGE_SPAN)
+
+    # ---- index maintenance -----------------------------------------------------
+
+    def _index_add(self, index: Dict[int, Set[int]], key: Tuple[int, int]) -> None:
+        vpns = index.get(key[0])
+        if vpns is None:
+            vpns = index[key[0]] = set()
+        vpns.add(key[1])
+
+    def _index_drop(self, index: Dict[int, Set[int]], key: Tuple[int, int]) -> None:
+        vpns = index.get(key[0])
+        if vpns is not None:
+            vpns.discard(key[1])
+            if not vpns:
+                del index[key[0]]
+
+    # ---- lookups and fills -----------------------------------------------------
 
     def lookup(self, pcid: int, vpn: int) -> Optional[TlbEntry]:
         """Translate; counts a hit or miss and refreshes LRU position."""
@@ -98,8 +137,12 @@ class Tlb:
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = entry
+        if self.use_index:
+            self._index_add(self._index, key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            if self.use_index:
+                self._index_drop(self._index, evicted)
             self.evictions += 1
 
     def fill_huge(self, pcid: int, base_vpn: int, entry: TlbEntry) -> None:
@@ -110,27 +153,106 @@ class Tlb:
         if key in self._huge_entries:
             self._huge_entries.move_to_end(key)
         self._huge_entries[key] = entry
+        if self.use_index:
+            self._index_add(self._huge_index, key)
         while len(self._huge_entries) > self.huge_capacity:
-            self._huge_entries.popitem(last=False)
+            evicted, _ = self._huge_entries.popitem(last=False)
+            if self.use_index:
+                self._index_drop(self._huge_index, evicted)
             self.evictions += 1
+
+    # ---- invalidation ----------------------------------------------------------
 
     def invalidate_page(self, pcid: int, vpn: int) -> bool:
         """INVLPG: drop the translation covering ``vpn``; True if present."""
         key = self._key(pcid, vpn)
         if key in self._entries:
             del self._entries[key]
+            if self.use_index:
+                self._index_drop(self._index, key)
             self.invalidations += 1
             return True
         hkey = self._huge_key(pcid, vpn)
         if hkey in self._huge_entries:
             del self._huge_entries[hkey]
+            if self.use_index:
+                self._index_drop(self._huge_index, hkey)
             self.invalidations += 1
             return True
         return False
 
     def invalidate_range(self, pcid: int, vpn_start: int, vpn_end: int) -> int:
-        """Drop all translations overlapping [vpn_start, vpn_end)."""
+        """Drop all translations overlapping [vpn_start, vpn_end).
+
+        The indexed body lives inline here (not behind a second method
+        call): LATR sweeps call this once per matching state per core."""
         eff_pcid = pcid if self.pcid_enabled else NO_PCID
+        if not self.use_index:
+            dropped = self._invalidate_range_scan(eff_pcid, vpn_start, vpn_end)
+            self.invalidations += dropped
+            return dropped
+        dropped = 0
+        vpns = self._index.get(eff_pcid)
+        if vpns:
+            if vpn_end - vpn_start <= len(vpns):
+                victims = [v for v in range(vpn_start, vpn_end) if v in vpns]
+            else:
+                victims = [v for v in vpns if vpn_start <= v < vpn_end]
+            entries = self._entries
+            for vpn in victims:
+                del entries[(eff_pcid, vpn)]
+                vpns.discard(vpn)
+            if not vpns:
+                del self._index[eff_pcid]
+            dropped += len(victims)
+        huge_vpns = self._huge_index.get(eff_pcid)
+        if huge_vpns:
+            huge_victims = [
+                v for v in huge_vpns if v < vpn_end and v + HUGE_SPAN > vpn_start
+            ]
+            huge_entries = self._huge_entries
+            for vpn in huge_victims:
+                del huge_entries[(eff_pcid, vpn)]
+                huge_vpns.discard(vpn)
+            if not huge_vpns:
+                del self._huge_index[eff_pcid]
+            dropped += len(huge_victims)
+        self.invalidations += dropped
+        return dropped
+
+    def _invalidate_range_indexed(self, eff_pcid: int, vpn_start: int, vpn_end: int) -> int:
+        """O(victims): only this pcid's entries are ever examined, and the
+        4 KiB pass walks whichever is smaller -- the range or the pcid's
+        resident set. (Kept as the testable form of the inline body in
+        :meth:`invalidate_range`.)"""
+        dropped = 0
+        vpns = self._index.get(eff_pcid)
+        if vpns:
+            if vpn_end - vpn_start <= len(vpns):
+                victims = [v for v in range(vpn_start, vpn_end) if v in vpns]
+            else:
+                victims = [v for v in vpns if vpn_start <= v < vpn_end]
+            for vpn in victims:
+                del self._entries[(eff_pcid, vpn)]
+                vpns.discard(vpn)
+            if not vpns:
+                del self._index[eff_pcid]
+            dropped += len(victims)
+        huge_vpns = self._huge_index.get(eff_pcid)
+        if huge_vpns:
+            huge_victims = [
+                v for v in huge_vpns if v < vpn_end and v + HUGE_SPAN > vpn_start
+            ]
+            for vpn in huge_victims:
+                del self._huge_entries[(eff_pcid, vpn)]
+                huge_vpns.discard(vpn)
+            if not huge_vpns:
+                del self._huge_index[eff_pcid]
+            dropped += len(huge_victims)
+        return dropped
+
+    def _invalidate_range_scan(self, eff_pcid: int, vpn_start: int, vpn_end: int) -> int:
+        """The original linear scan over every resident entry."""
         victims = [
             key
             for key in self._entries
@@ -145,9 +267,7 @@ class Tlb:
         ]
         for key in huge_victims:
             del self._huge_entries[key]
-        dropped = len(victims) + len(huge_victims)
-        self.invalidations += dropped
-        return dropped
+        return len(victims) + len(huge_victims)
 
     def flush(self, pcid: Optional[int] = None) -> int:
         """CR3 write: drop everything (or one PCID's entries when tagged)."""
@@ -156,7 +276,17 @@ class Tlb:
             count = len(self._entries) + len(self._huge_entries)
             self._entries.clear()
             self._huge_entries.clear()
+            self._index.clear()
+            self._huge_index.clear()
             return count
+        if self.use_index:
+            vpns = self._index.pop(pcid, ())
+            for vpn in vpns:
+                del self._entries[(pcid, vpn)]
+            huge_vpns = self._huge_index.pop(pcid, ())
+            for vpn in huge_vpns:
+                del self._huge_entries[(pcid, vpn)]
+            return len(vpns) + len(huge_vpns)
         victims = [key for key in self._entries if key[0] == pcid]
         for key in victims:
             del self._entries[key]
@@ -164,6 +294,8 @@ class Tlb:
         for key in huge_victims:
             del self._huge_entries[key]
         return len(victims) + len(huge_victims)
+
+    # ---- inspection ------------------------------------------------------------
 
     def items(self) -> Iterable[Tuple[Tuple[int, int], TlbEntry]]:
         """All 4 KiB ((pcid, vpn), entry) pairs; for invariant checkers."""
@@ -175,6 +307,8 @@ class Tlb:
 
     def cached_vpns(self, pcid: int) -> Iterable[int]:
         eff_pcid = pcid if self.pcid_enabled else NO_PCID
+        if self.use_index:
+            return sorted(self._index.get(eff_pcid, ()))
         return [vpn for (p, vpn) in self._entries if p == eff_pcid]
 
     def stats(self) -> Dict[str, int]:

@@ -8,7 +8,7 @@ sockets and the direct cross link are one hop, everything else two.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from .spec import MachineSpec
 
@@ -47,6 +47,20 @@ class Topology:
     def core_hops(self, core_a: int, core_b: int) -> int:
         """QPI hops between two cores (0 when on the same socket)."""
         return self._hops[self._socket_of[core_a]][self._socket_of[core_b]]
+
+    def sharer_hop_counts(self, core_id: int, sharers) -> Dict[int, int]:
+        """Histogram {hop distance: count} from ``core_id`` to every *other*
+        core in ``sharers``. Equivalent to counting ``core_hops(core_id, s)``
+        per sharer, but one pass over plain lists -- rmap bookkeeping sums
+        a per-sharer cost on every munmap and the per-call overhead shows."""
+        socket_of = self._socket_of
+        row = self._hops[socket_of[core_id]]
+        counts: Dict[int, int] = {}
+        for other in sharers:
+            if other != core_id:
+                hops = row[socket_of[other]]
+                counts[hops] = counts.get(hops, 0) + 1
+        return counts
 
     def socket_hops(self, socket_a: int, socket_b: int) -> int:
         return self._hops[socket_a][socket_b]

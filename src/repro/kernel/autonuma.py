@@ -43,6 +43,8 @@ class AutoNuma:
         self._fault_history: Dict[Tuple[int, int], int] = {}
         self._registered: List[KProcess] = []
         self._cursors: Dict[int, int] = {}
+        #: mm_id -> round-robin position over the process's running tasks.
+        self._round_robin: Dict[int, int] = {}
 
     @classmethod
     def install(cls, kernel: "Kernel", **kwargs) -> "AutoNuma":
@@ -53,54 +55,55 @@ class AutoNuma:
     def register(self, process: KProcess) -> None:
         """Start scanning this process's address space."""
         self._registered.append(process)
-        self.kernel.sim.spawn(self._scan_loop(process), name=f"numad-{process.name}")
+        # Periodic with a generator body: each round runs as a process and
+        # the next round starts scan_period_ns after the round completes,
+        # exactly like the old `while True: yield Timeout(p); <body>` loop.
+        self.kernel.sim.every(self.scan_period_ns, self._scan_round, process)
 
     # ---- the scanner (task_numa_work) -----------------------------------------------
 
-    def _scan_loop(self, process: KProcess) -> Generator:
+    def _scan_round(self, process: KProcess) -> Generator:
         kernel = self.kernel
         lat = kernel.machine.latency
         mm = process.mm
-        round_robin = 0
-        while True:
-            yield Timeout(self.scan_period_ns)
-            tasks = [t for t in process.tasks if t.state.value == "running"]
-            if not tasks:
-                continue
-            # The scan runs in task context: charge a live task's core.
-            task = tasks[round_robin % len(tasks)]
-            round_robin += 1
-            core = kernel.machine.core(task.home_core_id)
-            chunks = self._collect_chunks(mm)
-            # task_numa_work spreads its scan across the period; pacing the
-            # chunks also keeps LATR's per-core state queue from overflowing
-            # on a burst of migration posts.
-            pace = self.scan_period_ns // (2 * max(1, len(chunks)))
-            for chunk in chunks:
-                yield Timeout(pace)
-                yield mm.mmap_sem.acquire()
-                try:
-                    vpns = [
-                        vpn
-                        for vpn in chunk.vpns()
-                        if self._samplable(mm, vpn)
-                    ]
-                    if not vpns:
-                        continue
-                    yield from core.execute(len(vpns) * lat.numa_scan_per_page_ns)
-                    kernel.stats.counter("numa.pages_sampled").add(len(vpns))
+        tasks = [t for t in process.tasks if t.state.value == "running"]
+        if not tasks:
+            return
+        # The scan runs in task context: charge a live task's core.
+        rr = self._round_robin.get(mm.mm_id, 0)
+        task = tasks[rr % len(tasks)]
+        self._round_robin[mm.mm_id] = rr + 1
+        core = kernel.machine.core(task.home_core_id)
+        chunks = self._collect_chunks(mm)
+        # task_numa_work spreads its scan across the period; pacing the
+        # chunks also keeps LATR's per-core state queue from overflowing
+        # on a burst of migration posts.
+        pace = self.scan_period_ns // (2 * max(1, len(chunks)))
+        for chunk in chunks:
+            yield Timeout(pace)
+            yield mm.mmap_sem.acquire()
+            try:
+                vpns = [
+                    vpn
+                    for vpn in chunk.vpns()
+                    if self._samplable(mm, vpn)
+                ]
+                if not vpns:
+                    continue
+                yield from core.execute(len(vpns) * lat.numa_scan_per_page_ns)
+                kernel.stats.counter("numa.pages_sampled").add(len(vpns))
 
-                    def apply_change(mm=mm, vpns=tuple(vpns)) -> None:
-                        for vpn in vpns:
-                            pte = mm.page_table.walk(vpn)
-                            if pte is not None and pte.present:
-                                mm.page_table.update_pte(vpn, pte.make_numa_hint())
+                def apply_change(mm=mm, vpns=tuple(vpns)) -> None:
+                    for vpn in vpns:
+                        pte = mm.page_table.walk(vpn)
+                        if pte is not None and pte.present:
+                            mm.page_table.update_pte(vpn, pte.make_numa_hint())
 
-                    yield from kernel.coherence.migration_unmap(
-                        core, mm, chunk, apply_change
-                    )
-                finally:
-                    mm.mmap_sem.release()
+                yield from kernel.coherence.migration_unmap(
+                    core, mm, chunk, apply_change
+                )
+            finally:
+                mm.mmap_sem.release()
 
     def _samplable(self, mm: MmStruct, vpn: int) -> bool:
         pte = mm.page_table.walk(vpn)

@@ -16,7 +16,6 @@ from typing import TYPE_CHECKING, Dict, Generator, List, Tuple
 
 from ..mm.addr import VirtRange
 from ..mm.pte import Pte, PteFlags
-from ..sim.engine import Timeout
 from .task import KProcess
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,12 +42,9 @@ class KsmDaemon:
         self._registered.append(process)
         if not self._started:
             self._started = True
-            self.kernel.sim.spawn(self._scan_loop(), name="ksmd")
-
-    def _scan_loop(self) -> Generator:
-        while True:
-            yield Timeout(self.scan_period_ns)
-            yield from self.scan_once()
+            # Periodic generator body: next round starts scan_period_ns
+            # after the previous one completes (classic daemon cadence).
+            self.kernel.sim.every(self.scan_period_ns, self.scan_once)
 
     # ---- one scan round -------------------------------------------------------------
 

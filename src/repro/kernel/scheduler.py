@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Generator, Optional
 
-from ..sim.engine import Timeout
 from ..sim.resources import Lock
 from .task import Task, TaskState
 
@@ -43,30 +42,32 @@ class Scheduler:
     # ---- lifecycle -------------------------------------------------------------
 
     def start(self) -> None:
-        """Spawn one tick loop per core, with staggered phases."""
+        """Register one periodic tick per core, with staggered phases."""
         if self._started:
             return
         self._started = True
+        self._ticks = self.kernel.stats.counter("sched.ticks")
+        self._ticks_idle_skipped = self.kernel.stats.counter("sched.ticks_idle_skipped")
+        # Cache the object, not the bound method: tests (and tracing
+        # wrappers) monkeypatch ``coherence.on_tick`` after start().
+        self._coherence = self.kernel.coherence
         n = self.kernel.machine.n_cores
         for core in self.kernel.machine.cores:
             offset = (core.id * self.tick_interval) // max(1, n)
             if self.tick_offsets is not None:
                 offset = self.tick_offsets.get(core.id, offset) % self.tick_interval
-            self.kernel.sim.spawn(self._tick_loop(core, offset), name=f"tick{core.id}")
+            # First tick at the stagger offset, then every interval: every
+            # core ticks within one interval of any instant, which is the
+            # staleness bound LATR's reclamation delay is derived from.
+            self.kernel.sim.every(self.tick_interval, self._tick, core, start=offset)
 
-    def _tick_loop(self, core, offset: int) -> Generator:
-        # First tick at the stagger offset, then every interval: every core
-        # ticks within one interval of any instant, which is the staleness
-        # bound LATR's reclamation delay is derived from.
-        yield Timeout(offset)
-        while True:
-            self.kernel.stats.counter("sched.ticks").add()
-            if core.idle and core.lazy_tlb_mode:
-                # Tickless idle: no sweep, no tick work.
-                self.kernel.stats.counter("sched.ticks_idle_skipped").add()
-            else:
-                self.kernel.coherence.on_tick(core)
-            yield Timeout(self.tick_interval)
+    def _tick(self, core) -> None:
+        self._ticks.value += 1
+        if core.idle and core.lazy_tlb_mode:
+            # Tickless idle: no sweep, no tick work.
+            self._ticks_idle_skipped.value += 1
+        else:
+            self._coherence.on_tick(core)
 
     # ---- placement --------------------------------------------------------------
 

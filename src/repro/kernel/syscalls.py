@@ -157,9 +157,10 @@ class Syscalls:
             # ~40 us in Figure 7 while Linux pays IPIs on top).
             topo = kernel.machine.topology
             sharer_work = sum(
-                lat.rmap_per_sharer(topo.core_hops(core.id, other))
-                for other in mm.cpumask
-                if other != core.id
+                lat.rmap_per_sharer(hops) * count
+                for hops, count in topo.sharer_hop_counts(
+                    core.id, mm.cpumask
+                ).items()
             )
             yield from core.execute(pte_work + sharer_work)
 

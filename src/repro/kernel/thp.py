@@ -59,12 +59,9 @@ class Khugepaged:
         self._registered.append(process)
         if not self._started:
             self._started = True
-            self.kernel.sim.spawn(self._scan_loop(), name="khugepaged")
-
-    def _scan_loop(self) -> Generator:
-        while True:
-            yield Timeout(self.scan_period_ns)
-            yield from self.scan_once()
+            # Periodic generator body: next round starts scan_period_ns
+            # after the previous one completes (classic daemon cadence).
+            self.kernel.sim.every(self.scan_period_ns, self.scan_once)
 
     # ---- candidate discovery ----------------------------------------------------
 

@@ -36,6 +36,44 @@ class FrameBatch(list):
         return getattr(pfns, "free_units", len(pfns))
 
 
+class _FreeList:
+    """A node's free-PFN queue with deque semantics but O(1) construction.
+
+    Never-yet-allocated frames live as a ``[lo, hi)`` watermark range served
+    front-first; recycled (or exclude-rotated) frames go to a deque *behind*
+    the range. That is exactly the logical order of the eager
+    ``deque(range(base, base + n))`` it replaces -- popleft drains the fresh
+    range in ascending order first, appends queue behind it -- without
+    materializing half a million integers per node at boot.
+    """
+
+    __slots__ = ("_lo", "_hi", "_tail")
+
+    def __init__(self, pfns=(), fresh: Optional[range] = None):
+        self._tail: Deque[int] = deque(pfns)
+        if fresh is not None:
+            self._lo, self._hi = fresh.start, fresh.stop
+        else:
+            self._lo = self._hi = 0
+
+    def popleft(self) -> int:
+        if self._lo < self._hi:
+            pfn = self._lo
+            self._lo += 1
+            return pfn
+        return self._tail.popleft()
+
+    def append(self, pfn: int) -> None:
+        self._tail.append(pfn)
+
+    def __len__(self) -> int:
+        return (self._hi - self._lo) + len(self._tail)
+
+    def __iter__(self):
+        yield from range(self._lo, self._hi)
+        yield from self._tail
+
+
 class FrameAllocator:
     """Per-node free lists of physical frame numbers (PFNs)."""
 
@@ -44,14 +82,10 @@ class FrameAllocator:
             raise ValueError("need at least one node and one frame")
         self.nodes = nodes
         self.frames_per_node = frames_per_node
-        self._free: List[Deque[int]] = []
-        self._node_of: Dict[int, int] = {}
-        for node in range(nodes):
-            base = node * frames_per_node
-            pfns = deque(range(base, base + frames_per_node))
-            self._free.append(pfns)
-            for pfn in pfns:
-                self._node_of[pfn] = node
+        self._free: List[_FreeList] = [
+            _FreeList(fresh=range(node * frames_per_node, (node + 1) * frames_per_node))
+            for node in range(nodes)
+        ]
         self._refcount: Dict[int, int] = {}
         self._generation: Dict[int, int] = {}
         self.total_allocs = 0
@@ -70,7 +104,9 @@ class FrameAllocator:
         return len(self._refcount)
 
     def node_of(self, pfn: int) -> int:
-        return self._node_of[pfn]
+        if not 0 <= pfn < self.nodes * self.frames_per_node:
+            raise KeyError(pfn)
+        return pfn // self.frames_per_node
 
     def alloc(self, node: int = 0, exclude: Optional[range] = None) -> int:
         """Allocate one frame, preferring ``node``, falling back round-robin.
@@ -148,7 +184,7 @@ class FrameAllocator:
         if count == 1:
             del self._refcount[pfn]
             self._generation[pfn] = self._generation.get(pfn, 0) + 1
-            self._free[self._node_of[pfn]].append(pfn)
+            self._free[pfn // self.frames_per_node].append(pfn)
             self.total_frees += 1
             return True
         self._refcount[pfn] = count - 1

@@ -30,6 +30,17 @@ class PteFlags(enum.IntFlag):
     HUGE = enum.auto()
 
 
+# Plain-int views of the masks: IntFlag.__and__ routes through the enum
+# machinery (member lookup per operation), which shows up in page-walk-heavy
+# workloads. The flag properties below test bits via int.__and__ instead.
+_PRESENT = int(PteFlags.PRESENT)
+_WRITE = int(PteFlags.WRITE)
+_PROTNONE = int(PteFlags.PROTNONE)
+_COW = int(PteFlags.COW)
+_SWAPPED = int(PteFlags.SWAPPED)
+_HUGE = int(PteFlags.HUGE)
+
+
 @dataclass(frozen=True)
 class Pte:
     """One page-table entry: a PFN (or swap slot) plus flags."""
@@ -41,27 +52,27 @@ class Pte:
 
     @property
     def present(self) -> bool:
-        return bool(self.flags & PteFlags.PRESENT)
+        return bool(int.__and__(self.flags, _PRESENT))
 
     @property
     def writable(self) -> bool:
-        return bool(self.flags & PteFlags.WRITE)
+        return bool(int.__and__(self.flags, _WRITE))
 
     @property
     def numa_hint(self) -> bool:
-        return bool(self.flags & PteFlags.PROTNONE)
+        return bool(int.__and__(self.flags, _PROTNONE))
 
     @property
     def cow(self) -> bool:
-        return bool(self.flags & PteFlags.COW)
+        return bool(int.__and__(self.flags, _COW))
 
     @property
     def swapped(self) -> bool:
-        return bool(self.flags & PteFlags.SWAPPED)
+        return bool(int.__and__(self.flags, _SWAPPED))
 
     @property
     def huge(self) -> bool:
-        return bool(self.flags & PteFlags.HUGE)
+        return bool(int.__and__(self.flags, _HUGE))
 
     def with_flags(self, add: PteFlags = PteFlags.NONE, drop: PteFlags = PteFlags.NONE) -> "Pte":
         return replace(self, flags=(self.flags | add) & ~drop)

@@ -7,11 +7,21 @@ or generator-based processes on a single :class:`Simulator`.
 
 Time is modelled as integer nanoseconds, which keeps event ordering exact and
 reproducible (no floating-point drift over long runs).
+
+Internally the simulator keeps near-future events in a timer wheel
+(:data:`WHEEL_SLOTS` fixed-width buckets of :data:`WHEEL_SLOT_NS` each,
+covering ~2.1 ms -- comfortably past the 1 ms scheduler tick) and lets
+far-future events overflow to a binary heap. Event ordering is *identical*
+to a pure heap: everything executes strictly by ``(time, seq)``, with ``seq``
+allocated in schedule order. ``Simulator(use_timer_wheel=False)`` routes all
+events through the heap instead, which the differential tests use to prove
+the wheel changes nothing observable.
 """
 
 from __future__ import annotations
 
 import heapq
+from types import GeneratorType
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 #: One microsecond / millisecond / second in simulation time units (ns).
@@ -19,33 +29,77 @@ USEC = 1_000
 MSEC = 1_000_000
 SEC = 1_000_000_000
 
+#: Timer-wheel geometry: 512 slots of 4096 ns cover ~2.1 ms, so scheduler
+#: ticks, context-switch traffic and execution quanta all stay in the wheel;
+#: only genuinely far-future events (multi-ms daemon periods) hit the heap.
+WHEEL_SLOT_NS = 1 << 12
+WHEEL_SLOTS = 1 << 9
+WHEEL_SPAN_NS = WHEEL_SLOT_NS * WHEEL_SLOTS
+
+#: Buckets shorter than this are never compacted -- lazy pop handles them.
+_COMPACT_MIN = 8
+
+#: Default for ``Simulator(use_timer_wheel=...)`` when left unspecified.
+DEFAULT_USE_TIMER_WHEEL = True
+
 
 class SimulationError(RuntimeError):
     """Raised for illegal uses of the engine (negative delays, re-triggering)."""
 
 
 class EventHandle:
-    """A cancellable handle for a scheduled callback."""
+    """A cancellable handle for a scheduled callback.
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    Periodic handles (created by :meth:`Simulator.every`) carry a non-None
+    ``interval`` and are re-armed in place after each firing instead of being
+    re-allocated; ``cancel()`` stops the series.
+    """
 
-    def __init__(self, time: int, seq: int, fn: Callable, args: tuple):
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "interval", "_sim",
+                 "_bucket", "_scheduled")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        fn: Callable,
+        args: tuple,
+        sim: "Optional[Simulator]" = None,
+        interval: Optional[int] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.interval = interval
+        self._sim = sim
+        #: Wheel-bucket index while parked in a bucket, else -1.
+        self._bucket = -1
+        #: True while resident in a wheel/heap structure (awaiting execution).
+        self._scheduled = False
 
     def cancel(self) -> None:
-        """Prevent the callback from firing (no-op if it already fired)."""
+        """Prevent the callback from firing (no-op if it already fired).
+
+        For periodic handles this ends the series. The handle stays in its
+        wheel bucket / heap and is dropped lazily; a bucket that becomes
+        >50% cancelled is compacted so long-lived simulations don't leak
+        slots to dead timers.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._scheduled and self._sim is not None:
+            self._sim._note_cancelled(self)
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
-        return f"<EventHandle t={self.time} fn={getattr(self.fn, '__name__', self.fn)} {state}>"
+        kind = "periodic " if self.interval is not None else ""
+        return f"<{kind}EventHandle t={self.time} fn={getattr(self.fn, '__name__', self.fn)} {state}>"
 
 
 class Signal:
@@ -210,33 +264,65 @@ def _gather(sim: "Simulator", children: Iterable[Any], owner: str = "") -> Signa
 
 
 class Simulator:
-    """The event loop: a time-ordered heap of callbacks plus process support."""
+    """The event loop: a timer wheel + overflow heap of callbacks, plus
+    process support. Execution order is strict ``(time, seq)`` regardless of
+    which structure holds an event."""
 
     #: Events executed across all Simulator instances in this process; the
     #: benchmark harness snapshots it around a timed run to report events/sec
     #: even when the run builds several machines internally.
     total_events_executed = 0
 
-    def __init__(self):
-        self._heap: List[EventHandle] = []
+    def __init__(self, use_timer_wheel: Optional[bool] = None):
+        if use_timer_wheel is None:
+            use_timer_wheel = DEFAULT_USE_TIMER_WHEEL
+        self._use_wheel = bool(use_timer_wheel)
         self._seq = 0
         self._now = 0
         self._running = False
+        #: Scheduled, non-cancelled events (kept exact so pending() is O(1)).
+        self._pending_live = 0
+        #: Far-future events (>= the wheel horizon), or *all* events when the
+        #: wheel is disabled: a binary heap ordered by (time, seq).
+        self._overflow: List[EventHandle] = []
+        # Wheel state: _current is a heap holding the active slot (plus any
+        # event scheduled earlier than one slot past the cursor); _buckets
+        # are append-only FIFO lists heapified when their slot activates.
+        self._current: List[EventHandle] = []
+        if self._use_wheel:
+            self._buckets: List[List[EventHandle]] = [[] for _ in range(WHEEL_SLOTS)]
+            self._bucket_dead: List[int] = [0] * WHEEL_SLOTS
+        else:
+            self._buckets = []
+            self._bucket_dead = []
+        self._cursor_slot = 0
+        self._cursor_time = 0
+        #: Handles resident in _current + _buckets (cancelled ones included
+        #: until lazily dropped or compacted).
+        self._wheel_count = 0
         #: Events executed by this instance (monotonic, never reset).
         self.events_executed = 0
+        #: Set to a list to record (time, seq) of every executed event --
+        #: the differential tests use it to prove wheel-vs-heap identity.
+        self.order_log: Optional[List] = None
 
     @property
     def now(self) -> int:
         """Current simulation time in nanoseconds."""
         return self._now
 
+    # ------------------------------------------------------------------
+    # scheduling
+
     def at(self, time: int, fn: Callable, *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute time ``time``."""
         if time < self._now:
             raise SimulationError(f"cannot schedule in the past: {time} < {self._now}")
-        handle = EventHandle(int(time), self._seq, fn, args)
+        handle = EventHandle(int(time), self._seq, fn, args, self)
         self._seq += 1
-        heapq.heappush(self._heap, handle)
+        handle._scheduled = True
+        self._pending_live += 1
+        self._place(handle)
         return handle
 
     def after(self, delay: int, fn: Callable, *args: Any) -> EventHandle:
@@ -244,6 +330,229 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         return self.at(self._now + int(delay), fn, *args)
+
+    def every(
+        self,
+        interval: int,
+        fn: Callable,
+        *args: Any,
+        start: Optional[int] = None,
+    ) -> EventHandle:
+        """Register a periodic event: ``fn(*args)`` fires every ``interval``
+        ns, reusing one handle instead of allocating a Timeout + EventHandle
+        per firing. The first firing is ``start`` ns from now (default:
+        ``interval``).
+
+        If ``fn`` returns a generator, it is run as a process starting
+        synchronously at the firing time, and the next firing is scheduled
+        ``interval`` ns after the *body completes* -- exactly the cadence of
+        the classic ``while True: yield Timeout(p); <body>`` daemon loop.
+        Plain callbacks re-fire every ``interval`` ns with no drift.
+
+        Returns the reusable handle; :meth:`EventHandle.cancel` stops the
+        series (including between firings).
+        """
+        if interval <= 0:
+            raise SimulationError(f"non-positive period: {interval}")
+        delay = interval if start is None else start
+        if delay < 0:
+            raise SimulationError(f"negative start: {start}")
+        handle = EventHandle(
+            self._now + int(delay), self._seq, fn, args, self, int(interval)
+        )
+        self._seq += 1
+        handle._scheduled = True
+        self._pending_live += 1
+        self._place(handle)
+        return handle
+
+    def _rearm(self, handle: EventHandle) -> None:
+        """Re-queue a periodic handle for its next firing (fresh seq, so
+        ordering against freshly-scheduled events matches the old
+        Timeout-per-tick daemons exactly)."""
+        if handle.cancelled:
+            return
+        time = handle.time = self._now + handle.interval
+        handle.seq = self._seq
+        self._seq += 1
+        handle._scheduled = True
+        self._pending_live += 1
+        # _place() inlined -- periodic re-arms happen once per executed tick
+        # across every daemon, and the in-horizon bucket append is the
+        # overwhelmingly common case.
+        if self._use_wheel and time < self._cursor_time + WHEEL_SPAN_NS:
+            if time < self._cursor_time + WHEEL_SLOT_NS:
+                handle._bucket = -1
+                heapq.heappush(self._current, handle)
+            else:
+                bucket = (time // WHEEL_SLOT_NS) % WHEEL_SLOTS
+                handle._bucket = bucket
+                self._buckets[bucket].append(handle)
+            self._wheel_count += 1
+        else:
+            handle._bucket = -1
+            heapq.heappush(self._overflow, handle)
+
+    def _place(self, handle: EventHandle) -> None:
+        """Insert into the wheel or the overflow heap by time (structural
+        insert only -- callers maintain the pending/scheduled accounting)."""
+        if not self._use_wheel:
+            heapq.heappush(self._overflow, handle)
+            return
+        time = handle.time
+        if time < self._cursor_time + WHEEL_SLOT_NS:
+            # Due within (or before) the active slot: keep exact heap order.
+            handle._bucket = -1
+            heapq.heappush(self._current, handle)
+            self._wheel_count += 1
+        elif time < self._cursor_time + WHEEL_SPAN_NS:
+            bucket = (time // WHEEL_SLOT_NS) % WHEEL_SLOTS
+            handle._bucket = bucket
+            self._buckets[bucket].append(handle)
+            self._wheel_count += 1
+        else:
+            handle._bucket = -1
+            heapq.heappush(self._overflow, handle)
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping
+
+    def _note_cancelled(self, handle: EventHandle) -> None:
+        """Called by EventHandle.cancel() while the handle is still queued:
+        fix the live count and compact the bucket if mostly dead."""
+        self._pending_live -= 1
+        bucket_idx = handle._bucket
+        if bucket_idx < 0:
+            return  # in _current or _overflow: lazily dropped on pop
+        dead = self._bucket_dead[bucket_idx] + 1
+        bucket = self._buckets[bucket_idx]
+        if dead * 2 > len(bucket) and len(bucket) >= _COMPACT_MIN:
+            live = [h for h in bucket if not h.cancelled]
+            for h in bucket:
+                if h.cancelled:
+                    h._bucket = -1
+                    h._scheduled = False
+            self._wheel_count -= len(bucket) - len(live)
+            self._buckets[bucket_idx] = live
+            self._bucket_dead[bucket_idx] = 0
+        else:
+            self._bucket_dead[bucket_idx] = dead
+
+    # ------------------------------------------------------------------
+    # wheel advancement
+
+    def _advance_wheel(self) -> None:
+        """Advance the cursor (only legal with _current empty and events in
+        the wheel) until a populated bucket activates, migrating overflow
+        events as they enter the horizon along the way."""
+        buckets = self._buckets
+        overflow = self._overflow
+        cursor_slot = self._cursor_slot
+        cursor_time = self._cursor_time
+        while True:
+            cursor_slot = (cursor_slot + 1) % WHEEL_SLOTS
+            cursor_time += WHEEL_SLOT_NS
+            self._cursor_slot = cursor_slot
+            self._cursor_time = cursor_time
+            if overflow and overflow[0].time < cursor_time + WHEEL_SPAN_NS:
+                horizon = cursor_time + WHEEL_SPAN_NS
+                while overflow and overflow[0].time < horizon:
+                    migrated = heapq.heappop(overflow)
+                    if migrated.cancelled:
+                        migrated._scheduled = False
+                        continue
+                    self._place(migrated)
+            bucket = buckets[cursor_slot]
+            if bucket:
+                buckets[cursor_slot] = []
+                self._bucket_dead[cursor_slot] = 0
+                for h in bucket:
+                    h._bucket = -1
+                heapq.heapify(bucket)
+                self._current = bucket
+                return
+
+    def _jump_wheel(self, time: int) -> None:
+        """With the wheel empty, teleport the cursor to ``time``'s slot and
+        pull newly-in-horizon overflow events into the wheel."""
+        self._cursor_time = (time // WHEEL_SLOT_NS) * WHEEL_SLOT_NS
+        self._cursor_slot = (time // WHEEL_SLOT_NS) % WHEEL_SLOTS
+        overflow = self._overflow
+        horizon = self._cursor_time + WHEEL_SPAN_NS
+        while overflow and overflow[0].time < horizon:
+            migrated = heapq.heappop(overflow)
+            if migrated.cancelled:
+                migrated._scheduled = False
+                continue
+            self._place(migrated)
+
+    # ------------------------------------------------------------------
+    # event loop
+
+    def _peek_next(self) -> Optional[EventHandle]:
+        """The earliest pending non-cancelled event (cancelled heads are
+        dropped lazily on the way), or None if the simulator is drained."""
+        if not self._use_wheel:
+            overflow = self._overflow
+            while overflow:
+                head = overflow[0]
+                if head.cancelled:
+                    heapq.heappop(overflow)
+                    head._scheduled = False
+                    continue
+                return head
+            return None
+        while True:
+            current = self._current
+            while current:
+                head = current[0]
+                if head.cancelled:
+                    heapq.heappop(current)
+                    self._wheel_count -= 1
+                    head._scheduled = False
+                    continue
+                return head
+            if self._wheel_count:
+                self._advance_wheel()
+                continue
+            overflow = self._overflow
+            while overflow and overflow[0].cancelled:
+                dropped = heapq.heappop(overflow)
+                dropped._scheduled = False
+            if not overflow:
+                return None
+            self._jump_wheel(overflow[0].time)
+
+    def _pop_next(self) -> EventHandle:
+        """Remove and return the event _peek_next() just reported."""
+        if self._use_wheel and self._current:
+            handle = heapq.heappop(self._current)
+            self._wheel_count -= 1
+        else:
+            handle = heapq.heappop(self._overflow)
+        handle._scheduled = False
+        self._pending_live -= 1
+        return handle
+
+    def _execute(self, handle: EventHandle) -> None:
+        self._now = handle.time
+        if handle.interval is None:
+            handle.fn(*handle.args)
+        else:
+            result = handle.fn(*handle.args)
+            if type(result) is GeneratorType:
+                # Generator-flavoured periodic: run the body as a process
+                # starting *now* (synchronously, like the old daemon loops'
+                # inline `yield from body`), then re-arm once it completes.
+                proc = Process(self, result)
+                proc._step(None)
+                proc.done.add_callback(lambda _sig, h=handle: self._rearm(h))
+            else:
+                self._rearm(handle)
+        self.events_executed += 1
+        Simulator.total_events_executed += 1
+        if self.order_log is not None:
+            self.order_log.append((handle.time, handle.seq))
 
     def signal(self) -> Signal:
         """Create a fresh one-shot signal bound to this simulator."""
@@ -262,44 +571,78 @@ class Simulator:
         return proc
 
     def step(self) -> bool:
-        """Run the next pending event. Returns False if the heap is empty."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self._now = handle.time
-            handle.fn(*handle.args)
-            self.events_executed += 1
-            Simulator.total_events_executed += 1
-            return True
-        return False
+        """Run the next pending event. Returns False if the engine drained."""
+        if self._peek_next() is None:
+            return False
+        self._execute(self._pop_next())
+        return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Run events until the heap drains or ``until`` (absolute ns) passes.
+        """Run events until the engine drains or ``until`` (absolute ns)
+        passes.
 
         Returns the number of events executed. When ``until`` is given the
-        clock is advanced to exactly ``until`` if the heap drained of events
-        at or before ``until``, so rate computations over a fixed window stay
-        well-defined. If a ``max_events`` break leaves such events pending,
-        the clock stays at the last executed event -- force-advancing would
-        make the next :meth:`step` move time backwards.
+        clock is advanced to exactly ``until`` if the engine drained of
+        events at or before ``until``, so rate computations over a fixed
+        window stay well-defined. If a ``max_events`` break leaves such
+        events pending, the clock stays at the last executed event --
+        force-advancing would make the next :meth:`step` move time backwards.
         """
         executed = 0
         self._running = True
+        # The body below is _pop_next() + _execute() inlined: one event is
+        # dispatched per iteration and this loop is the single hottest frame
+        # in every benchmark, so the per-event method-call overhead is worth
+        # trading away. step() keeps the readable composed form.
+        peek = self._peek_next
+        pop = heapq.heappop
+        use_wheel = self._use_wheel
+        rearm = self._rearm
         try:
-            while self._heap:
+            while True:
                 if max_events is not None and executed >= max_events:
                     break
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and head.time > until:
+                # Fast path: a live head at the front of the active slot.
+                # Everything else (cancelled heads, wheel advance, overflow
+                # refill, heap-only mode) funnels through _peek_next().
+                current = self._current
+                if use_wheel and current and not current[0].cancelled:
+                    head = current[0]
+                else:
+                    head = peek()
+                if head is None:
                     break
-                self.step()
+                time = head.time
+                if until is not None and time > until:
+                    break
+                if use_wheel and self._current:
+                    pop(self._current)
+                    self._wheel_count -= 1
+                else:
+                    pop(self._overflow)
+                head._scheduled = False
+                self._pending_live -= 1
+                self._now = time
+                if head.interval is None:
+                    head.fn(*head.args)
+                else:
+                    result = head.fn(*head.args)
+                    if type(result) is GeneratorType:
+                        proc = Process(self, result)
+                        proc._step(None)
+                        proc.done.add_callback(
+                            lambda _sig, h=head: rearm(h)
+                        )
+                    else:
+                        rearm(head)
                 executed += 1
+                order_log = self.order_log
+                if order_log is not None:
+                    order_log.append((time, head.seq))
         finally:
             self._running = False
+            self.events_executed += executed
+            Simulator.total_events_executed += executed
         if until is not None and self._now < until:
             next_time = self._next_event_time()
             if next_time is None or next_time > until:
@@ -308,14 +651,9 @@ class Simulator:
 
     def _next_event_time(self) -> Optional[int]:
         """Time of the earliest pending (non-cancelled) event, or None."""
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            return head.time
-        return None
+        head = self._peek_next()
+        return head.time if head is not None else None
 
     def pending(self) -> int:
-        """Number of scheduled, non-cancelled events."""
-        return sum(1 for handle in self._heap if not handle.cancelled)
+        """Number of scheduled, non-cancelled events (O(1))."""
+        return self._pending_live

@@ -93,10 +93,12 @@ def build_fuzz_system(
     frames_per_node: int = FRAMES_PER_NODE,
     monitor_stride: int = 1,
     latr_kwargs: Optional[Dict[str, object]] = None,
+    use_timer_wheel: Optional[bool] = None,
+    use_tlb_index: Optional[bool] = None,
 ) -> FuzzSystem:
     """Boot a system for one fuzz run, with every schedule knob applied
     *before* the kernel starts (tick offsets matter from the first tick)."""
-    sim = Simulator()
+    sim = Simulator(use_timer_wheel=use_timer_wheel)
     spec = preset("commodity-2s16c")
     if plan.n_cores >= 2 and plan.n_cores % 2 == 0:
         # Keep two NUMA nodes regardless of core count so migration and
@@ -124,7 +126,7 @@ def build_fuzz_system(
     else:
         coherence = make_mechanism(mechanism)
 
-    machine = Machine(sim, spec)
+    machine = Machine(sim, spec, use_tlb_index=use_tlb_index)
     kernel = Kernel(machine, coherence, frames_per_node=frames_per_node, seed=plan.seed)
     kernel.scheduler.tick_offsets = dict(plan.schedule.tick_offsets)
     AutoNuma.install(kernel)  # fault side only; the fuzzer posts its own hints
@@ -494,6 +496,8 @@ def run_one(
     frames_per_node: int = FRAMES_PER_NODE,
     monitor_stride: int = 1,
     latr_kwargs: Optional[Dict[str, object]] = None,
+    use_timer_wheel: Optional[bool] = None,
+    use_tlb_index: Optional[bool] = None,
 ) -> RunResult:
     """Replay ``plan`` once on ``mechanism``; never raises -- harness
     exceptions come back as errors (they are findings, not crashes)."""
@@ -505,6 +509,8 @@ def run_one(
         frames_per_node=frames_per_node,
         monitor_stride=monitor_stride,
         latr_kwargs=latr_kwargs,
+        use_timer_wheel=use_timer_wheel,
+        use_tlb_index=use_tlb_index,
     )
     sim, kernel = system.sim, system.kernel
     tick = system.machine.spec.tick_interval_ns

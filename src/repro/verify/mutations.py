@@ -19,11 +19,10 @@ Both must be caught by the :class:`~repro.verify.monitor.InvariantMonitor`
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Type
+from typing import Dict, List, Type
 
 from ..coherence.latr import LatrCoherence
 from ..coherence.states import LatrFlag, LatrState
-from ..sim.engine import Timeout
 
 MUTATIONS = ("reclaim_delay_zero", "skip_sweep_invalidate")
 
@@ -37,31 +36,31 @@ class EagerReclaimLatr(LatrCoherence):
         kwargs["reclaim_delay_ticks"] = 0
         super().__init__(**kwargs)
 
-    def _reclaimd(self) -> Generator:
-        tick = self.kernel.machine.spec.tick_interval_ns
-        delay = self.reclaim_delay_ticks * tick
+    def _reclaim_period_ns(self) -> int:
         # Poll far more often than the healthy daemon so the zero-delay free
         # lands inside the stale window instead of after the next sweep.
-        poll = max(1, tick // 10)
-        while True:
-            yield Timeout(poll)
-            now = self.kernel.sim.now
-            still_pending: List[LatrState] = []
-            owner_costs: Dict[int, int] = {}
-            for state in self._pending_reclaim:
-                if now - state.posted_at < delay:  # BUG: no state.active guard
-                    still_pending.append(state)
-                    continue
-                state.cpu_bitmask.clear()
-                if state.active:
-                    state.active = False
-                    state.completed_at = now
-                    state.done.succeed(state)
-                self._reclaim_state(state, owner_costs)
-            self._pending_reclaim = still_pending
-            self._migration_states = [s for s in self._migration_states if s.active]
-            for core_id, cost in owner_costs.items():
-                self.kernel.machine.core(core_id).steal_time(cost)
+        return max(1, self.kernel.machine.spec.tick_interval_ns // 10)
+
+    def _reclaim_round(self) -> None:
+        tick = self.kernel.machine.spec.tick_interval_ns
+        delay = self.reclaim_delay_ticks * tick
+        now = self.kernel.sim.now
+        still_pending: List[LatrState] = []
+        owner_costs: Dict[int, int] = {}
+        for state in self._pending_reclaim:
+            if now - state.posted_at < delay:  # BUG: no state.active guard
+                still_pending.append(state)
+                continue
+            state.cpu_bitmask.clear()
+            if state.active:
+                state.active = False
+                state.completed_at = now
+                state.done.succeed(state)
+            self._reclaim_state(state, owner_costs)
+        self._pending_reclaim = still_pending
+        self._migration_states = [s for s in self._migration_states if s.active]
+        for core_id, cost in owner_costs.items():
+            self.kernel.machine.core(core_id).steal_time(cost)
 
 
 class SkipSweepInvalidateLatr(LatrCoherence):

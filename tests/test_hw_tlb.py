@@ -1,8 +1,12 @@
 """Unit tests for the TLB model."""
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import HealthCheck, given, settings
 
-from repro.hw.tlb import NO_PCID, Tlb, TlbEntry
+from repro.hw.tlb import HUGE_SPAN, NO_PCID, Tlb, TlbEntry
+
+SETTINGS = settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
 
 def fill(tlb, vpn, pcid=1, pfn=None):
@@ -110,6 +114,79 @@ class TestPcid:
         fill(tlb, 1, pcid=1)
         fill(tlb, 2, pcid=2)
         assert tlb.flush(pcid=1) == 2
+
+
+_TLB_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["fill", "fill_huge", "lookup", "inv_page", "inv_range", "flush_pcid", "flush_all"]
+        ),
+        st.integers(min_value=1, max_value=3),  # pcid
+        st.integers(min_value=0, max_value=4 * HUGE_SPAN),  # vpn / range start
+        st.integers(min_value=1, max_value=2 * HUGE_SPAN),  # range width
+    ),
+    max_size=200,
+)
+
+
+class TestIndexedVsScan:
+    """The per-pcid secondary index is a pure lookup accelerator: with
+    ``use_index`` on or off, every operation must return the same value and
+    leave the TLB in the same externally observable state -- including
+    huge-page entries whose 512-page span partially overlaps a range."""
+
+    @SETTINGS
+    @given(ops=_TLB_OPS, pcid_enabled=st.booleans())
+    def test_matches_scan_model(self, ops, pcid_enabled):
+        tlbs = [
+            Tlb(capacity=32, pcid_enabled=pcid_enabled, huge_capacity=8, use_index=use)
+            for use in (True, False)
+        ]
+        for op, pcid, vpn, width in ops:
+            results = []
+            for tlb in tlbs:
+                if op == "fill":
+                    results.append(tlb.fill(pcid, vpn, TlbEntry(pfn=vpn + 7)))
+                elif op == "fill_huge":
+                    base = vpn - vpn % HUGE_SPAN
+                    results.append(tlb.fill_huge(pcid, base, TlbEntry(pfn=base + 9)))
+                elif op == "lookup":
+                    results.append(tlb.lookup(pcid, vpn))
+                elif op == "inv_page":
+                    results.append(tlb.invalidate_page(pcid, vpn))
+                elif op == "inv_range":
+                    results.append(tlb.invalidate_range(pcid, vpn, vpn + width))
+                elif op == "flush_pcid":
+                    results.append(tlb.flush(pcid))
+                else:
+                    results.append(tlb.flush())
+            assert results[0] == results[1], (op, pcid, vpn, width)
+        indexed, scan = tlbs
+        assert indexed.items() == scan.items()
+        assert indexed.huge_items() == scan.huge_items()
+        assert indexed.stats() == scan.stats()
+        for pcid in (1, 2, 3):
+            assert sorted(indexed.cached_vpns(pcid)) == sorted(scan.cached_vpns(pcid))
+
+    @SETTINGS
+    @given(
+        base=st.integers(min_value=0, max_value=3 * HUGE_SPAN),
+        start=st.integers(min_value=0, max_value=4 * HUGE_SPAN),
+        width=st.integers(min_value=1, max_value=2 * HUGE_SPAN),
+    )
+    def test_huge_overlap_boundaries(self, base, start, width):
+        # A huge entry covers [base, base + HUGE_SPAN); it must drop iff
+        # that span intersects [start, start + width) -- under both paths.
+        base -= base % HUGE_SPAN
+        results = []
+        for use in (True, False):
+            tlb = Tlb(capacity=8, pcid_enabled=True, use_index=use)
+            tlb.fill_huge(1, base, TlbEntry(pfn=1))
+            dropped = tlb.invalidate_range(1, start, start + width)
+            results.append((dropped, tlb.huge_items()))
+        assert results[0] == results[1]
+        overlaps = base < start + width and base + HUGE_SPAN > start
+        assert results[0][0] == (1 if overlaps else 0)
 
 
 class TestAccessors:

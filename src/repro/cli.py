@@ -21,6 +21,12 @@ from typing import List, Optional
 
 from .experiments import available_experiments, run_experiment, run_many
 
+# Tier-1 line-coverage floor enforced by `repro ci` when pytest-cov is
+# installed (the `.[dev]` extra). Set to two points below the measured
+# suite coverage (see tools/measure_coverage.py); raise it as the suite
+# grows, never lower it to paper over a regression.
+COVERAGE_FLOOR = 92
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
@@ -30,7 +36,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig6, tab5), 'all', 'list', 'fuzz', 'bench', or 'ci'",
+        help="experiment id (e.g. fig6, tab5), 'all', 'list', 'fuzz', 'mc', "
+        "'bench', or 'ci'",
     )
     parser.add_argument(
         "--fast",
@@ -54,14 +61,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--ops",
         type=int,
-        default=200,
-        help="fuzz: operations per plan",
+        default=None,
+        help="fuzz: operations per plan (default 200); "
+        "mc: program length (default 5)",
     )
     parser.add_argument(
         "--mutate",
         default=None,
-        help="fuzz: inject a known-bad LATR variant "
-        "(reclaim_delay_zero, skip_sweep_invalidate)",
+        help="fuzz/mc: inject a known-bad variant (see `python -m repro "
+        "fuzz --mutate help`)",
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=3,
+        help="mc: cores in the model-checked scope (1-4)",
+    )
+    parser.add_argument(
+        "--pages",
+        type=int,
+        default=2,
+        help="mc: page slots in the model-checked scope (1-3)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=200_000,
+        help="mc: per-cell explored-state budget (deterministic; the run "
+        "reports 'incomplete' when hit)",
+    )
+    parser.add_argument(
+        "--no-diff",
+        action="store_true",
+        help="mc: skip the differential oracle at complete traces",
     )
     parser.add_argument(
         "--quick",
@@ -104,6 +136,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.experiment == "fuzz":
         return _run_fuzz_command(args)
+
+    if args.experiment == "mc":
+        return _run_mc_command(args)
 
     if args.experiment == "bench":
         return _run_bench_command(args)
@@ -189,7 +224,8 @@ def _run_fuzz_command(args) -> int:
             file=sys.stderr,
         )
         return 2
-    n_ops = min(args.ops, 120) if args.fast else args.ops
+    ops = 200 if args.ops is None else args.ops
+    n_ops = min(ops, 120) if args.fast else ops
     config = FuzzConfig(
         seed=args.seed,
         n_ops=n_ops,
@@ -205,6 +241,46 @@ def _run_fuzz_command(args) -> int:
         with open(args.output, "a") as sink:
             sink.write(text + "\n\n")
     return 0 if report.ok else 1
+
+
+def _run_mc_command(args) -> int:
+    """``python -m repro mc --cores N --pages P --ops K [--mutate X]``:
+    exhaustively explore every reduced interleaving at a small scope; exit
+    0 iff the space is fully explored with zero findings."""
+    from .experiments.runner import resolve_jobs
+    from .verify import MUTATIONS
+    from .verify.mc import McConfig, McScope, run_mc
+
+    if args.mutate is not None and args.mutate not in MUTATIONS:
+        print(
+            f"unknown mutation {args.mutate!r}; have {', '.join(MUTATIONS)}",
+            file=sys.stderr,
+        )
+        return 2
+    ops = 5 if args.ops is None else args.ops
+    if not (1 <= args.cores <= 4 and 1 <= args.pages <= 3 and 0 <= ops <= 10):
+        print(
+            "mc is a small-scope exhaustive checker: --cores 1-4, --pages 1-3, "
+            f"--ops 0-10 (got cores={args.cores} pages={args.pages} ops={ops})",
+            file=sys.stderr,
+        )
+        return 2
+    config = McConfig(
+        scope=McScope(
+            cores=args.cores, pages=args.pages, ops=ops, mutate=args.mutate
+        ),
+        max_nodes=args.budget,
+        differential=not args.no_diff,
+    )
+    started = time.time()
+    result = run_mc(config, jobs=resolve_jobs(args.jobs) if args.jobs != 1 else 1)
+    text = result.render()
+    print(text)
+    print(f"[mc done in {time.time() - started:.1f}s]")
+    if args.output:
+        with open(args.output, "a") as sink:
+            sink.write(text + "\n\n")
+    return 0 if result.verdict == "ok" else 1
 
 
 def _run_ci_command(args) -> int:
@@ -228,16 +304,30 @@ def _run_ci_command(args) -> int:
         return code
 
     def tier1() -> int:
+        import importlib.util
+
         env = dict(os.environ)
         env["PYTHONPATH"] = src_dir + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
         )
-        return subprocess.call(
-            [sys.executable, "-m", "pytest", "-x", "-q"], cwd=repo_root, env=env
-        )
+        argv = [sys.executable, "-m", "pytest", "-x", "-q"]
+        if importlib.util.find_spec("pytest_cov") is not None:
+            # Coverage gate rides along wherever the dev extras are
+            # installed; environments without pytest-cov still run the
+            # plain suite.
+            argv += [
+                "--cov=repro",
+                "--cov-report=term",
+                f"--cov-fail-under={COVERAGE_FLOOR}",
+            ]
+        return subprocess.call(argv, cwd=repo_root, env=env)
 
     steps = [
         ("tier-1 pytest", tier1),
+        (
+            "repro mc --cores 2 --pages 2 --ops 4",
+            lambda: main(["mc", "--cores", "2", "--pages", "2", "--ops", "4"]),
+        ),
         ("repro all --fast --jobs 2", lambda: main(["all", "--fast", "--jobs", "2"])),
         (
             "repro bench --quick --check-regression",

@@ -1,0 +1,144 @@
+"""Exhaustive model-checking experiment (``model-exhaust``).
+
+Two claims, proven by enumeration rather than sampling:
+
+* **Healthy exhaustion** -- at the reference small scope, *every* reduced
+  interleaving of program ops, sweeps, and reclaim rounds passes the
+  invariant monitor, drains, and agrees with the fast-path-toggled and
+  synchronous-mechanism replays. The exploration shards across the run-cell
+  backend one root branch per cell -- the same left-to-right sleep-set
+  split ``run_mc`` uses internally, so ``--jobs N`` output is byte-identical
+  to ``--jobs 1``.
+* **Exhaustive mutation audit** -- every known-bad variant in
+  :data:`repro.verify.MUTATIONS` is caught *within the enumerated space*
+  (not just on lucky fuzz schedules), and its counterexample shrinks to a
+  minimal replayable trace.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..verify import MUTATIONS
+from ..verify.mc import CellResult, McConfig, McScope, merge_cells, root_actions, run_mc
+from .runner import ExperimentResult, RunCell, cell_experiment
+
+
+def _healthy_config(fast: bool) -> McConfig:
+    scope = McScope(cores=2, pages=2, ops=4) if fast else McScope(cores=3, pages=2, ops=5)
+    return McConfig(scope=scope)
+
+
+def _audit_config(fast: bool, mutation: str) -> McConfig:
+    # ops=5 brings the second posting op (migrate) into scope, which the
+    # stale-cache liveness bug needs; 2 cores keep audits instant.
+    scope = McScope(cores=2, pages=2, ops=5, mutate=mutation)
+    return McConfig(scope=scope)
+
+
+def healthy_cell(fast: bool, cell: int) -> CellResult:
+    from ..verify.mc import explore_cell
+
+    return explore_cell(_healthy_config(fast), cell)
+
+
+def audit_cell(fast: bool, mutation: str):
+    result = run_mc(_audit_config(fast, mutation))
+    ce = result.counterexample
+    return (
+        mutation,
+        result.verdict,
+        result.nodes,
+        len(ce.trace) if ce else 0,
+        len(ce.shrunk) if ce and ce.shrunk is not None else 0,
+        ce.findings[0] if ce else "",
+    )
+
+
+def model_exhaust_cells(fast: bool = False) -> List[RunCell]:
+    config = _healthy_config(fast)
+    cells = [
+        RunCell(
+            exp_id="model-exhaust",
+            cell_id=f"explore/{root}",
+            fn="repro.experiments.model_exhaust:healthy_cell",
+            params=dict(fast=fast, cell=i),
+            fast=fast,
+        )
+        for i, root in enumerate(root_actions(config))
+    ]
+    cells += [
+        RunCell(
+            exp_id="model-exhaust",
+            cell_id=f"audit/{mutation}",
+            fn="repro.experiments.model_exhaust:audit_cell",
+            params=dict(fast=fast, mutation=mutation),
+            fast=fast,
+        )
+        for mutation in MUTATIONS
+    ]
+    return cells
+
+
+def model_exhaust_assemble(values, fast: bool = False) -> ExperimentResult:
+    config = _healthy_config(fast)
+    roots = root_actions(config)
+    explore_values = values[: len(roots)]
+    audit_values = values[len(roots):]
+
+    merged = merge_cells(config, roots, list(explore_values))
+    scope = config.scope
+    rows = [
+        (
+            f"healthy {scope.cores}c/{scope.pages}p/{scope.ops}ops",
+            merged.verdict,
+            merged.nodes,
+            f"{merged.hash_pruned} hash + {merged.sleep_skipped} sleep",
+            sum(c.complete_leaves for c in merged.cells),
+            "",
+        )
+    ]
+    failures = []
+    if merged.verdict != "ok":
+        ce = merged.counterexample
+        failures.append(
+            "healthy scope: "
+            + (ce.findings[0] if ce else "exploration incomplete (budget)")
+        )
+    for mutation, verdict, nodes, trace_len, shrunk_len, finding in audit_values:
+        caught = verdict == "violation"
+        if not caught:
+            failures.append(f"mutation {mutation} not caught exhaustively")
+        rows.append(
+            (
+                f"mutate {mutation}",
+                "caught" if caught else "MISSED",
+                nodes,
+                "-",
+                f"{trace_len} -> {shrunk_len}" if caught else "-",
+                finding[:72],
+            )
+        )
+    return ExperimentResult(
+        exp_id="model-exhaust",
+        title="exhaustive small-scope model checking (DPOR + state hashing)",
+        headers=(
+            "scope",
+            "verdict",
+            "states",
+            "pruned",
+            "complete traces / trace->shrunk",
+            "first finding",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "every schedulable interleaving of sweeps, reclaim rounds, and "
+            "racing mm operations preserves the safety invariants and "
+            "converges to the synchronous end state (sections 3-4); every "
+            "injected bug is caught by enumeration, not luck"
+        ),
+        notes="FAILURES: " + "; ".join(failures) if failures else "all clean",
+    )
+
+
+cell_experiment("model-exhaust", model_exhaust_cells, model_exhaust_assemble)

@@ -455,6 +455,7 @@ def _load_all() -> None:
         mech_compare,
         memoverhead,
         model_check,
+        model_exhaust,
         tail_latency,
         thp,
         tables,

@@ -379,8 +379,19 @@ class Syscalls:
             yield from core.execute(64 * lat.cacheline(hops))
 
     def write_with_content(self, task: Task, core, vaddr: int, tag: str) -> Generator:
-        """Write to a page and tag the backing frame's content (KSM hook)."""
+        """Write to a page and tag the backing frame's content (KSM hook).
+
+        The tag lands on the frame the access actually wrote through: a
+        still-valid TLB entry may point at a frame whose page-table PTE is
+        already a pending NUMA hint (LATR defers the PROT_NONE apply to
+        the first sweep), and the write architecturally reaches that frame
+        all the same."""
         yield from self.access(task, core, vaddr, write=True)
-        pte = task.mm.page_table.walk(vpn_of(vaddr))
+        vpn = vpn_of(vaddr)
+        entry = core.tlb.lookup(task.mm.pcid, vpn)
+        if entry is not None and entry.writable:
+            self.kernel.set_page_content(entry.pfn, tag)
+            return
+        pte = task.mm.page_table.walk(vpn)
         if pte is not None and pte.present:
             self.kernel.set_page_content(pte.pfn, tag)

@@ -273,9 +273,22 @@ class Simulator:
     #: even when the run builds several machines internally.
     total_events_executed = 0
 
-    def __init__(self, use_timer_wheel: Optional[bool] = None):
+    def __init__(
+        self,
+        use_timer_wheel: Optional[bool] = None,
+        choice_hook: Optional[Callable[[List[EventHandle]], Optional[int]]] = None,
+    ):
         if use_timer_wheel is None:
             use_timer_wheel = DEFAULT_USE_TIMER_WHEEL
+        #: Controllable dispatch: when set, every dispatch first gathers the
+        #: *ready set* -- all pending events due at the earliest timestamp --
+        #: and calls ``choice_hook(ready)``; the hook returns the index of the
+        #: event to run (or None for the default, lowest-seq, choice). The
+        #: model checker uses this to observe and pin same-instant races.
+        #: Forces heap mode: the ready set must be extractable exactly.
+        self.choice_hook = choice_hook
+        if choice_hook is not None:
+            use_timer_wheel = False
         self._use_wheel = bool(use_timer_wheel)
         self._seq = 0
         self._now = 0
@@ -523,6 +536,70 @@ class Simulator:
                 return None
             self._jump_wheel(overflow[0].time)
 
+    def _pop_ready_set(self, until: Optional[int] = None) -> Optional[List[EventHandle]]:
+        """Pop every pending event due at the earliest timestamp, in
+        ``(time, seq)`` order (heap mode only -- the choice hook forces it).
+        Returns None when drained or when the head is past ``until``. The
+        popped handles stay marked scheduled; :meth:`_dispatch_choice`
+        re-queues the ones that are not chosen."""
+        head = self._peek_next()
+        if head is None or (until is not None and head.time > until):
+            return None
+        time = head.time
+        ready: List[EventHandle] = []
+        overflow = self._overflow
+        while overflow and overflow[0].time == time:
+            handle = heapq.heappop(overflow)
+            if handle.cancelled:
+                handle._scheduled = False
+                continue
+            ready.append(handle)
+        return ready
+
+    def _dispatch_choice(self, until: Optional[int] = None) -> Optional[EventHandle]:
+        """Gather the ready set, let :attr:`choice_hook` pick, re-queue the
+        rest, and return the chosen handle ready for execution."""
+        ready = self._pop_ready_set(until)
+        if not ready:
+            return None
+        choice = self.choice_hook(ready)
+        idx = 0 if choice is None else int(choice)
+        if not 0 <= idx < len(ready):
+            raise SimulationError(
+                f"choice_hook returned {choice!r} for a ready set of {len(ready)}"
+            )
+        chosen = ready[idx]
+        for handle in ready:
+            if handle is not chosen:
+                heapq.heappush(self._overflow, handle)
+        chosen._scheduled = False
+        self._pending_live -= 1
+        return chosen
+
+    def _run_with_choice_hook(
+        self, until: Optional[int], max_events: Optional[int]
+    ) -> int:
+        """The run() loop under a choice hook: one ready-set dispatch per
+        event (no wheel fast path -- exactness over speed)."""
+        executed = 0
+        self._running = True
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._dispatch_choice(until)
+                if head is None:
+                    break
+                self._execute(head)
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            next_time = self._next_event_time()
+            if next_time is None or next_time > until:
+                self._now = until
+        return executed
+
     def _pop_next(self) -> EventHandle:
         """Remove and return the event _peek_next() just reported."""
         if self._use_wheel and self._current:
@@ -572,6 +649,12 @@ class Simulator:
 
     def step(self) -> bool:
         """Run the next pending event. Returns False if the engine drained."""
+        if self.choice_hook is not None:
+            head = self._dispatch_choice()
+            if head is None:
+                return False
+            self._execute(head)
+            return True
         if self._peek_next() is None:
             return False
         self._execute(self._pop_next())
@@ -588,6 +671,8 @@ class Simulator:
         events pending, the clock stays at the last executed event --
         force-advancing would make the next :meth:`step` move time backwards.
         """
+        if self.choice_hook is not None:
+            return self._run_with_choice_hook(until, max_events)
         executed = 0
         self._running = True
         # The body below is _pop_next() + _execute() inlined: one event is

@@ -19,8 +19,15 @@ from .monitor import (
     InvariantViolationError,
     Violation,
 )
-from .mutations import MUTATIONS, mutated_latr_class
+from .mutations import (
+    MUTATION_SPECS,
+    MUTATIONS,
+    Mutation,
+    mutated_latr_class,
+    mutation_spec,
+)
 from .plan import FuzzPlan, Op, SchedulePlan, generate_plan
+from .shrink import ddmin
 
 __all__ = [
     "CONTINUOUS_CHECKS",
@@ -31,14 +38,18 @@ __all__ = [
     "InvariantMonitor",
     "InvariantViolationError",
     "MUTATIONS",
+    "MUTATION_SPECS",
+    "Mutation",
     "Op",
     "QUIESCENT_CHECKS",
     "RunResult",
     "SchedulePlan",
     "Violation",
+    "ddmin",
     "diff_snapshots",
     "generate_plan",
     "mutated_latr_class",
+    "mutation_spec",
     "run_fuzz",
     "run_one",
     "shrink_plan",

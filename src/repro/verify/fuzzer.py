@@ -48,8 +48,9 @@ from ..mm.addr import PAGE_SIZE, VirtRange
 from ..sim.engine import Simulator, Timeout
 from ..sim.trace import Tracer
 from .monitor import InvariantMonitor, Violation
-from .mutations import mutated_latr_class
+from .mutations import mutation_spec
 from .plan import FuzzPlan, Op, generate_plan
+from .shrink import ddmin
 
 #: Mechanisms a fuzz run exercises against the synchronous baseline.
 FUZZ_MECHANISMS = ("latr", "abis", "didi", "unitd")
@@ -98,7 +99,11 @@ def build_fuzz_system(
 ) -> FuzzSystem:
     """Boot a system for one fuzz run, with every schedule knob applied
     *before* the kernel starts (tick offsets matter from the first tick)."""
-    sim = Simulator(use_timer_wheel=use_timer_wheel)
+    mutation = mutation_spec(mutate) if mutate is not None else None
+    simulator_cls = Simulator
+    if mutation is not None and mutation.simulator_cls is not None:
+        simulator_cls = mutation.simulator_cls
+    sim = simulator_cls(use_timer_wheel=use_timer_wheel)
     spec = preset("commodity-2s16c")
     if plan.n_cores >= 2 and plan.n_cores % 2 == 0:
         # Keep two NUMA nodes regardless of core count so migration and
@@ -112,10 +117,12 @@ def build_fuzz_system(
     else:
         spec = spec.with_cores(plan.n_cores)
 
-    if mutate is not None:
-        coherence = mutated_latr_class(mutate)(
+    if mutation is not None:
+        coherence_cls = mutation.coherence_cls or LatrCoherence
+        coherence = coherence_cls(
             queue_depth=plan.schedule.queue_depth,
             reclaim_delay_ticks=plan.schedule.reclaim_delay_ticks,
+            **(latr_kwargs or {}),
         )
     elif mechanism == "latr":
         coherence = LatrCoherence(
@@ -127,6 +134,8 @@ def build_fuzz_system(
         coherence = make_mechanism(mechanism)
 
     machine = Machine(sim, spec, use_tlb_index=use_tlb_index)
+    if mutation is not None and mutation.machine_patch is not None:
+        mutation.machine_patch(machine)
     kernel = Kernel(machine, coherence, frames_per_node=frames_per_node, seed=plan.seed)
     kernel.scheduler.tick_offsets = dict(plan.schedule.tick_offsets)
     AutoNuma.install(kernel)  # fault side only; the fuzzer posts its own hints
@@ -578,25 +587,9 @@ def shrink_plan(
     reproduces. Plans are symbolic (region slots resolve modulo the live
     count), so every subsequence is executable. Returns (minimal plan,
     runs spent)."""
-    ops = list(plan.ops)
-    runs = 0
-    granularity = 2
-    while runs < budget and len(ops) > 1:
-        chunk = max(1, len(ops) // granularity)
-        reduced = False
-        i = 0
-        while i < len(ops) and runs < budget:
-            candidate = ops[:i] + ops[i + chunk:]
-            runs += 1
-            if candidate and still_fails(plan.with_ops(candidate)):
-                ops = candidate
-                reduced = True
-            else:
-                i += chunk
-        if not reduced:
-            if chunk == 1:
-                break
-            granularity = min(len(ops), granularity * 2)
+    ops, runs = ddmin(
+        plan.ops, lambda candidate: still_fails(plan.with_ops(candidate)), budget
+    )
     return plan.with_ops(ops), runs
 
 

@@ -1,0 +1,545 @@
+"""Controlled-schedule executor for the coherence model checker.
+
+One :class:`McExecutor` is one booted system driven action-by-action. The
+checker -- not the simulated clock -- decides which coherence-relevant
+event fires next:
+
+* ``op:...``   start the next program operation of one core's thread,
+* ``sweep:cN`` fire core N's LATR sweep (the timer-tick / context-switch
+  hook, detached from the tick so the checker can schedule it anywhere),
+* ``reclaim``  fire one reclamation-daemon round.
+
+After each action the simulator drains to quiescence through the engine's
+ready-set choice hook (``Simulator(choice_hook=...)``), so within-action
+event order is itself controllable: the primary schedule dispatches
+same-instant events front-first, and the ``revheap`` replay variant
+reverses that order to prove intra-drain order insensitivity.
+
+An operation may *block* mid-flight -- a touch parked on the migration
+gate holds ``mmap_sem``, which can transitively park other cores' ops.
+Blocked ops stay "in flight": their core offers no new program action
+until a daemon action unblocks them, and a maximal trace that still has
+in-flight ops is reported as a stuck schedule.
+
+Determinism contract: every action's effect is a pure function of the
+executed action sequence, so a state is identified by a canonical hash of
+the functional machine state (TLBs, page table, VMAs, allocator free
+lists, LATR queues with seq numbers normalized to posting order, thread
+PCs, in-flight set). Derived acceleration state (sweep cursors, the TLB's
+pcid index, the active-state cache) is excluded so the hash is invariant
+across the fast-path escape hatches -- except in mutated runs, where the
+broken derived state is the bug and is folded back in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ...coherence import make_mechanism
+from ...coherence.latr import LatrCoherence
+from ...hw.machine import Machine
+from ...hw.spec import preset
+from ...kernel.autonuma import AutoNuma
+from ...kernel.kernel import Kernel
+from ...mm.addr import PAGE_SIZE, VirtRange
+from ...sim.engine import Simulator
+from ..monitor import InvariantMonitor
+from ..mutations import mutation_spec
+from .program import McOp, generate_program, per_core_programs
+
+#: Replay variants. ``primary`` is the exploration schedule; the others
+#: re-run a trace with one fast-path escape hatch or engine order flipped
+#: (identical end state required), or under a synchronous mechanism
+#: (normalized end state required).
+TOGGLE_VARIANTS = ("wheel", "tlbidx", "sweepidx")
+ORDER_VARIANTS = ("revheap",)
+
+#: Hard cap on events executed per drain; hitting it is itself a finding
+#: (a runaway schedule), never a silent truncation.
+DRAIN_CAP = 50_000
+
+
+@dataclass(frozen=True)
+class McScope:
+    """Scope + knobs for one model-checking run (picklable, hashable)."""
+
+    cores: int = 2
+    pages: int = 1
+    ops: int = 3
+    mutate: Optional[str] = None
+    queue_depth: int = 8
+    frames_per_node: int = 64
+    check_mechanisms: Tuple[str, ...] = ("linux", "abis", "barrelfish")
+
+
+def _build_spec(cores: int):
+    spec = preset("commodity-2s16c")
+    if cores >= 2 and cores % 2 == 0:
+        # Two NUMA nodes whenever possible so migration stays cross-socket.
+        from dataclasses import replace
+
+        return replace(
+            spec, name=f"mc-2s{cores}c", sockets=2, cores_per_socket=cores // 2
+        )
+    return spec.with_cores(cores)
+
+
+class McExecutor:
+    """One booted system under checker control (see module docstring)."""
+
+    def __init__(self, scope: McScope, variant: str = "primary"):
+        self.scope = scope
+        self.variant = variant
+        self.errors: List[str] = []
+        self._is_mech = variant.startswith("mech:")
+        self.mutation = (
+            mutation_spec(scope.mutate)
+            if scope.mutate is not None and not self._is_mech
+            else None
+        )
+        self._boot()
+        self.program = generate_program(scope.cores, scope.pages, scope.ops)
+        self.core_ops = per_core_programs(self.program, scope.cores)
+        self.pc = [0] * scope.cores
+        #: core -> (McOp, Process); insertion order == op start order.
+        self.in_flight: Dict[int, Tuple[McOp, object]] = {}
+        #: page slot -> live VirtRange (None while unmapped).
+        self.slots: List[Optional[VirtRange]] = [None] * scope.pages
+        self._init_slots()
+
+    # ------------------------------------------------------------------ boot
+
+    def _boot(self) -> None:
+        scope, variant = self.scope, self.variant
+        simulator_cls = Simulator
+        if self.mutation is not None and self.mutation.simulator_cls is not None:
+            simulator_cls = self.mutation.simulator_cls
+        if variant == "wheel":
+            sim = simulator_cls(use_timer_wheel=True)
+        elif variant == "revheap":
+            sim = simulator_cls(choice_hook=lambda ready: len(ready) - 1)
+        else:
+            # Front-first through the ready-set hook: deterministic heap
+            # order, but dispatched through the controllable scheduler path.
+            sim = simulator_cls(choice_hook=lambda ready: 0)
+
+        if self._is_mech:
+            coherence = make_mechanism(variant.split(":", 1)[1])
+        else:
+            coherence_cls = LatrCoherence
+            if self.mutation is not None and self.mutation.coherence_cls is not None:
+                coherence_cls = self.mutation.coherence_cls
+            coherence = coherence_cls(
+                queue_depth=scope.queue_depth,
+                reclaim_delay_ticks=0,
+                sweep_on_context_switch=False,
+                sweep_on_tick=False,
+                use_sweep_index=(variant != "sweepidx"),
+            )
+        machine = Machine(
+            sim,
+            _build_spec(scope.cores),
+            use_tlb_index=(False if variant == "tlbidx" else None),
+        )
+        if self.mutation is not None and self.mutation.machine_patch is not None:
+            self.mutation.machine_patch(machine)
+        kernel = Kernel(
+            machine, coherence, frames_per_node=scope.frames_per_node, seed=1
+        )
+        AutoNuma.install(kernel)  # fault side; the checker posts its own hints
+        monitor = InvariantMonitor.install(kernel)
+        # NOTE: kernel.start() is deliberately NOT called -- no periodic
+        # ticks, no background reclaim daemon. Sweeps and reclaim rounds
+        # fire only when the checker schedules them, so the interleaving
+        # space is exactly the action sequences the explorer enumerates.
+        self.sim = sim
+        self.machine = machine
+        self.kernel = kernel
+        self.coherence = coherence
+        self.monitor = monitor
+        self.proc = kernel.create_process("mc")
+        self.tasks = [
+            kernel.spawn_thread(self.proc, f"mc.t{c}", c) for c in range(scope.cores)
+        ]
+        self.is_latr = isinstance(coherence, LatrCoherence)
+        self._eager_reclaim = (
+            self.mutation is not None and self.mutation.name == "reclaim_delay_zero"
+        )
+
+    def _init_slots(self) -> None:
+        """Map every page slot from core 0 and read it from every other
+        core, so all cores hold translations (full-bitmask FREE states and
+        cross-core sweep races from the very first op)."""
+        sys_, sched = self.kernel.syscalls, self.kernel.scheduler
+        for page in range(self.scope.pages):
+            def body(page=page) -> Generator:
+                core0, task0 = self.machine.core(0), self.tasks[0]
+                vr = yield from sys_.mmap(task0, core0, PAGE_SIZE)
+                self.slots[page] = vr
+                yield from sys_.write_with_content(
+                    task0, core0, vr.start, f"init{page}"
+                )
+                for c in range(1, self.scope.cores):
+                    yield from sched.run_on(
+                        self.machine.core(c),
+                        self.tasks[c],
+                        sys_.touch_pages(
+                            self.tasks[c], self.machine.core(c), vr, write=False
+                        ),
+                    )
+
+            proc = self.sim.spawn(
+                sched.run_on(self.machine.core(0), self.tasks[0], body()),
+                name=f"init.p{page}",
+            )
+            self._drain()
+            if proc.alive:
+                raise RuntimeError(f"init of page slot {page} did not complete")
+        if self.monitor.violations:
+            raise RuntimeError(f"init violated invariants: {self.monitor.violations}")
+
+    # --------------------------------------------------------------- actions
+
+    def enabled_actions(self) -> List[str]:
+        """All schedulable actions at the current state, in canonical
+        (sorted-key) order. Daemon actions are enabled only when they can
+        make progress, so every enabled action strictly changes state."""
+        actions: List[str] = []
+        for c in range(self.scope.cores):
+            if c in self.in_flight:
+                continue
+            if self.pc[c] < len(self.core_ops[c]):
+                actions.append(self.core_ops[c][self.pc[c]].key)
+        if self.is_latr:
+            cores_with_bits: set = set()
+            for queue in self.coherence.queues.values():
+                for state in queue._slots:
+                    if state is not None and state.active:
+                        cores_with_bits |= state.cpu_bitmask
+            actions.extend(f"sweep:c{c}" for c in sorted(cores_with_bits))
+            pending = self.coherence._pending_reclaim
+            if self._eager_reclaim:
+                reclaimable = bool(pending)
+            else:
+                reclaimable = any(not s.active for s in pending)
+            if reclaimable:
+                actions.append("reclaim")
+        return sorted(actions)
+
+    def _op_for_key(self, key: str) -> McOp:
+        idx = int(key.split(":")[2][1:])
+        return self.program[idx]
+
+    def execute(self, key: str) -> None:
+        """Fire one action and drain the simulator to quiescence."""
+        if key.startswith("op:"):
+            op = self._op_for_key(key)
+            core_pos = self.pc[op.core]
+            if op.core in self.in_flight or (
+                core_pos >= len(self.core_ops[op.core])
+                or self.core_ops[op.core][core_pos].idx != op.idx
+            ):
+                raise RuntimeError(f"action {key} is not schedulable here")
+            self.pc[op.core] += 1
+            proc = self.sim.spawn(self._run_op(op), name=key)
+            self.in_flight[op.core] = (op, proc)
+        elif key.startswith("sweep:c"):
+            self.coherence.sweep(self.machine.core(int(key[len("sweep:c"):])))
+        elif key == "reclaim":
+            self.coherence._reclaim_round()
+        else:
+            raise RuntimeError(f"unknown action key {key!r}")
+        self._drain()
+
+    def apply(self, key: str, tolerant: bool = True) -> bool:
+        """Replay-side ``execute``: fire the action if it is applicable in
+        the current state, else skip it (shrunken counterexample traces and
+        cross-mechanism projections contain actions whose preconditions
+        lapsed). Returns whether the action ran."""
+        if key.startswith("op:"):
+            op = self._op_for_key(key)
+            pos = self.pc[op.core]
+            applicable = (
+                op.core not in self.in_flight
+                and pos < len(self.core_ops[op.core])
+                and self.core_ops[op.core][pos].idx == op.idx
+            )
+            if not applicable:
+                if not tolerant:
+                    raise RuntimeError(f"replay action {key} not applicable")
+                return False
+            self.execute(key)
+            return True
+        if not self.is_latr:
+            return False  # daemon actions do not exist under sync mechanisms
+        if key not in self.enabled_actions():
+            # A sweep with no matching states or a reclaim with nothing
+            # reclaimable would be a silent no-op; shrunken traces skip it.
+            if not tolerant:
+                raise RuntimeError(f"replay action {key} not applicable")
+            return False
+        self.execute(key)
+        return True
+
+    def _run_op(self, op: McOp) -> Generator:
+        core, task = self.machine.core(op.core), self.tasks[op.core]
+        yield from self.kernel.scheduler.run_on(core, task, self._op_body(op))
+
+    def _op_body(self, op: McOp) -> Generator:
+        sys_ = self.kernel.syscalls
+        core, task = self.machine.core(op.core), self.tasks[op.core]
+        vr = self.slots[op.page]
+        if op.kind == "mmap":
+            if vr is not None:
+                return  # slot occupied: PC-advance skip
+            new = yield from sys_.mmap(task, core, PAGE_SIZE)
+            self.slots[op.page] = new
+            yield from sys_.write_with_content(task, core, new.start, f"op{op.idx}")
+            return
+        if vr is None:
+            return  # slot torn down before this op ran: skip
+        if op.kind == "touch_w":
+            yield from sys_.write_with_content(task, core, vr.start, f"op{op.idx}")
+        elif op.kind == "touch_r":
+            yield from sys_.touch_pages(task, core, vr, write=False)
+        elif op.kind == "munmap":
+            self.slots[op.page] = None
+            yield from sys_.munmap(task, core, vr)
+        elif op.kind == "madvise":
+            yield from sys_.madvise_dontneed(task, core, vr)
+        elif op.kind == "migrate":
+            yield from self._post_hints(op, core, task, vr)
+        else:  # pragma: no cover - generate_program only emits known kinds
+            raise RuntimeError(f"unknown op kind {op.kind}")
+
+    def _post_hints(self, op: McOp, core, task, vr: VirtRange) -> Generator:
+        """The task_numa_work scanner side for one slot (posts MIGRATION
+        states under LATR, applies hints synchronously elsewhere)."""
+        kernel = self.kernel
+        mm = task.mm
+        yield mm.mmap_sem.acquire()
+        try:
+            vpns = [v for v in vr.vpns() if kernel.autonuma._samplable(mm, v)]
+            if not vpns:
+                return
+
+            def apply_change(mm=mm, vpns=tuple(vpns)) -> None:
+                for vpn in vpns:
+                    pte = mm.page_table.walk(vpn)
+                    if pte is not None and pte.present:
+                        mm.page_table.update_pte(vpn, pte.make_numa_hint())
+
+            yield from kernel.coherence.migration_unmap(core, mm, vr, apply_change)
+        finally:
+            mm.mmap_sem.release()
+
+    def _drain(self) -> None:
+        executed = self.sim.run(max_events=DRAIN_CAP)
+        if executed >= DRAIN_CAP:
+            self.errors.append(
+                f"drain executed {executed} events without quiescing (runaway)"
+            )
+        for core in list(self.in_flight):
+            _op, proc = self.in_flight[core]
+            if not proc.alive:
+                del self.in_flight[core]
+
+    # -------------------------------------------------------------- findings
+
+    def findings(self) -> List[str]:
+        """Safety findings accumulated so far (monitor + harness errors)."""
+        return [str(v) for v in self.monitor.violations] + list(self.errors)
+
+    def pending_lazy(self) -> int:
+        if not self.is_latr:
+            return 0
+        return self.coherence.pending_lazy_operations()
+
+    def program_complete(self) -> bool:
+        return not self.in_flight and all(
+            self.pc[c] >= len(self.core_ops[c]) for c in range(self.scope.cores)
+        )
+
+    def quiescent_findings(self) -> List[str]:
+        before = len(self.monitor.violations)
+        self.monitor.check_quiescent()
+        return [str(v) for v in self.monitor.violations[before:]]
+
+    # ------------------------------------------------------------ state hash
+
+    def state_hash(self, include_derived: Optional[bool] = None) -> str:
+        """Canonical hash of the functional machine state (see module
+        docstring for what is included/excluded and why)."""
+        if include_derived is None:
+            include_derived = self.mutation is not None
+        canon = repr(self._canonical_state(include_derived)).encode()
+        return hashlib.blake2b(canon, digest_size=16).hexdigest()
+
+    def _canonical_state(self, include_derived: bool):
+        mm = self.proc.mm
+        tlbs = []
+        for core in self.machine.cores:
+            tlb = core.tlb
+            entries = tuple(
+                sorted(
+                    (pcid, vpn, e.pfn, e.writable, e.generation)
+                    for (pcid, vpn), e in tlb._entries.items()
+                )
+            )
+            huge = tuple(
+                sorted(
+                    (pcid, vpn, e.pfn, e.writable, e.generation)
+                    for (pcid, vpn), e in tlb._huge_entries.items()
+                )
+            )
+            row = (core.id, entries, huge)
+            if include_derived and tlb.use_index:
+                row += (
+                    tuple(
+                        sorted((k, tuple(sorted(v))) for k, v in tlb._index.items())
+                    ),
+                )
+            tlbs.append(row)
+
+        pt = tuple(
+            sorted(
+                (vpn, pte.pfn, int(pte.flags), pte.swap_slot)
+                for vpn, pte in mm.page_table.all_entries()
+            )
+        )
+        vmas = tuple(
+            sorted(
+                (v.range.start, v.range.end, int(v.prot), v.kind.name, v.huge)
+                for v in mm.vmas
+            )
+        )
+        mm_state = (
+            pt,
+            vmas,
+            tuple(sorted(mm.cpumask)),
+            tuple((r.start, r.end) for r in mm.lazy_vranges),
+            tuple(mm.lazy_frames),
+            mm.map_generation,
+            mm._bump,
+            tuple((r.start, r.end) for r in mm._free_ranges),
+        )
+
+        frames = self.kernel.frames
+        alloc = (
+            tuple(tuple(frames._free[n]) for n in range(frames.nodes)),
+            tuple(sorted(frames._refcount.items())),
+            tuple(sorted(frames._generation.items())),
+            tuple(sorted(self.kernel.page_contents.items())),
+        )
+
+        latr = self._canonical_latr(include_derived) if self.is_latr else ()
+
+        threads = (
+            tuple(self.pc),
+            tuple(op.key for (op, _proc) in self.in_flight.values()),
+            tuple(s if s is None else (s.start, s.end) for s in self.slots),
+        )
+        return (tuple(tlbs), mm_state, alloc, latr, threads)
+
+    def _canonical_latr(self, include_derived: bool):
+        co = self.coherence
+        # Normalize the process-global LatrState.seq to per-system posting
+        # rank: raw seqs differ between otherwise-identical replays.
+        live = [
+            s
+            for q in co.queues.values()
+            for s in q._slots
+            if s is not None
+        ]
+        rank = {s.seq: i for i, s in enumerate(sorted(live, key=lambda s: s.seq))}
+        queues = []
+        for core_id in sorted(co.queues):
+            queue = co.queues[core_id]
+            slots = tuple(
+                None
+                if s is None
+                else (
+                    s.slot_idx,
+                    rank[s.seq],
+                    s.flag.name,
+                    s.active,
+                    tuple(sorted(s.cpu_bitmask)),
+                    (s.vrange.start, s.vrange.end),
+                    tuple(s.pfns),
+                    None
+                    if s.vrange_to_free is None
+                    else (s.vrange_to_free.start, s.vrange_to_free.end),
+                    s.pte_applied,
+                    s.reclaimed,
+                )
+                for s in queue._slots
+            )
+            queues.append((core_id, queue._cursor, slots))
+        pending = tuple(
+            (s.queue.core_id if s.queue is not None else -1, s.slot_idx)
+            for s in co._pending_reclaim
+        )
+        out = (tuple(queues), pending)
+        if include_derived:
+            cursors = tuple(
+                (c, sum(1 for s in live if s.seq <= cur))
+                for c, cur in sorted(co._sweep_cursor.items())
+            )
+            cache = co._active_states_sorted
+            cache_key = (
+                None
+                if cache is None
+                else tuple(
+                    (s.queue.core_id if s.queue is not None else -1, s.slot_idx)
+                    for s in cache
+                )
+            )
+            out += (cursors, cache_key)
+        return out
+
+    # ------------------------------------------------------------- snapshots
+
+    def mech_snapshot(self) -> Dict[str, object]:
+        """Mechanism-comparable end state, normalized further than the
+        fuzzer's snapshot: NUMA node and the hint/present distinction are
+        dropped, because at small scope both legitimately depend on when a
+        deferred hint PTE lands relative to the next touch -- which is the
+        schedule freedom under test, not a bug. What must agree: which
+        pages are mapped, their content tags, their writability, and the
+        global allocation/lazy accounting."""
+        mm = self.proc.mm
+        rows = []
+        for slot in self.slots:
+            if slot is None:
+                rows.append("unmapped")
+                continue
+            pages = []
+            for vpn in slot.vpns():
+                pte = mm.page_table.walk(vpn)
+                if pte is None:
+                    pages.append("absent")
+                elif pte.swapped:
+                    pages.append("swapped")
+                else:
+                    tag = self.kernel.page_contents.get(pte.pfn, "")
+                    rw = "w" if pte.writable else "r"
+                    pages.append(f"mapped:{rw}:{tag}")
+            rows.append(tuple(pages))
+        return {
+            "slots": tuple(rows),
+            "frames_allocated": self.kernel.frames.allocated_count(),
+            "lazy_frames": len(mm.lazy_frames),
+            "lazy_vranges": len(mm.lazy_vranges),
+            "vmas": len(mm.vmas),
+        }
+
+
+def diff_mech_snapshots(base: Dict[str, object], other: Dict[str, object]) -> List[str]:
+    """Human-readable differences between normalized snapshots."""
+    return [
+        f"{key}: baseline={base[key]} other={other.get(key)}"
+        for key in base
+        if base[key] != other.get(key)
+    ]

@@ -1,0 +1,63 @@
+"""Deterministic small-scope programs for the coherence model checker.
+
+A program is a fixed, tiny list of memory-management operations spread
+round-robin over cores and page slots. The checker does not randomize:
+exhaustiveness comes from enumerating *interleavings* of a fixed program,
+so the program itself must be a pure function of the scope parameters
+(cores, pages, ops) -- the same scope always yields the same program, the
+same action keys, and therefore the same canonical counterexamples.
+
+The kind cycle is chosen so that every coherence-relevant transition
+appears within a handful of ops: writes (TLB fills + demand allocation),
+munmap (FREE states with full bitmasks), remote reads (cross-core TLB
+state), madvise (FREE states that keep the VMA), migration hints
+(MIGRATION states, deferred PTE application, the migration gate), and
+re-mmap of a torn-down slot (virtual-range reuse racing lazy reclaim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: Operation kinds, in cycle order. ``mmap`` appears last so that short
+#: programs (the common small scopes) exercise teardown races first; it
+#: only enters at ``ops >= 6`` where a previously-unmapped slot can be
+#: remapped while its FREE state is still cooling.
+KINDS: Tuple[str, ...] = ("touch_w", "munmap", "touch_r", "madvise", "migrate", "mmap")
+
+
+@dataclass(frozen=True)
+class McOp:
+    """One program operation, bound to a core (thread order is program
+    order per core) and a page slot."""
+
+    idx: int
+    core: int
+    page: int
+    kind: str
+
+    @property
+    def key(self) -> str:
+        """Stable action key (doubles as the scheduler's sort key)."""
+        return f"op:c{self.core}:i{self.idx:02d}:{self.kind}:p{self.page}"
+
+
+def generate_program(cores: int, pages: int, ops: int) -> List[McOp]:
+    """The canonical program for a scope: op ``i`` runs kind
+    ``KINDS[i % len(KINDS)]`` on page ``i % pages`` from core
+    ``i % cores``."""
+    if cores < 1 or pages < 1 or ops < 0:
+        raise ValueError("scope must have >=1 core, >=1 page, >=0 ops")
+    return [
+        McOp(idx=i, core=i % cores, page=i % pages, kind=KINDS[i % len(KINDS)])
+        for i in range(ops)
+    ]
+
+
+def per_core_programs(program: List[McOp], cores: int) -> List[List[McOp]]:
+    """Partition by core, preserving program (=thread) order."""
+    split: List[List[McOp]] = [[] for _ in range(cores)]
+    for op in program:
+        split[op.core].append(op)
+    return split

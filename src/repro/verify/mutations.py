@@ -1,9 +1,10 @@
-"""Mutation injection: deliberately-broken LATR variants.
+"""Mutation injection: deliberately-broken system variants.
 
-The fuzzer's own correctness claim ("zero violations means the mechanism is
-safe under this schedule") is only credible if a *broken* mechanism fails
-the same harness. These subclasses re-introduce the two bug classes the
-paper's design rules exist to prevent:
+The verification suite's own correctness claim ("zero findings means the
+mechanism is safe under these schedules") is only credible if a *broken*
+system fails the same harnesses. Each :class:`Mutation` spec re-introduces
+one bug class the design rules exist to prevent, at whichever layer the
+bug lives (coherence algorithm, simulator engine, or TLB hardware model):
 
 * ``reclaim_delay_zero`` -- the reclamation daemon trusts the age-based
   delay alone (the paper's two-tick rule) instead of also requiring an
@@ -12,19 +13,70 @@ paper's design rules exist to prevent:
 * ``skip_sweep_invalidate`` -- the sweep clears its bitmask bit (so
   reclamation proceeds on schedule) but "forgets" the TLB invalidation,
   modelling a lost INVLPG: every reclaim then races a live stale entry.
+* ``wheel_bucket_skip`` -- the timer-wheel engine silently drops every
+  Nth activated bucket, modelling a lost timer interrupt batch: sweeps,
+  reclaim rounds, or op resumptions vanish and the system stops making
+  progress (and diverges from the ``use_timer_wheel=False`` heap replay).
+* ``tlb_index_desync`` -- the per-pcid TLB victim index misses every
+  second fill, so indexed range invalidations skip a resident entry:
+  a stale translation survives the shootdown and races the frame free.
+* ``active_cache_stale`` -- the sweep's active-state snapshot cache is
+  not invalidated on post, so sweeps miss freshly-posted states while the
+  cursor watermark advances past them: their bitmask bits never clear and
+  lazy work never drains (a liveness bug the equivalence/differential
+  oracles must flag, not the instant-level invariants).
 
-Both must be caught by the :class:`~repro.verify.monitor.InvariantMonitor`
--- the mutation tests in ``tests/test_fuzzer.py`` gate on exactly that.
+The first two and ``tlb_index_desync`` must be caught by the
+:class:`~repro.verify.monitor.InvariantMonitor`; the engine and cache
+mutations are liveness/equivalence bugs caught by the drain guards and the
+differential oracles. The mutation tests and the model checker's
+mutation-audit experiment gate on exactly that.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Type
 
 from ..coherence.latr import LatrCoherence
 from ..coherence.states import LatrFlag, LatrState
+from ..hw.machine import Machine
+from ..sim.engine import Simulator
 
-MUTATIONS = ("reclaim_delay_zero", "skip_sweep_invalidate")
+MUTATIONS = (
+    "reclaim_delay_zero",
+    "skip_sweep_invalidate",
+    "wheel_bucket_skip",
+    "tlb_index_desync",
+    "active_cache_stale",
+)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One injectable bug: which layer it patches and how it must be caught.
+
+    A spec may swap the coherence class, swap the simulator class, and/or
+    patch the built machine in place -- whichever layer hosts the bug.
+    ``detected_by`` documents the oracle expected to flag it:
+
+    * ``"monitor"`` -- instant-level invariant violations,
+    * ``"progress"`` -- stall/drain guards (lazy work never completes),
+    * ``"equivalence"`` -- differential replay against the reference
+      configuration (escape hatch off / other mechanism) diverges.
+    """
+
+    name: str
+    description: str
+    coherence_cls: Optional[Type[LatrCoherence]] = None
+    simulator_cls: Optional[Type[Simulator]] = None
+    machine_patch: Optional[Callable[[Machine], None]] = None
+    detected_by: str = "monitor"
+
+
+# ---------------------------------------------------------------------------
+# Coherence-layer mutations (PR 1)
+# ---------------------------------------------------------------------------
 
 
 class EagerReclaimLatr(LatrCoherence):
@@ -89,17 +141,137 @@ class SkipSweepInvalidateLatr(LatrCoherence):
         return cost
 
 
-_MUTATED_CLASSES: Dict[str, Type[LatrCoherence]] = {
-    EagerReclaimLatr.mutation: EagerReclaimLatr,
-    SkipSweepInvalidateLatr.mutation: SkipSweepInvalidateLatr,
+# ---------------------------------------------------------------------------
+# PR 4 fast-path mutations (engine / TLB index / sweep cache)
+# ---------------------------------------------------------------------------
+
+
+class BucketSkipSimulator(Simulator):
+    """Mutation: the timer wheel drops every Nth activated bucket.
+
+    Models a lost batch of timer interrupts. Inert in heap mode
+    (``use_timer_wheel=False`` never advances the wheel), which is exactly
+    what makes the wheel-vs-heap differential replay catch it.
+    """
+
+    mutation = "wheel_bucket_skip"
+    skip_period = 2
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._bucket_activations = 0
+
+    def _advance_wheel(self) -> None:
+        super()._advance_wheel()
+        self._bucket_activations += 1
+        if self._bucket_activations % self.skip_period:
+            return
+        # BUG: the freshly-activated slot's events are discarded unseen.
+        dropped, self._current = self._current, []
+        self._wheel_count -= len(dropped)
+        for handle in dropped:
+            if not handle.cancelled:
+                self._pending_live -= 1
+            handle._scheduled = False
+
+
+def desync_tlb_index(machine: Machine) -> None:
+    """Mutation: every second TLB fill never lands in the per-pcid victim
+    index, so indexed range invalidations miss a resident entry."""
+    for core in machine.cores:
+        tlb = core.tlb
+        if not tlb.use_index:
+            continue
+        fills = [0]
+        original_fill = tlb.fill
+
+        def fill(pcid, vpn, entry, _tlb=tlb, _orig=original_fill, _fills=fills):
+            _orig(pcid, vpn, entry)
+            _fills[0] += 1
+            if _fills[0] % 2 == 0:
+                # BUG: drop the index entry the fill just added; the
+                # translation stays resident but invisible to shootdowns.
+                _tlb._index_drop(_tlb._index, _tlb._key(pcid, vpn))
+
+        tlb.fill = fill
+
+
+class StaleActiveCacheLatr(LatrCoherence):
+    """Mutation: posting a state leaves the sweep's snapshot cache stale.
+
+    The indexed sweep then misses freshly-posted states while still
+    advancing its cursor watermark past their seqs, so the missed states'
+    bitmask bits are never cleared and reclamation never happens: lazy
+    work accumulates forever (drain failure / equivalence divergence).
+    """
+
+    mutation = "active_cache_stale"
+
+    def note_posted(self, queue, state) -> None:
+        cached = self._active_states_sorted
+        super().note_posted(queue, state)
+        # BUG: resurrect the pre-post snapshot instead of invalidating it.
+        self._active_states_sorted = cached
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+MUTATION_SPECS: Dict[str, Mutation] = {
+    spec.name: spec
+    for spec in (
+        Mutation(
+            name="reclaim_delay_zero",
+            description="reclaim daemon frees on age alone (no bitmask guard)",
+            coherence_cls=EagerReclaimLatr,
+            detected_by="monitor",
+        ),
+        Mutation(
+            name="skip_sweep_invalidate",
+            description="sweep clears bitmask bits without TLB invalidation",
+            coherence_cls=SkipSweepInvalidateLatr,
+            detected_by="monitor",
+        ),
+        Mutation(
+            name="wheel_bucket_skip",
+            description="timer wheel drops every 2nd activated bucket",
+            simulator_cls=BucketSkipSimulator,
+            detected_by="progress",
+        ),
+        Mutation(
+            name="tlb_index_desync",
+            description="per-pcid TLB victim index misses every 2nd fill",
+            machine_patch=desync_tlb_index,
+            detected_by="monitor",
+        ),
+        Mutation(
+            name="active_cache_stale",
+            description="active-state sweep cache not invalidated on post",
+            coherence_cls=StaleActiveCacheLatr,
+            detected_by="progress",
+        ),
+    )
 }
+
+assert tuple(MUTATION_SPECS) == MUTATIONS
+
+
+def mutation_spec(mutation: str) -> Mutation:
+    """The :class:`Mutation` spec for ``mutation`` (see :data:`MUTATIONS`)."""
+    try:
+        return MUTATION_SPECS[mutation]
+    except KeyError:
+        raise KeyError(
+            f"unknown mutation {mutation!r}; have {sorted(MUTATION_SPECS)}"
+        ) from None
 
 
 def mutated_latr_class(mutation: str) -> Type[LatrCoherence]:
-    """The broken-LATR class for ``mutation`` (see :data:`MUTATIONS`)."""
-    try:
-        return _MUTATED_CLASSES[mutation]
-    except KeyError:
-        raise KeyError(
-            f"unknown mutation {mutation!r}; have {sorted(_MUTATED_CLASSES)}"
-        ) from None
+    """The (possibly unmutated) LATR class for ``mutation``.
+
+    Engine- and machine-level mutations keep the healthy coherence class;
+    use :func:`mutation_spec` to apply every layer of a mutation.
+    """
+    return mutation_spec(mutation).coherence_cls or LatrCoherence

@@ -1,0 +1,49 @@
+"""Generic ddmin-style sequence minimization.
+
+Both failure shrinkers in the verification suite -- the fuzzer's op-plan
+shrinker and the model checker's counterexample-trace shrinker -- are the
+same algorithm over different item types: remove chunks of the sequence
+while the failure still reproduces, doubling granularity when a whole
+pass removes nothing. Callers guarantee that any subsequence of a failing
+sequence is executable (fuzz plans resolve region slots modulo the live
+count; model-checker traces skip actions whose preconditions lapsed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def ddmin(
+    items: Sequence[T],
+    still_fails: Callable[[List[T]], bool],
+    budget: int = 80,
+) -> Tuple[List[T], int]:
+    """Minimize ``items`` while ``still_fails(subsequence)`` holds.
+
+    ``still_fails`` is never called with an empty sequence. Returns the
+    minimal failing subsequence found and the number of predicate calls
+    spent (bounded by ``budget``).
+    """
+    ops = list(items)
+    runs = 0
+    granularity = 2
+    while runs < budget and len(ops) > 1:
+        chunk = max(1, len(ops) // granularity)
+        reduced = False
+        i = 0
+        while i < len(ops) and runs < budget:
+            candidate = ops[:i] + ops[i + chunk:]
+            runs += 1
+            if candidate and still_fails(candidate):
+                ops = candidate
+                reduced = True
+            else:
+                i += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(ops), granularity * 2)
+    return ops, runs

@@ -1,0 +1,52 @@
+"""CLI error paths and plumbing edge cases for ``python -m repro``."""
+
+from repro.cli import main
+
+
+def _tables(text):
+    """Rendered output minus the bracketed timing lines."""
+    return [line for line in text.splitlines() if not line.startswith("[")]
+
+
+class TestErrorPaths:
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["definitely-not-an-experiment"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_fuzz_unknown_mutation_exits_2(self, capsys):
+        assert main(["fuzz", "--mutate", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown mutation" in err
+        # The error names the valid mutations so the flag is discoverable.
+        assert "reclaim_delay_zero" in err
+
+    def test_mc_unknown_mutation_exits_2(self, capsys):
+        assert main(["mc", "--mutate", "bogus"]) == 2
+        assert "unknown mutation" in capsys.readouterr().err
+
+    def test_mc_scope_bounds_exit_2(self, capsys):
+        for argv in (
+            ["mc", "--cores", "5"],
+            ["mc", "--cores", "0"],
+            ["mc", "--pages", "4"],
+            ["mc", "--pages", "0"],
+            ["mc", "--ops", "11"],
+        ):
+            assert main(argv) == 2, argv
+            assert "small-scope" in capsys.readouterr().err
+
+
+class TestJobsPlumbing:
+    def test_jobs_on_single_cell_experiment_matches_serial(self, capsys):
+        # tab1 decomposes into exactly one cell; --jobs must still work
+        # (the cell goes through the pool) and render identically.
+        assert main(["tab1", "--fast"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["tab1", "--fast", "--jobs", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert _tables(serial) == _tables(sharded)
+
+    def test_list_exits_0_and_names_model_exhaust(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "model-exhaust" in out

@@ -1,0 +1,38 @@
+"""Determinism regression: every experiment's table is byte-identical
+across repeated ``--fast`` runs and across the sharded backend.
+
+One serial pass establishes the reference renders; a second full pass
+through ``run_many(..., jobs=2)`` must reproduce every table exactly.
+That single comparison covers both claims at once -- rerun stability
+(two independent runs agree) and backend independence (``--jobs 2``
+equals ``--jobs 1``) -- without paying for a third pass of the suite.
+"""
+
+import pytest
+
+from repro.experiments import available_experiments, run_experiment
+from repro.experiments.runner import run_many
+
+
+@pytest.fixture(scope="module")
+def serial_tables():
+    ids = available_experiments()
+    return ids, {exp_id: run_experiment(exp_id, fast=True).render() for exp_id in ids}
+
+
+def test_every_experiment_fast_rerun_and_jobs2_byte_identical(serial_tables):
+    ids, tables = serial_tables
+    runs = run_many(ids, fast=True, jobs=2)
+    assert [run.exp_id for run in runs] == ids
+    mismatched = [
+        run.exp_id for run in runs if run.result.render() != tables[run.exp_id]
+    ]
+    assert not mismatched, f"non-deterministic tables: {mismatched}"
+
+
+def test_render_carries_no_wall_clock(serial_tables):
+    # Byte-identity is only meaningful if renders exclude timing; the CLI
+    # prints wall clock on separate bracketed lines instead.
+    _ids, tables = serial_tables
+    for exp_id, text in tables.items():
+        assert "done in" not in text, exp_id

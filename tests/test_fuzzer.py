@@ -17,6 +17,7 @@ from repro.verify import (
     Op,
     diff_snapshots,
     generate_plan,
+    mutation_spec,
     run_fuzz,
     run_one,
     shrink_plan,
@@ -119,14 +120,28 @@ class TestContinuousChecking:
 
 
 class TestMutationDetection:
-    """The harness must catch both injected LATR bugs (proof it has teeth)."""
+    """The harness must catch every injected bug (proof it has teeth).
+
+    Safety mutations must trip the invariant monitor; liveness/engine
+    mutations must trip the progress guards or the differential against
+    the synchronous baseline.
+    """
 
     @pytest.mark.parametrize("mutation", MUTATIONS)
     def test_mutation_caught(self, mutation):
+        spec = mutation_spec(mutation)
         plan = generate_plan(1, 60)
         result = run_one("latr", plan, mutate=mutation)
-        assert result.violations, f"mutation {mutation} was not detected"
-        assert any(v.check == "tlb_frame_safety" for v in result.violations)
+        if spec.detected_by == "monitor":
+            assert result.violations, f"mutation {mutation} was not detected"
+            assert any(v.check == "tlb_frame_safety" for v in result.violations)
+            return
+        findings = list(result.errors)
+        if result.snapshot is not None:
+            base = run_one("linux", plan)
+            findings += diff_snapshots(base.snapshot, result.snapshot)
+        findings += [str(v) for v in result.violations]
+        assert findings, f"mutation {mutation} was not detected"
 
     def test_healthy_latr_is_clean_on_same_plan(self):
         plan = generate_plan(1, 60)

@@ -1,0 +1,172 @@
+"""Tests for the exhaustive small-scope model checker (``repro.verify.mc``).
+
+The checker's own claims are tested here: the DPOR + state-hash reduction
+reaches exactly the states brute force reaches, the healthy system's full
+small-scope space is clean, every known-bad mutation is caught *within the
+enumerated space* with a shrunk replayable counterexample, and sharded
+exploration reports byte-identically to the serial DFS.
+"""
+
+import pytest
+
+from repro.verify import MUTATIONS
+from repro.verify.mc import (
+    KINDS,
+    McConfig,
+    McExecutor,
+    McScope,
+    check_trace,
+    generate_program,
+    merge_cells,
+    per_core_programs,
+    root_actions,
+    run_mc,
+)
+
+
+def _hashes(result):
+    out = set()
+    for cell in result.cells:
+        out |= cell.state_hashes
+    return out
+
+
+class TestProgram:
+    def test_round_robin_shape(self):
+        program = generate_program(cores=3, pages=2, ops=7)
+        assert len(program) == 7
+        assert [op.core for op in program] == [i % 3 for i in range(7)]
+        assert [op.page for op in program] == [i % 2 for i in range(7)]
+        assert [op.kind for op in program] == [KINDS[i % len(KINDS)] for i in range(7)]
+        assert len({op.key for op in program}) == 7
+
+    def test_per_core_partition_preserves_order(self):
+        program = generate_program(cores=2, pages=2, ops=6)
+        split = per_core_programs(program, cores=2)
+        assert sorted(op.idx for ops in split for op in ops) == list(range(6))
+        for core, ops in enumerate(split):
+            assert all(op.core == core for op in ops)
+            assert [op.idx for op in ops] == sorted(op.idx for op in ops)
+
+
+class TestReductionSoundness:
+    def test_reduced_run_reaches_exactly_the_brute_force_states(self):
+        scope = McScope(cores=2, pages=2, ops=4)
+        brute = run_mc(McConfig(scope=scope, no_reduction=True, differential=False,
+                                collect_hashes=True))
+        reduced = run_mc(McConfig(scope=scope, differential=False,
+                                  collect_hashes=True))
+        assert brute.verdict == "ok"
+        assert reduced.verdict == "ok"
+        assert _hashes(brute) == _hashes(reduced)
+        assert reduced.nodes <= brute.nodes
+        assert reduced.hash_pruned + reduced.sleep_skipped > 0
+
+
+class TestHealthyExploration:
+    def test_small_scope_fully_explored_and_clean(self):
+        result = run_mc(McConfig(scope=McScope(cores=2, pages=2, ops=4)))
+        assert result.verdict == "ok"
+        assert not any(c.incomplete for c in result.cells)
+        assert result.counterexample is None
+        assert sum(c.complete_leaves for c in result.cells) >= 1
+        assert result.nodes > len(result.root_actions)
+
+    def test_budget_exhaustion_reports_incomplete(self):
+        result = run_mc(
+            McConfig(scope=McScope(cores=2, pages=2, ops=4), max_nodes=3,
+                     differential=False)
+        )
+        assert result.verdict == "incomplete"
+        assert any(c.incomplete for c in result.cells)
+
+    def test_empty_program_is_trivially_ok(self):
+        result = run_mc(McConfig(scope=McScope(cores=2, pages=1, ops=0)))
+        assert result.verdict == "ok"
+
+
+class TestMutationAudit:
+    @pytest.mark.parametrize("mutation", MUTATIONS)
+    def test_mutation_caught_exhaustively_and_shrunk(self, mutation):
+        config = McConfig(scope=McScope(cores=2, pages=2, ops=5, mutate=mutation))
+        result = run_mc(config)
+        assert result.verdict == "violation", mutation
+        ce = result.counterexample
+        assert ce is not None and ce.findings
+        assert ce.shrunk is not None
+        assert 0 < len(ce.shrunk) <= len(ce.trace)
+        # The shrunk trace is a standalone replayable repro.
+        assert check_trace(config, ce.shrunk), mutation
+
+
+class TestShardingDeterminism:
+    def test_healthy_jobs2_render_byte_identical(self):
+        config = McConfig(scope=McScope(cores=2, pages=2, ops=4))
+        assert run_mc(config, jobs=1).render() == run_mc(config, jobs=2).render()
+
+    def test_mutated_jobs2_render_byte_identical(self):
+        config = McConfig(
+            scope=McScope(cores=2, pages=2, ops=5, mutate="reclaim_delay_zero")
+        )
+        assert run_mc(config, jobs=1).render() == run_mc(config, jobs=2).render()
+
+    def test_merge_discards_cells_after_first_failure(self):
+        config = McConfig(
+            scope=McScope(cores=2, pages=2, ops=5, mutate="skip_sweep_invalidate")
+        )
+        roots = root_actions(config)
+        from repro.verify.mc import explore_cell
+
+        cells = [explore_cell(config, i) for i in range(len(roots))]
+        merged = merge_cells(config, roots, cells)
+        assert merged.verdict == "violation"
+        failing = merged.cells[-1].cell
+        assert all(c.cell <= failing for c in merged.cells)
+
+
+class TestCheckTrace:
+    def test_empty_trace_is_clean(self):
+        assert check_trace(McConfig(scope=McScope(cores=2, pages=1, ops=2)), ()) == []
+
+    def test_inapplicable_daemon_actions_are_skipped(self):
+        # ddmin hands check_trace arbitrary subsequences; daemon actions
+        # that are not enabled must be skipped, not flagged as stutters.
+        config = McConfig(scope=McScope(cores=2, pages=1, ops=2))
+        assert check_trace(config, ("reclaim", "sweep:c0", "reclaim")) == []
+
+    def test_full_healthy_trace_is_clean(self):
+        config = McConfig(scope=McScope(cores=2, pages=1, ops=2))
+        executor = McExecutor(config.scope)
+        trace = []
+        while True:
+            enabled = executor.enabled_actions()
+            if not enabled:
+                break
+            executor.execute(enabled[0])
+            trace.append(enabled[0])
+        assert check_trace(config, tuple(trace)) == []
+
+
+class TestExecutor:
+    def test_root_actions_are_a_pure_function_of_scope(self):
+        config = McConfig(scope=McScope(cores=3, pages=2, ops=5))
+        assert root_actions(config) == root_actions(config)
+        assert root_actions(config) == tuple(McExecutor(config.scope).enabled_actions())
+
+    def test_state_hash_stable_across_fresh_boots(self):
+        scope = McScope(cores=2, pages=2, ops=4)
+        assert McExecutor(scope).state_hash() == McExecutor(scope).state_hash()
+
+    def test_enabled_actions_change_state(self):
+        # The stutter detector's precondition: every enabled action must
+        # strictly change the canonical state on a healthy system.
+        executor = McExecutor(McScope(cores=2, pages=1, ops=3))
+        seen = {executor.state_hash()}
+        while True:
+            enabled = executor.enabled_actions()
+            if not enabled:
+                break
+            executor.execute(enabled[0])
+            h = executor.state_hash()
+            assert h not in seen
+            seen.add(h)

@@ -278,3 +278,90 @@ class TestProcess:
         sim.spawn(body())
         with pytest.raises(SimulationError):
             sim.run()
+
+
+class TestChoiceHook:
+    """The ready-set choice hook the model checker drives dispatch through."""
+
+    @staticmethod
+    def _race(sim, log):
+        for tag in "abc":
+            sim.at(100, log.append, tag)
+        sim.at(50, log.append, "early")
+        sim.after(200, log.append, "late")
+
+    def test_none_choice_matches_default_order(self):
+        plain = Simulator()
+        plain_log = []
+        self._race(plain, plain_log)
+        plain.run()
+
+        hooked = Simulator(choice_hook=lambda ready: None)
+        hooked_log = []
+        self._race(hooked, hooked_log)
+        hooked.run()
+        assert hooked_log == plain_log == ["early", "a", "b", "c", "late"]
+
+    def test_hook_sees_full_ready_set_each_dispatch(self):
+        sizes = []
+
+        def hook(ready):
+            sizes.append(len(ready))
+            return 0
+
+        sim = Simulator(choice_hook=hook)
+        log = []
+        self._race(sim, log)
+        sim.run()
+        # Singletons dispatch alone; the t=100 race shrinks 3 -> 2 -> 1.
+        assert sizes == [1, 3, 2, 1, 1]
+
+    def test_choice_permutes_same_instant_events(self):
+        sim = Simulator(choice_hook=lambda ready: len(ready) - 1)
+        log = []
+        self._race(sim, log)
+        sim.run()
+        assert log == ["early", "c", "b", "a", "late"]
+
+    def test_step_uses_hook(self):
+        sim = Simulator(choice_hook=lambda ready: len(ready) - 1)
+        log = []
+        sim.at(1, log.append, "x")
+        sim.at(1, log.append, "y")
+        assert sim.step() and log == ["y"]
+        assert sim.step() and log == ["y", "x"]
+        assert not sim.step()
+        assert sim.pending() == 0
+
+    def test_out_of_range_choice_raises(self):
+        sim = Simulator(choice_hook=lambda ready: 7)
+        sim.at(1, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_hook_forces_heap_mode(self):
+        sim = Simulator(use_timer_wheel=True, choice_hook=lambda r: None)
+        assert not sim._use_wheel
+
+    def test_cancelled_events_never_reach_hook(self):
+        seen = []
+        sim = Simulator(choice_hook=lambda ready: seen.append(len(ready)))
+        log = []
+        keep = sim.at(10, log.append, "keep")
+        victim = sim.at(10, log.append, "victim")
+        victim.cancel()
+        sim.run()
+        assert log == ["keep"]
+        assert seen == [1]
+        assert keep.time == 10
+
+    def test_until_respected_with_hook(self):
+        sim = Simulator(choice_hook=lambda r: None)
+        log = []
+        sim.at(10, log.append, "in")
+        sim.at(500, log.append, "out")
+        sim.run(until=100)
+        assert log == ["in"]
+        assert sim.now == 100
+        sim.run()
+        assert log == ["in", "out"]

@@ -47,6 +47,21 @@ class System:
     def syscalls(self):
         return self.kernel.syscalls
 
+    def snapshot(self):
+        """Capture a restorable world snapshot (see :mod:`repro.snapshot`).
+
+        Only legal at quiescent points: no running event loop, no pending
+        generator continuations, no held locks."""
+        from .snapshot import snapshot_kernel
+
+        return snapshot_kernel(self.kernel)
+
+    def restore(self, snap) -> None:
+        """Rewind engine + kernel + mm state to ``snap``, in place."""
+        from .snapshot import restore_kernel
+
+        restore_kernel(self.kernel, snap)
+
 
 def build_system(
     mechanism: str = "latr",
@@ -89,8 +104,33 @@ def build_system(
     return System(sim=sim, machine=hw, kernel=kernel)
 
 
+#: Process-local pool behind :func:`warm_build_system` (lazy).
+_BOOT_POOL = None
+
+
+def warm_build_system(mechanism: str = "latr", **kwargs) -> System:
+    """:func:`build_system` with warm-boot reuse.
+
+    Identical boot parameters within one process restore a post-boot
+    snapshot in place instead of rebooting (see
+    :class:`repro.snapshot.BootPool`); results are bit-identical to cold
+    boots. Falls back to :func:`build_system` when snapshots are globally
+    disabled or the previous user left the world non-quiescent.
+    """
+    from .snapshot import BootPool, snapshots_enabled
+
+    if not snapshots_enabled():
+        return build_system(mechanism, **kwargs)
+    global _BOOT_POOL
+    if _BOOT_POOL is None:
+        _BOOT_POOL = BootPool()
+    key = (mechanism, tuple(sorted((k, repr(v)) for k, v in kwargs.items())))
+    return _BOOT_POOL.acquire(key, lambda: build_system(mechanism, **kwargs))
+
+
 __all__ = [
     "COMMODITY_2S16C",
+    "warm_build_system",
     "Kernel",
     "LARGE_NUMA_8S120C",
     "LatrCoherence",

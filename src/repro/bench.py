@@ -24,6 +24,14 @@ replays a fill/invalidate_range/flush mix with ``use_tlb_index`` on vs
 off, asserting dropped-counts, entries and ``stats()`` match and
 recording ``speedup_vs_scan``. A mismatch fails the bench.
 
+The mc-snapshot case runs one exhaustive model-checker exploration twice:
+backtracking via executor ``fork()``/``restore()`` snapshots (the default)
+and via honest prefix replay (``use_snapshots=False``). Both legs must
+reach the same verdict, node count and canonical state-hash set
+(``hashes_match``), and the snapshot leg must be at least
+``MC_SNAPSHOT_MIN_SPEEDUP`` times faster (``speedup_ok``) -- the explorer
+silently falling back to replay fails the bench.
+
 The all-fast-parallel case (full suite only) runs every registered
 experiment in fast mode twice -- serially, then with the run cells sharded
 over one worker process per CPU -- and records the jobs=1 vs jobs=N
@@ -84,6 +92,20 @@ ENGINE_STRESS_EVENTS_QUICK = 30_000
 #: surviving entries, and counter stats must be identical.
 INVALIDATE_STRESS_OPS = 6_000
 INVALIDATE_STRESS_OPS_QUICK = 1_500
+
+#: (cores, pages, ops) scope of the mc-snapshot microbench: exhaustive DPOR
+#: exploration run twice, once backtracking via executor fork/restore
+#: snapshots and once via honest prefix replay. The two legs must visit the
+#: same node count and canonical state set; their wall-clock ratio is the
+#: snapshot machinery's speedup and is gated at MC_SNAPSHOT_MIN_SPEEDUP.
+#: A wide machine (4 cores, the mc CLI's core cap) is the representative
+#: load: every replayed prefix starts with a fresh 4-core boot, which is
+#: exactly the cost restore() avoids, and deeper page pressure (3 slots)
+#: keeps LATR states live across more of each trace. Quick and full runs
+#: share the scope so their baselines compare.
+MC_SNAPSHOT_SCOPE = (4, 3, 5)
+MC_SNAPSHOT_SCOPE_QUICK = (4, 3, 5)
+MC_SNAPSHOT_MIN_SPEEDUP = 5.0
 
 
 # ---------------------------------------------------------------------------
@@ -373,6 +395,94 @@ def _invalidate_stress_case(ops: int) -> CaseResult:
 
 
 # ---------------------------------------------------------------------------
+# The mc-snapshot microbench (fork/restore backtracking vs prefix replay)
+# ---------------------------------------------------------------------------
+
+
+def run_mc_snapshot(
+    cores: int, pages: int, ops: int, use_snapshots: bool
+) -> Dict[str, object]:
+    """One exhaustive model-checker run over the given scope (no mutation
+    differential, hash collection on). Returns the verdict, the explored
+    node count and the canonical state-hash set -- all of which must be
+    identical between the snapshot and replay legs."""
+    from .verify.mc.explorer import McConfig, McScope, run_mc
+
+    report = run_mc(
+        McConfig(
+            scope=McScope(cores=cores, pages=pages, ops=ops),
+            differential=False,
+            collect_hashes=True,
+            stop_on_first=False,
+            use_snapshots=use_snapshots,
+        )
+    )
+    hashes: set = set()
+    nodes = 0
+    for cell in report.cells:
+        hashes |= set(cell.state_hashes)
+        nodes += cell.nodes
+    return {"verdict": report.verdict, "nodes": nodes, "hashes": hashes}
+
+
+def _mc_snapshot_case(scope: Tuple[int, int, int], pairs: int = 3) -> CaseResult:
+    """Time both legs as interleaved (snapshot, replay) pairs.
+
+    A shared host swings either leg tens of percent between rounds, which
+    a sequential best-of can pair pessimally (a throttled snapshot leg
+    against a boosted replay leg). Interleaving keeps each ratio within
+    one machine phase, and the best paired ratio is the stable statistic
+    for the fixed, deterministic workload -- while a structural failure
+    (the explorer silently falling back to prefix replay) still shows as
+    ~1x in every pair. Two hard gates: the legs must visit identical
+    (verdict, nodes, state set), and the best paired speedup must clear
+    MC_SNAPSHOT_MIN_SPEEDUP."""
+    import gc
+
+    cores, pages, ops = scope
+    runs = []
+    for _ in range(pairs):
+        gc.collect()
+        snap_run = _timed(
+            lambda: run_mc_snapshot(cores, pages, ops, use_snapshots=True)
+        )
+        gc.collect()
+        replay_run = _timed(
+            lambda: run_mc_snapshot(cores, pages, ops, use_snapshots=False)
+        )
+        runs.append((snap_run, replay_run))
+    wall_snap, events_snap, res_snap = min(runs, key=lambda r: r[0][0])[0]
+    wall_replay, _events_replay, res_replay = min(runs, key=lambda r: r[1][0])[1]
+    pair_speedups = [
+        round(r_run[0] / s_run[0], 2) if s_run[0] > 0 else 0.0
+        for s_run, r_run in runs
+    ]
+    speedup = max(pair_speedups)
+    states = len(res_snap["hashes"])
+    return CaseResult(
+        name="mc-snapshot",
+        wall_s=wall_snap,
+        events=events_snap,
+        extra={
+            "mc_scope": f"{cores}c{pages}p{ops}o",
+            "nodes": res_snap["nodes"],
+            "states": states,
+            "states_per_sec": round(states / wall_snap, 1) if wall_snap > 0 else 0.0,
+            "replay_wall_s": round(wall_replay, 4),
+            "pair_speedups": pair_speedups,
+            "speedup_vs_replay": speedup,
+            "min_speedup": MC_SNAPSHOT_MIN_SPEEDUP,
+            "speedup_ok": speedup >= MC_SNAPSHOT_MIN_SPEEDUP,
+            "hashes_match": (
+                res_snap["verdict"] == res_replay["verdict"]
+                and res_snap["nodes"] == res_replay["nodes"]
+                and res_snap["hashes"] == res_replay["hashes"]
+            ),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
 # The suite
 # ---------------------------------------------------------------------------
 
@@ -434,6 +544,7 @@ def bench_suite(quick: bool = False) -> List[Callable[[], CaseResult]]:
             lambda: _experiment_case("fig6"),
             lambda: _engine_stress_case(ENGINE_STRESS_EVENTS_QUICK),
             lambda: _invalidate_stress_case(INVALIDATE_STRESS_OPS_QUICK),
+            lambda: _mc_snapshot_case(MC_SNAPSHOT_SCOPE_QUICK, pairs=2),
             lambda: _sweep_stress_case(SWEEP_STRESS_MS_QUICK),
         ]
     return [
@@ -442,6 +553,7 @@ def bench_suite(quick: bool = False) -> List[Callable[[], CaseResult]]:
         lambda: _experiment_case("fuzz-smoke"),
         lambda: _engine_stress_case(ENGINE_STRESS_EVENTS),
         lambda: _invalidate_stress_case(INVALIDATE_STRESS_OPS),
+        lambda: _mc_snapshot_case(MC_SNAPSHOT_SCOPE),
         lambda: _sweep_stress_case(SWEEP_STRESS_MS),
         lambda: _all_parallel_case(),
     ]
@@ -479,7 +591,7 @@ def compare_to_previous(
             # Quick and full runs use different stress sizes, and
             # all-fast-parallel varies with the host CPU count; such
             # wall-clocks are not comparable.
-            for scale_key in ("sim_ms", "jobs", "n_events", "ops")
+            for scale_key in ("sim_ms", "jobs", "n_events", "ops", "mc_scope")
         ):
             continue
         prev_wall = prev.get("wall_s")
@@ -505,7 +617,9 @@ def run_bench(
     """Run the suite, write BENCH_<timestamp>.json, compare to the previous
     file. Returns (report dict, exit code): exit 1 means a case failed its
     own correctness check (sweep-stress stats mismatch) or, when
-    ``check_regression`` is set, a wall-clock regression beyond threshold."""
+    ``check_regression`` is set, a wall-clock regression beyond threshold.
+    Exit 2 means ``check_regression`` was requested but no committed
+    BENCH_*.json baseline exists to compare against."""
     os.makedirs(bench_dir, exist_ok=True)
     prev_path = previous_bench_file(bench_dir)
     previous = None
@@ -515,6 +629,14 @@ def run_bench(
                 previous = json.load(fh)
         except (OSError, json.JSONDecodeError):
             echo(f"warning: could not read previous bench file {prev_path}")
+    if check_regression and previous is None:
+        echo(
+            f"error: --check-regression requires a committed BENCH_*.json "
+            f"baseline in {bench_dir}, and none was found (or it was "
+            f"unreadable); run `python -m repro bench` once and commit the "
+            f"result"
+        )
+        return {}, 2
 
     cases: Dict[str, Dict[str, object]] = {}
     failed = False
@@ -540,6 +662,12 @@ def run_bench(
                 f"  (scan {case.extra['scan_wall_s']}s, "
                 f"{case.extra['speedup_vs_scan']}x speedup)"
             )
+        if "speedup_vs_replay" in case.extra:
+            line += (
+                f"  (replay {case.extra['replay_wall_s']}s, "
+                f"{case.extra['speedup_vs_replay']}x speedup, "
+                f"{case.extra['states_per_sec']} states/s)"
+            )
         if "speedup_vs_serial" in case.extra:
             line += (
                 f"  (serial {case.extra['serial_wall_s']}s, "
@@ -558,6 +686,19 @@ def run_bench(
             failed = True
         if case.extra.get("state_match") is False:
             echo(f"  {case.name}: FAIL -- indexed and scan TLB states diverge")
+            failed = True
+        if case.extra.get("hashes_match") is False:
+            echo(
+                f"  {case.name}: FAIL -- snapshot and replay exploration "
+                f"diverge (verdict/nodes/state set)"
+            )
+            failed = True
+        if case.extra.get("speedup_ok") is False:
+            echo(
+                f"  {case.name}: FAIL -- snapshot backtracking speedup "
+                f"{case.extra.get('speedup_vs_replay')}x below the "
+                f"{case.extra.get('min_speedup')}x floor"
+            )
             failed = True
 
     regressions = compare_to_previous(cases, previous, threshold_pct)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from itertools import count
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 #: PCID used for every process when PCID support is off.
@@ -31,6 +32,13 @@ NO_PCID = 0
 
 #: Default for ``Tlb(use_index=...)`` when left unspecified.
 DEFAULT_USE_TLB_INDEX = True
+
+#: Process-global version numbers for TLB change tracking. Values are
+#: never reused, so equal versions imply identical state: a version is
+#: first assigned to exactly one state, mutations always take a fresh
+#: number, and a restore only rewinds the version together with the
+#: state it names (see ``repro.snapshot._tlb_restore``).
+_VERSIONS = count(1)
 
 
 @dataclass
@@ -80,6 +88,12 @@ class Tlb:
         self.invalidations = 0
         self.full_flushes = 0
         self.evictions = 0
+        #: Bumped on *any* observable change (incl. LRU order and the
+        #: hit/miss counters): snapshot/restore skip work when equal.
+        self._state_version = next(_VERSIONS)
+        #: Bumped only when the resident entry set (or index) changes:
+        #: keys the model checker's canonical-fragment cache.
+        self._entries_version = next(_VERSIONS)
 
     def __len__(self) -> int:
         return len(self._entries) + len(self._huge_entries)
@@ -109,6 +123,7 @@ class Tlb:
 
     def lookup(self, pcid: int, vpn: int) -> Optional[TlbEntry]:
         """Translate; counts a hit or miss and refreshes LRU position."""
+        self._state_version = next(_VERSIONS)
         key = self._key(pcid, vpn)
         entry = self._entries.get(key)
         if entry is not None:
@@ -133,6 +148,8 @@ class Tlb:
 
     def fill(self, pcid: int, vpn: int, entry: TlbEntry) -> None:
         """Install a 4 KiB translation, evicting LRU on overflow."""
+        self._state_version = next(_VERSIONS)
+        self._entries_version = next(_VERSIONS)
         key = self._key(pcid, vpn)
         if key in self._entries:
             self._entries.move_to_end(key)
@@ -147,6 +164,8 @@ class Tlb:
 
     def fill_huge(self, pcid: int, base_vpn: int, entry: TlbEntry) -> None:
         """Install a 2 MiB translation in the huge array."""
+        self._state_version = next(_VERSIONS)
+        self._entries_version = next(_VERSIONS)
         if base_vpn % HUGE_SPAN:
             raise ValueError(f"huge fill not aligned: vpn {base_vpn:#x}")
         key = self._key(pcid, base_vpn)
@@ -165,6 +184,8 @@ class Tlb:
 
     def invalidate_page(self, pcid: int, vpn: int) -> bool:
         """INVLPG: drop the translation covering ``vpn``; True if present."""
+        self._state_version = next(_VERSIONS)
+        self._entries_version = next(_VERSIONS)
         key = self._key(pcid, vpn)
         if key in self._entries:
             del self._entries[key]
@@ -186,6 +207,8 @@ class Tlb:
 
         The indexed body lives inline here (not behind a second method
         call): LATR sweeps call this once per matching state per core."""
+        self._state_version = next(_VERSIONS)
+        self._entries_version = next(_VERSIONS)
         eff_pcid = pcid if self.pcid_enabled else NO_PCID
         if not self.use_index:
             dropped = self._invalidate_range_scan(eff_pcid, vpn_start, vpn_end)
@@ -225,6 +248,8 @@ class Tlb:
         4 KiB pass walks whichever is smaller -- the range or the pcid's
         resident set. (Kept as the testable form of the inline body in
         :meth:`invalidate_range`.)"""
+        self._state_version = next(_VERSIONS)
+        self._entries_version = next(_VERSIONS)
         dropped = 0
         vpns = self._index.get(eff_pcid)
         if vpns:
@@ -253,6 +278,8 @@ class Tlb:
 
     def _invalidate_range_scan(self, eff_pcid: int, vpn_start: int, vpn_end: int) -> int:
         """The original linear scan over every resident entry."""
+        self._state_version = next(_VERSIONS)
+        self._entries_version = next(_VERSIONS)
         victims = [
             key
             for key in self._entries
@@ -271,6 +298,8 @@ class Tlb:
 
     def flush(self, pcid: Optional[int] = None) -> int:
         """CR3 write: drop everything (or one PCID's entries when tagged)."""
+        self._state_version = next(_VERSIONS)
+        self._entries_version = next(_VERSIONS)
         self.full_flushes += 1
         if pcid is None or not self.pcid_enabled:
             count = len(self._entries) + len(self._huge_entries)

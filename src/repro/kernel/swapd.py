@@ -11,7 +11,6 @@ so the frame outlives every TLB entry pointing at it.
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Dict, Generator, List, Tuple
 
 from ..mm.addr import VirtRange
@@ -33,7 +32,8 @@ class SwapDevice:
 
     def __init__(self, kernel: "Kernel"):
         self.kernel = kernel
-        self._slot_seq = itertools.count(1)
+        #: Next swap-slot id (a plain int so snapshots can capture it).
+        self._next_slot = 1
         self._used_slots: Dict[int, bool] = {}
         kernel.swap = self
 
@@ -42,7 +42,8 @@ class SwapDevice:
         return cls(kernel)
 
     def allocate_slot(self) -> int:
-        slot = next(self._slot_seq)
+        slot = self._next_slot
+        self._next_slot += 1
         self._used_slots[slot] = True
         return slot
 

@@ -11,6 +11,7 @@ through a recycled frame.
 from __future__ import annotations
 
 from collections import deque
+from itertools import count
 from typing import Deque, Dict, List, Optional
 
 
@@ -74,6 +75,12 @@ class _FreeList:
         yield from self._tail
 
 
+#: Process-global version numbers for allocator change tracking; values
+#: are never reused, so equal versions imply identical allocator state
+#: (same contract as ``repro.hw.tlb._VERSIONS``).
+_VERSIONS = count(1)
+
+
 class FrameAllocator:
     """Per-node free lists of physical frame numbers (PFNs)."""
 
@@ -90,6 +97,9 @@ class FrameAllocator:
         self._generation: Dict[int, int] = {}
         self.total_allocs = 0
         self.total_frees = 0
+        #: Bumped on any mutation; keys snapshot/restore/canonical skip
+        #: paths (never rewound except together with the state).
+        self._version = next(_VERSIONS)
 
     @property
     def total_frames(self) -> int:
@@ -114,6 +124,7 @@ class FrameAllocator:
         ``exclude`` skips a PFN range -- compaction uses it to evacuate a
         target block without immediately re-filling it.
         """
+        self._version = next(_VERSIONS)
         if not 0 <= node < self.nodes:
             raise ValueError(f"bad node {node}")
         for candidate in [node] + [n for n in range(self.nodes) if n != node]:
@@ -135,6 +146,7 @@ class FrameAllocator:
         a 2 MiB huge page must be). Raises when no run exists -- which is
         exactly the fragmentation problem compaction solves.
         """
+        self._version = next(_VERSIONS)
         if count < 1:
             raise ValueError("count must be positive")
         if not 0 <= node < self.nodes:
@@ -172,12 +184,14 @@ class FrameAllocator:
 
     def get(self, pfn: int) -> None:
         """Take an extra reference (page sharing, lazy lists)."""
+        self._version = next(_VERSIONS)
         if pfn not in self._refcount:
             raise FrameAllocatorError(f"get() on free frame {pfn}")
         self._refcount[pfn] += 1
 
     def put(self, pfn: int) -> bool:
         """Drop a reference; frees the frame at zero. Returns True if freed."""
+        self._version = next(_VERSIONS)
         count = self._refcount.get(pfn)
         if count is None:
             raise FrameAllocatorError(f"put() on free frame {pfn} (double free?)")

@@ -8,6 +8,7 @@ lets tests compare against a flat shadow model.
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Dict, Iterator, Optional, Tuple
 
 from .addr import HUGE_PAGE_PAGES, VirtRange, huge_base_vpn, is_huge_aligned
@@ -16,6 +17,11 @@ from .pte import Pte
 LEVELS = 4
 BITS_PER_LEVEL = 9
 SLOTS_PER_LEVEL = 1 << BITS_PER_LEVEL
+
+#: Process-global version numbers for page-table change tracking;
+#: values are never reused, so equal versions imply identical contents
+#: (same contract as ``repro.hw.tlb._VERSIONS``).
+_VERSIONS = count(1)
 
 
 def _indices(vpn: int) -> Tuple[int, int, int, int]:
@@ -42,6 +48,9 @@ class PageTable:
         #: Optional ``observer(event, vpn)`` invoked after every mutation
         #: (the InvariantMonitor's continuous-checking hook).
         self.observer = None
+        #: Bumped on any mutation; keys snapshot/restore/canonical skip
+        #: paths (never rewound except together with the contents).
+        self._version = next(_VERSIONS)
 
     def __len__(self) -> int:
         return self._count
@@ -66,6 +75,7 @@ class PageTable:
     def set_huge_pte(self, base_vpn: int, pte: Pte) -> None:
         """Install a PD-level 2 MiB entry. The 512-page range must be free
         of 4 KiB entries (khugepaged clears them before collapsing)."""
+        self._version = next(_VERSIONS)
         if not is_huge_aligned(base_vpn):
             raise ValueError(f"huge mapping not 2MiB-aligned: vpn {base_vpn:#x}")
         if not pte.huge:
@@ -79,6 +89,7 @@ class PageTable:
             self.observer("set_huge", base_vpn)
 
     def clear_huge_pte(self, base_vpn: int) -> Optional[Pte]:
+        self._version = next(_VERSIONS)
         prev = self._huge.pop(base_vpn, None)
         if prev is not None and self.observer is not None:
             self.observer("clear_huge", base_vpn)
@@ -104,6 +115,7 @@ class PageTable:
 
     def set_pte(self, vpn: int, pte: Pte) -> Optional[Pte]:
         """Install a 4 KiB PTE; returns the previous entry if any."""
+        self._version = next(_VERSIONS)
         if huge_base_vpn(vpn) in self._huge:
             raise ValueError(f"vpn {vpn:#x} covered by a huge mapping")
         node = self._root
@@ -128,6 +140,7 @@ class PageTable:
 
         Empty interior nodes are pruned, mirroring free_pgtables().
         """
+        self._version = next(_VERSIONS)
         pml4, pdpt, pd, pt = _indices(vpn)
         path = []
         node = self._root
@@ -152,6 +165,7 @@ class PageTable:
 
     def update_pte(self, vpn: int, pte: Pte) -> None:
         """Replace an existing PTE in place (PTE must exist)."""
+        self._version = next(_VERSIONS)
         existing = self.walk(vpn)
         if existing is None:
             raise KeyError(f"update of unmapped vpn {vpn:#x}")

@@ -742,3 +742,132 @@ class Simulator:
     def pending(self) -> int:
         """Number of scheduled, non-cancelled events (O(1))."""
         return self._pending_live
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+
+    def _resident_handles(self) -> Iterable[EventHandle]:
+        """Every handle currently parked in a queue structure (cancelled
+        ones included until their lazy drop)."""
+        yield from self._current
+        yield from self._overflow
+        for bucket in self._buckets:
+            if bucket:
+                yield from bucket
+
+    def fork(self) -> "EngineSnapshot":
+        """Capture a restorable snapshot of the event queues.
+
+        Handles are *shared* with the snapshot, not copied: their mutable
+        fields (time/seq/cancelled/placement) are recorded so ``restore()``
+        can rewrite them in place, preserving identity -- callbacks, daemon
+        re-arm chains and cached references all keep pointing at the same
+        objects. ``fn``/``args``/``interval`` never mutate after creation
+        and are not recorded.
+
+        Refuses mid-run and refuses when any pending event is a live
+        generator continuation (a bound method of a :class:`Process` or
+        :class:`Signal`): a suspended generator frame cannot be copied, so
+        snapshots are only legal at quiescent points where every pending
+        event is a plain callback (periodic daemon ticks, timers).
+        """
+        if self._running:
+            raise SimulationError("cannot fork a running simulator")
+        for handle in self._resident_handles():
+            if live_continuation(handle):
+                raise SimulationError(
+                    f"cannot fork with live generator continuation pending: "
+                    f"{handle!r}"
+                )
+        return EngineSnapshot(
+            seq=self._seq,
+            now=self._now,
+            pending_live=self._pending_live,
+            cursor_slot=self._cursor_slot,
+            cursor_time=self._cursor_time,
+            wheel_count=self._wheel_count,
+            events_executed=self.events_executed,
+            order_len=len(self.order_log) if self.order_log is not None else None,
+            current=list(self._current),
+            overflow=list(self._overflow),
+            buckets={
+                i: list(b) for i, b in enumerate(self._buckets) if b
+            },
+            bucket_dead=list(self._bucket_dead),
+            handle_fields=[
+                (h, h.time, h.seq, h.cancelled, h._bucket, h._scheduled)
+                for h in self._resident_handles()
+            ],
+        )
+
+    def restore(self, snap: "EngineSnapshot") -> None:
+        """Rewind the event queues to a snapshot taken by :meth:`fork`.
+
+        Restore order matters: (1) orphan every currently-resident handle so
+        post-fork events cannot corrupt the accounting via a later
+        ``cancel()``; (2) rewrite the recorded fields of every snapshotted
+        handle (healing post-fork execution, re-arms, cancellation and
+        bucket compaction); (3) reinstall the queue structure copies;
+        (4) scalars; (5) truncate the order log.
+        """
+        if self._running:
+            raise SimulationError("cannot restore a running simulator")
+        for handle in self._resident_handles():
+            handle._scheduled = False
+            handle._bucket = -1
+        for handle, time, seq, cancelled, bucket, scheduled in snap.handle_fields:
+            handle.time = time
+            handle.seq = seq
+            handle.cancelled = cancelled
+            handle._bucket = bucket
+            handle._scheduled = scheduled
+        # The list copies preserved heap order, so no re-heapify is needed.
+        self._current = list(snap.current)
+        self._overflow = list(snap.overflow)
+        if self._use_wheel:
+            buckets = self._buckets
+            for i, bucket in enumerate(buckets):
+                if bucket:
+                    buckets[i] = []
+            for i, saved in snap.buckets.items():
+                buckets[i] = list(saved)
+            self._bucket_dead = list(snap.bucket_dead)
+        self._seq = snap.seq
+        self._now = snap.now
+        self._pending_live = snap.pending_live
+        self._cursor_slot = snap.cursor_slot
+        self._cursor_time = snap.cursor_time
+        self._wheel_count = snap.wheel_count
+        self.events_executed = snap.events_executed
+        if self.order_log is not None and snap.order_len is not None:
+            del self.order_log[snap.order_len:]
+
+
+def live_continuation(handle: EventHandle) -> bool:
+    """True if executing (or dropping) ``handle`` would touch a suspended
+    generator: its callback belongs to a live :class:`Process` or to a
+    :class:`Signal`, or such an object rides in its args. A *dead*
+    process's ``_step`` handle is a harmless no-op and does not count."""
+    if handle.cancelled:
+        return False
+    owner = getattr(handle.fn, "__self__", None)
+    if isinstance(owner, Signal) or (isinstance(owner, Process) and owner.alive):
+        return True
+    return any(
+        isinstance(arg, Signal) or (isinstance(arg, Process) and arg.alive)
+        for arg in handle.args
+    )
+
+
+class EngineSnapshot:
+    """Opaque engine state captured by :meth:`Simulator.fork`."""
+
+    __slots__ = (
+        "seq", "now", "pending_live", "cursor_slot", "cursor_time",
+        "wheel_count", "events_executed", "order_len", "current",
+        "overflow", "buckets", "bucket_dead", "handle_fields",
+    )
+
+    def __init__(self, **fields: Any):
+        for name in self.__slots__:
+            setattr(self, name, fields[name])

@@ -31,3 +31,18 @@ class RngStreams:
         """Derive a child factory, e.g. per-process inside one run."""
         digest = hashlib.sha256(f"{self.seed}:fork:{salt}".encode()).digest()
         return RngStreams(int.from_bytes(digest[:8], "big"))
+
+    # ---- snapshot/restore -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Capture every stream's Mersenne state (no generator objects)."""
+        return {name: rng.getstate() for name, rng in self._streams.items()}
+
+    def restore(self, snap: Dict[str, object]) -> None:
+        """Rewind surviving streams in place; drop streams created after the
+        snapshot so their eventual re-creation redraws the same sequence."""
+        for name in list(self._streams):
+            if name not in snap:
+                del self._streams[name]
+        for name, state in snap.items():
+            self.stream(name).setstate(state)

@@ -8,9 +8,18 @@ harness turns into table rows.
 from __future__ import annotations
 
 import math
+from itertools import count
 from typing import Dict, List, Optional, Tuple
 
 from .engine import SEC, Simulator
+
+#: Never-reused version mint shared by every LatencyRecorder: a version
+#: number is issued for exactly one sample-list content, and a restore only
+#: rewinds the version together with installing exactly that content, so
+#: equal versions imply identical samples (the same contract as
+#: ``repro.hw.tlb._VERSIONS``). This is what lets ``restore`` skip
+#: untouched recorders on the model checker's backtracking hot path.
+_VERSIONS = count(1)
 
 
 class Counter:
@@ -29,19 +38,100 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
+class _SampleList(list):
+    """A list that bumps its owning recorder's version on every mutation.
+
+    ``LatencyRecorder.percentile`` caches the sorted view keyed on that
+    version, so *any* mutation path -- ``record()``, direct appends from
+    tests, or same-length in-place edits -- invalidates the cache. A bare
+    length comparison cannot see the last of those.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "LatencyRecorder", iterable=()):
+        super().__init__(iterable)
+        self._owner = owner
+
+    def _bump(self) -> None:
+        self._owner._version = next(_VERSIONS)
+
+    def append(self, item):
+        super().append(item)
+        self._bump()
+
+    def extend(self, iterable):
+        super().extend(iterable)
+        self._bump()
+
+    def insert(self, index, item):
+        super().insert(index, item)
+        self._bump()
+
+    def pop(self, index=-1):
+        value = super().pop(index)
+        self._bump()
+        return value
+
+    def remove(self, item):
+        super().remove(item)
+        self._bump()
+
+    def clear(self):
+        super().clear()
+        self._bump()
+
+    def sort(self, **kwargs):
+        super().sort(**kwargs)
+        self._bump()
+
+    def reverse(self):
+        super().reverse()
+        self._bump()
+
+    def __setitem__(self, index, value):
+        super().__setitem__(index, value)
+        self._bump()
+
+    def __delitem__(self, index):
+        super().__delitem__(index)
+        self._bump()
+
+    def __iadd__(self, other):
+        result = super().__iadd__(other)
+        self._bump()
+        return result
+
+    def __imul__(self, factor):
+        result = super().__imul__(factor)
+        self._bump()
+        return result
+
+
 class LatencyRecorder:
     """Collects latency samples (ns) and reports summary statistics."""
 
     def __init__(self, name: str):
         self.name = name
-        self.samples: List[int] = []
+        self._version = next(_VERSIONS)
+        self._samples: _SampleList = _SampleList(self)
         self._sorted: Optional[List[int]] = None
+        self._sorted_version = -1
+
+    @property
+    def samples(self) -> List[int]:
+        return self._samples
+
+    @samples.setter
+    def samples(self, values) -> None:
+        # Re-wrap wholesale assignment so mutation tracking survives it.
+        self._samples = _SampleList(self, values)
+        self._version = next(_VERSIONS)
 
     def record(self, latency_ns: int) -> None:
         if latency_ns < 0:
             raise ValueError(f"negative latency sample on {self.name!r}: {latency_ns}")
-        self.samples.append(latency_ns)
-        self._sorted = None
+        self._samples.append(latency_ns)
 
     @property
     def count(self) -> int:
@@ -70,10 +160,11 @@ class LatencyRecorder:
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile out of range: {pct}")
         # Tail-latency experiments ask for several percentiles per recorder;
-        # sort once and reuse until the next record() invalidates. The length
-        # guard catches direct appends to ``samples`` (tests do this).
-        if self._sorted is None or len(self._sorted) != len(self.samples):
-            self._sorted = sorted(self.samples)
+        # sort once and reuse until any mutation of ``samples`` bumps the
+        # version (record(), direct appends, or same-length in-place edits).
+        if self._sorted is None or self._sorted_version != self._version:
+            self._sorted = sorted(self._samples)
+            self._sorted_version = self._version
         ordered = self._sorted
         if len(ordered) == 1:
             return float(ordered[0])
@@ -92,6 +183,24 @@ class LatencyRecorder:
             return 0.0
         mu = self.mean
         return math.sqrt(sum((s - mu) ** 2 for s in self.samples) / (n - 1))
+
+    # ---- snapshot/restore -----------------------------------------------------
+
+    def snapshot(self) -> Tuple[Tuple[int, ...], int]:
+        return (tuple(self._samples), self._version)
+
+    def restore(self, snap: Tuple[Tuple[int, ...], int]) -> None:
+        samples, version = snap
+        if self._version == version:
+            # Versions are never reused (module-level mint), so an equal
+            # version means the samples are already exactly the snapshot's.
+            return
+        self._samples = _SampleList(self, samples)
+        self._version = version
+        # Invalidate the sorted cache: it may be keyed on a version from a
+        # divergent history.
+        self._sorted = None
+        self._sorted_version = -1
 
 
 class RateWindow:
@@ -168,6 +277,75 @@ class StatsRegistry:
 
     def counters_snapshot(self) -> Dict[str, int]:
         return {name: c.value for name, c in self._counters.items()}
+
+    # ---- snapshot/restore -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Capture every counter/recorder/rate value (structured copy)."""
+        return {
+            "counters": {name: c.value for name, c in self._counters.items()},
+            "latencies": {
+                name: rec.snapshot() for name, rec in self._latencies.items()
+            },
+            "rates": {
+                name: (r.events, r._window_start, r._window_end)
+                for name, r in self._rates.items()
+            },
+            "windows_active": self._windows_active,
+        }
+
+    def restore(self, snap: Dict[str, object]) -> None:
+        """Restore to ``snap``, reusing surviving objects (callers cache
+        counter/recorder references at boot, so identity must be preserved)
+        and dropping entries created after the snapshot was taken."""
+        # Entries are only ever created (never removed outside restore) and a
+        # snapshot always restores into the registry it was taken from, so the
+        # live key set is a superset of the snapshot's: equal sizes mean equal
+        # keys and the deletion scans can be skipped (model-checker hot path).
+        # When the sizes match, so do the key sets *and their order* (both
+        # dicts grew by the same insertions), so zipping values skips the
+        # per-name hashing entirely.
+        counters = snap["counters"]
+        live_counters = self._counters
+        if len(live_counters) == len(counters):
+            for counter, value in zip(live_counters.values(), counters.values()):
+                counter.value = value
+        else:
+            for name in list(live_counters):
+                if name not in counters:
+                    del live_counters[name]
+            for name, value in counters.items():
+                live_counters[name].value = value
+        latencies = snap["latencies"]
+        live_latencies = self._latencies
+        if len(live_latencies) == len(latencies):
+            for rec, rec_snap in zip(live_latencies.values(), latencies.values()):
+                rec.restore(rec_snap)
+        else:
+            for name in list(live_latencies):
+                if name not in latencies:
+                    del live_latencies[name]
+            for name, rec_snap in latencies.items():
+                live_latencies[name].restore(rec_snap)
+        rates = snap["rates"]
+        live_rates = self._rates
+        if len(live_rates) == len(rates):
+            for rate, (events, start, end) in zip(live_rates.values(), rates.values()):
+                rate.events = events
+                rate._window_start = start
+                rate._window_end = end
+        else:
+            for name in list(live_rates):
+                if name not in rates:
+                    del live_rates[name]
+            for name, (events, start, end) in rates.items():
+                rate = live_rates.get(name)
+                if rate is None:
+                    rate = live_rates[name] = RateWindow(name, self.sim)
+                rate.events = events
+                rate._window_start = start
+                rate._window_end = end
+        self._windows_active = snap["windows_active"]
 
     def summary(self) -> Dict[str, object]:
         """A flat dict used by experiment reports and debugging dumps."""

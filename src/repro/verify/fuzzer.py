@@ -507,29 +507,57 @@ def run_one(
     latr_kwargs: Optional[Dict[str, object]] = None,
     use_timer_wheel: Optional[bool] = None,
     use_tlb_index: Optional[bool] = None,
+    pool=None,
 ) -> RunResult:
     """Replay ``plan`` once on ``mechanism``; never raises -- harness
-    exceptions come back as errors (they are findings, not crashes)."""
-    system = build_fuzz_system(
-        mechanism,
-        plan,
-        mutate=mutate,
-        with_tracer=with_tracer,
-        frames_per_node=frames_per_node,
-        monitor_stride=monitor_stride,
-        latr_kwargs=latr_kwargs,
-        use_timer_wheel=use_timer_wheel,
-        use_tlb_index=use_tlb_index,
-    )
+    exceptions come back as errors (they are findings, not crashes).
+
+    ``pool`` (a :class:`repro.snapshot.BootPool`) enables warm-boot reuse:
+    identical boot parameters restore the post-boot snapshot instead of
+    rebuilding. Mutated and traced runs always boot cold (a mutation may
+    carry state the snapshot layer does not model; tracers are refused by
+    the snapshot layer)."""
+
+    def build() -> FuzzSystem:
+        return build_fuzz_system(
+            mechanism,
+            plan,
+            mutate=mutate,
+            with_tracer=with_tracer,
+            frames_per_node=frames_per_node,
+            monitor_stride=monitor_stride,
+            latr_kwargs=latr_kwargs,
+            use_timer_wheel=use_timer_wheel,
+            use_tlb_index=use_tlb_index,
+        )
+
+    if pool is not None and mutate is None and not with_tracer:
+        # The boot key: everything applied before (or at) kernel start.
+        # Plan *ops* are deliberately absent -- replays of different op
+        # subsequences (the shrink loop) share one boot.
+        key = (
+            mechanism, plan.seed, plan.n_cores, plan.n_procs,
+            plan.schedule.queue_depth, plan.schedule.reclaim_delay_ticks,
+            tuple(sorted(plan.schedule.tick_offsets.items())),
+            frames_per_node, monitor_stride,
+            tuple(sorted((latr_kwargs or {}).items())),
+            use_timer_wheel, use_tlb_index,
+        )
+        system = pool.acquire(key, build)
+    else:
+        system = build()
     sim, kernel = system.sim, system.kernel
     tick = system.machine.spec.tick_interval_ns
     driver = OpDriver(system, plan)
     flags = {"stop": False}
+    spawned = []
     for core in system.machine.cores:
         gaps = plan.schedule.ctx_switch_gaps.get(core.id)
         if gaps:
-            sim.spawn(_perturber(system, core, gaps, flags), name=f"perturb{core.id}")
-    sim.spawn(driver.run(), name="fuzz-driver")
+            spawned.append(
+                sim.spawn(_perturber(system, core, gaps, flags), name=f"perturb{core.id}")
+            )
+    spawned.append(sim.spawn(driver.run(), name="fuzz-driver"))
 
     errors: List[str] = []
     snapshot = None
@@ -559,6 +587,12 @@ def run_one(
     except Exception as exc:  # daemon/engine crash is a finding too
         errors.append(f"engine: {type(exc).__name__}: {exc}")
     errors.extend(driver.errors)
+    # Tear down the run's processes while their world is still consistent
+    # (lock-release finallys must not fire later against a restored one);
+    # this is what leaves a pooled system reusable.
+    for proc in spawned:
+        if proc.alive:
+            proc.interrupt()
     return RunResult(
         mechanism=mechanism,
         mutate=mutate,
@@ -617,6 +651,11 @@ class FuzzConfig:
     monitor_stride: int = 1
     #: Tracer window (in ticks) dumped around the first violation.
     trace_window_ticks: int = 3
+    #: Warm-boot reuse: boot each distinct configuration once, restore its
+    #: post-boot snapshot for every further replay (big win in the shrink
+    #: loop). False is the bit-identical cold-boot escape hatch, gated by
+    #: the replay-vs-restore differential test.
+    use_snapshots: bool = True
 
 
 @dataclass
@@ -632,6 +671,9 @@ class FuzzReport:
     shrunk_plan: Optional[FuzzPlan] = None
     shrink_runs: int = 0
     trace_dump: str = ""
+    #: Warm-boot accounting (0/0 when snapshots are off).
+    warm_boots: int = 0
+    warm_restores: int = 0
 
     @property
     def ok(self) -> bool:
@@ -674,6 +716,10 @@ class FuzzReport:
         if self.trace_dump:
             lines.append("  trace window around failure:")
             lines.extend(f"    {line}" for line in self.trace_dump.splitlines())
+        if self.warm_boots or self.warm_restores:
+            lines.append(
+                f"warm boots: {self.warm_boots} cold, {self.warm_restores} restored"
+            )
         lines.append(
             f"verdict: {'PASS' if self.ok else 'FAIL'} ({self.runs} runs total)"
         )
@@ -687,6 +733,12 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
         config.seed, config.n_ops, n_cores=config.n_cores, n_procs=config.n_procs
     )
     runs = 0
+    pool = None
+    if config.use_snapshots:
+        from ..snapshot import BootPool, snapshots_enabled
+
+        if snapshots_enabled():
+            pool = BootPool()
 
     def replay(mech: str, p: FuzzPlan, mutate=None, with_tracer=False) -> RunResult:
         nonlocal runs
@@ -698,6 +750,7 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
             with_tracer=with_tracer,
             frames_per_node=config.frames_per_node,
             monitor_stride=config.monitor_stride,
+            pool=pool,
         )
 
     results: Dict[str, RunResult] = {}
@@ -732,9 +785,15 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
         runs=runs,
     )
 
+    def finish() -> FuzzReport:
+        if pool is not None:
+            report.warm_boots = pool.boots
+            report.warm_restores = pool.restores
+        return report
+
     target = next((m for m in failures if m != config.baseline), None)
     if target is None or not config.shrink:
-        return report
+        return finish()
 
     mutate = config.mutate if target == "latr" else None
     differential_only = results[target].clean and target in mismatches
@@ -766,4 +825,4 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
             since = max(0, traced.sim_time_ns - config.trace_window_ticks * tick)
         report.trace_dump = traced.tracer.dump(limit=60, since_ns=since)
     report.runs = runs
-    return report
+    return finish()

@@ -6,7 +6,7 @@ sleep-set DPOR and state hashing, with every complete trace checked by
 the invariant monitor and a differential oracle over the fast-path
 escape hatches and the synchronous mechanisms."""
 
-from .executor import McExecutor, McScope, diff_mech_snapshots
+from .executor import McExecutor, McScope, diff_mech_snapshots, racy_free_pages
 from .explorer import (
     CellResult,
     Counterexample,
@@ -35,6 +35,7 @@ __all__ = [
     "generate_program",
     "merge_cells",
     "per_core_programs",
+    "racy_free_pages",
     "root_actions",
     "run_mc",
 ]

@@ -34,8 +34,9 @@ broken derived state is the bug and is folded back in.
 from __future__ import annotations
 
 import hashlib
+import pickle
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ...coherence import make_mechanism
 from ...coherence.latr import LatrCoherence
@@ -45,6 +46,7 @@ from ...kernel.autonuma import AutoNuma
 from ...kernel.kernel import Kernel
 from ...mm.addr import PAGE_SIZE, VirtRange
 from ...sim.engine import Simulator
+from ...snapshot import SnapshotError, restore_kernel, snapshot_kernel
 from ..monitor import InvariantMonitor
 from ..mutations import mutation_spec
 from .program import McOp, generate_program, per_core_programs
@@ -55,6 +57,11 @@ from .program import McOp, generate_program, per_core_programs
 #: (normalized end state required).
 TOGGLE_VARIANTS = ("wheel", "tlbidx", "sweepidx")
 ORDER_VARIANTS = ("revheap",)
+
+#: LatrFlag member -> .name memo: enum attribute access goes through a
+#: slow DynamicClassAttribute descriptor, and the canonical-state builder
+#: reads it for every live queue slot on every hashed node.
+_FLAG_NAMES: Dict[Any, str] = {}
 
 #: Hard cap on events executed per drain; hitting it is itself a finding
 #: (a runaway schedule), never a silent truncation.
@@ -107,6 +114,16 @@ class McExecutor:
         self.in_flight: Dict[int, Tuple[McOp, object]] = {}
         #: page slot -> live VirtRange (None while unmapped).
         self.slots: List[Optional[VirtRange]] = [None] * scope.pages
+        #: (core id, include_derived) -> (tlb entries_version, pickled
+        #: canonical fragment); see _canonical_state.
+        self._tlb_canon: Dict[Tuple[int, bool], Tuple[int, bytes]] = {}
+        #: (allocator version, pickled canonical fragment) or None.
+        self._frames_canon: Optional[Tuple[int, bytes]] = None
+        #: (page table version, pickled canonical fragment) or None.
+        self._pt_canon: Optional[Tuple[int, bytes]] = None
+        #: LATR queues sorted by core id (the set is fixed at boot), or
+        #: None for non-LATR mechanisms / before first use.
+        self._latr_queues: Optional[List[Tuple[int, Any]]] = None
         self._init_slots()
 
     # ------------------------------------------------------------------ boot
@@ -374,109 +391,178 @@ class McExecutor:
         docstring for what is included/excluded and why)."""
         if include_derived is None:
             include_derived = self.mutation is not None
-        canon = repr(self._canonical_state(include_derived)).encode()
-        return hashlib.blake2b(canon, digest_size=16).hexdigest()
+        h = hashlib.blake2b(digest_size=16)
+        for piece in self._canonical_state(include_derived):
+            h.update(piece)
+        return h.hexdigest()
 
-    def _canonical_state(self, include_derived: bool):
+    def _canonical_state(self, include_derived: bool) -> List[bytes]:
+        # A fixed-length list of pickled fragments. Each piece is one
+        # complete pickle stream (self-delimiting, so the concatenation the
+        # hash sees is injective), built from sorted lists so the encoding
+        # is deterministic; hashes are never persisted, so it only needs to
+        # be stable within one process. Fragments guarded by a version
+        # counter are cached as *bytes*: while the subsystem is untouched
+        # (or a backtracking restore rewound it, versions travel with
+        # content), both the canonical rebuild and the re-pickling are
+        # skipped -- the model checker hashes every node, so this is its
+        # hottest path.
+        dumps = pickle.dumps
         mm = self.proc.mm
-        tlbs = []
+        pieces: List[bytes] = []
+        canon_cache = self._tlb_canon
         for core in self.machine.cores:
             tlb = core.tlb
-            entries = tuple(
-                sorted(
+            # The fragment depends only on the resident entry set (sorted,
+            # so LRU order is irrelevant), hence the entries_version key.
+            version = tlb._entries_version
+            cache_key = (core.id, include_derived)
+            hit = canon_cache.get(cache_key)
+            if hit is None or hit[0] != version:
+                entries = sorted(
                     (pcid, vpn, e.pfn, e.writable, e.generation)
                     for (pcid, vpn), e in tlb._entries.items()
                 )
-            )
-            huge = tuple(
-                sorted(
+                huge = sorted(
                     (pcid, vpn, e.pfn, e.writable, e.generation)
                     for (pcid, vpn), e in tlb._huge_entries.items()
                 )
-            )
-            row = (core.id, entries, huge)
-            if include_derived and tlb.use_index:
-                row += (
-                    tuple(
-                        sorted((k, tuple(sorted(v))) for k, v in tlb._index.items())
-                    ),
-                )
-            tlbs.append(row)
+                row = (core.id, entries, huge)
+                if include_derived and tlb.use_index:
+                    row += (
+                        sorted((k, sorted(v)) for k, v in tlb._index.items()),
+                    )
+                hit = canon_cache[cache_key] = (version, dumps(row, 4))
+            pieces.append(hit[1])
 
-        pt = tuple(
-            sorted(
-                (vpn, pte.pfn, int(pte.flags), pte.swap_slot)
-                for vpn, pte in mm.page_table.all_entries()
+        page_table = mm.page_table
+        pt_version = page_table._version
+        cached_pt = self._pt_canon
+        if cached_pt is None or cached_pt[0] != pt_version:
+            cached_pt = self._pt_canon = (
+                pt_version,
+                dumps(sorted(
+                    (vpn, pte.pfn, int(pte.flags), pte.swap_slot)
+                    for vpn, pte in page_table.all_entries()
+                ), 4),
             )
+        pieces.append(cached_pt[1])
+        vmas = sorted(
+            (v.range.start, v.range.end, int(v.prot), v.kind.name, v.huge)
+            for v in mm.vmas
         )
-        vmas = tuple(
-            sorted(
-                (v.range.start, v.range.end, int(v.prot), v.kind.name, v.huge)
-                for v in mm.vmas
-            )
-        )
-        mm_state = (
-            pt,
+        mm_piece = (
             vmas,
-            tuple(sorted(mm.cpumask)),
-            tuple((r.start, r.end) for r in mm.lazy_vranges),
-            tuple(mm.lazy_frames),
+            sorted(mm.cpumask),
+            [(r.start, r.end) for r in mm.lazy_vranges],
+            list(mm.lazy_frames),
             mm.map_generation,
             mm._bump,
-            tuple((r.start, r.end) for r in mm._free_ranges),
+            [(r.start, r.end) for r in mm._free_ranges],
         )
 
         frames = self.kernel.frames
-        alloc = (
-            tuple(tuple(frames._free[n]) for n in range(frames.nodes)),
-            tuple(sorted(frames._refcount.items())),
-            tuple(sorted(frames._generation.items())),
-            tuple(sorted(self.kernel.page_contents.items())),
-        )
+        # Allocator fragment cached on the allocator's version (same
+        # contract as the TLB fragments); page_contents is kernel-owned
+        # state with no version, so it stays outside the cached part.
+        frames_version = frames._version
+        cached_alloc = self._frames_canon
+        if cached_alloc is None or cached_alloc[0] != frames_version:
+            cached_alloc = self._frames_canon = (
+                frames_version,
+                dumps((
+                    # (lo, hi, tail) is the free list's exact state without
+                    # materializing the fresh watermark range on every hash.
+                    [(q._lo, q._hi, tuple(q._tail)) for q in frames._free],
+                    sorted(frames._refcount.items()),
+                    sorted(frames._generation.items()),
+                ), 4),
+            )
+        pieces.append(cached_alloc[1])
 
-        latr = self._canonical_latr(include_derived) if self.is_latr else ()
-
-        threads = (
-            tuple(self.pc),
-            tuple(op.key for (op, _proc) in self.in_flight.values()),
-            tuple(s if s is None else (s.start, s.end) for s in self.slots),
-        )
-        return (tuple(tlbs), mm_state, alloc, latr, threads)
+        # The remaining fragments are never cache-hits (something among
+        # them changes on essentially every action), so they share one
+        # pickle stream instead of paying per-fragment pickler setup; the
+        # enclosing tuple keeps the encoding injective, and the constant
+        # ``()`` placeholder for non-LATR mechanisms keeps the hash domain
+        # identical across variants.
+        pieces.append(dumps((
+            mm_piece,
+            sorted(self.kernel.page_contents.items()),
+            self._canonical_latr(include_derived) if self.is_latr else (),
+            list(self.pc),
+            [op.key for (op, _proc) in self.in_flight.values()],
+            [s if s is None else (s.start, s.end) for s in self.slots],
+        ), 4))
+        return pieces
 
     def _canonical_latr(self, include_derived: bool):
         co = self.coherence
+        sorted_queues = self._latr_queues
+        if sorted_queues is None:
+            # The queue set is fixed at boot; sort it once per executor.
+            sorted_queues = self._latr_queues = [
+                (core_id, co.queues[core_id]) for core_id in sorted(co.queues)
+            ]
         # Normalize the process-global LatrState.seq to per-system posting
         # rank: raw seqs differ between otherwise-identical replays.
         live = [
             s
-            for q in co.queues.values()
+            for _cid, q in sorted_queues
             for s in q._slots
             if s is not None
         ]
+        if (
+            not live
+            and not co._pending_reclaim
+            # A stale non-empty derived cache (the active_cache_stale
+            # mutation) must still reach the slow path so the desync shows
+            # up in the hash.
+            and (not include_derived or not co._active_states_sorted)
+        ):
+            # All slots empty (the common state between munmap bursts): the
+            # per-slot walk collapses to cursors and depths. The encoding
+            # (an int instead of a slot tuple) cannot collide with the
+            # populated form, and both legs share this code.
+            queues = [
+                (core_id, q._cursor, len(q._slots)) for core_id, q in sorted_queues
+            ]
+            out = (tuple(queues), ())
+            if include_derived:
+                out += (
+                    tuple((c, 0) for c, _cur in sorted(co._sweep_cursor.items())),
+                    None if co._active_states_sorted is None else (),
+                )
+            return out
         rank = {s.seq: i for i, s in enumerate(sorted(live, key=lambda s: s.seq))}
+        flag_names = _FLAG_NAMES
         queues = []
-        for core_id in sorted(co.queues):
-            queue = co.queues[core_id]
-            slots = tuple(
-                None
-                if s is None
-                else (
+        for core_id, queue in sorted_queues:
+            rows = []
+            for s in queue._slots:
+                if s is None:
+                    rows.append(None)
+                    continue
+                vrange = s.vrange
+                to_free = s.vrange_to_free
+                flag = s.flag
+                name = flag_names.get(flag)
+                if name is None:
+                    # Enum .name is a slow descriptor; memoize per member.
+                    name = flag_names[flag] = flag.name
+                rows.append((
                     s.slot_idx,
                     rank[s.seq],
-                    s.flag.name,
+                    name,
                     s.active,
                     tuple(sorted(s.cpu_bitmask)),
-                    (s.vrange.start, s.vrange.end),
+                    (vrange.start, vrange.end),
                     tuple(s.pfns),
-                    None
-                    if s.vrange_to_free is None
-                    else (s.vrange_to_free.start, s.vrange_to_free.end),
+                    None if to_free is None else (to_free.start, to_free.end),
                     s.pte_applied,
                     s.reclaimed,
-                )
-                for s in queue._slots
-            )
-            queues.append((core_id, queue._cursor, slots))
+                ))
+            queues.append((core_id, queue._cursor, tuple(rows)))
         pending = tuple(
             (s.queue.core_id if s.queue is not None else -1, s.slot_idx)
             for s in co._pending_reclaim
@@ -501,17 +587,68 @@ class McExecutor:
 
     # ------------------------------------------------------------- snapshots
 
-    def mech_snapshot(self) -> Dict[str, object]:
+    def fork(self):
+        """Capture a restorable snapshot of this executor's whole world
+        (engine + kernel + checker bookkeeping). Only legal with no op in
+        flight: a blocked op is a suspended generator, which cannot be
+        captured (see :mod:`repro.snapshot`)."""
+        if self.in_flight:
+            raise SnapshotError("cannot fork with ops in flight")
+        return (
+            snapshot_kernel(self.kernel),
+            list(self.pc),
+            list(self.slots),
+            list(self.errors),
+        )
+
+    def restore(self, snap) -> None:
+        """Rewind to a :meth:`fork` snapshot, in place (O(state), not
+        O(trace): no replay is involved)."""
+        # Close abandoned in-flight ops *before* rewinding, while the world
+        # they hold locks in is still consistent: their ``finally`` clauses
+        # (cpu-lock / mmap_sem release) must run against the state they
+        # actually mutated, not the restored one. Everything they touch on
+        # the way out is overwritten by the restore below.
+        if self.in_flight:
+            for _op, proc in list(self.in_flight.values()):
+                proc.interrupt()
+            self.in_flight.clear()
+        kernel_snap, pc, slots, errors = snap
+        restore_kernel(self.kernel, kernel_snap)
+        self.pc[:] = pc
+        self.slots[:] = slots
+        self.errors[:] = errors
+
+    def mech_snapshot(self, racy_pages: frozenset = frozenset()) -> Dict[str, object]:
         """Mechanism-comparable end state, normalized further than the
         fuzzer's snapshot: NUMA node and the hint/present distinction are
         dropped, because at small scope both legitimately depend on when a
         deferred hint PTE lands relative to the next touch -- which is the
         schedule freedom under test, not a bug. What must agree: which
         pages are mapped, their content tags, their writability, and the
-        global allocation/lazy accounting."""
+        global allocation/lazy accounting.
+
+        ``racy_pages`` (see :func:`racy_free_pages`) names slots whose end
+        state is legitimately mechanism-dependent: a cross-core touch in a
+        free operation's staleness window lands on the doomed frame under
+        lazy coherence but refaults under an eager one. Those slots' rows
+        are masked and the frames backing them discounted, identically on
+        every leg, so equal states stay equal and only the genuinely racy
+        check is dropped."""
         mm = self.proc.mm
         rows = []
-        for slot in self.slots:
+        discount = 0
+        for page, slot in enumerate(self.slots):
+            if page in racy_pages:
+                rows.append("racy")
+                if slot is not None:
+                    discount += sum(
+                        1
+                        for vpn in slot.vpns()
+                        for pte in [mm.page_table.walk(vpn)]
+                        if pte is not None and pte.present
+                    )
+                continue
             if slot is None:
                 rows.append("unmapped")
                 continue
@@ -529,7 +666,7 @@ class McExecutor:
             rows.append(tuple(pages))
         return {
             "slots": tuple(rows),
-            "frames_allocated": self.kernel.frames.allocated_count(),
+            "frames_allocated": self.kernel.frames.allocated_count() - discount,
             "lazy_frames": len(mm.lazy_frames),
             "lazy_vranges": len(mm.lazy_vranges),
             "vmas": len(mm.vmas),
@@ -543,3 +680,37 @@ def diff_mech_snapshots(base: Dict[str, object], other: Dict[str, object]) -> Li
         for key in base
         if base[key] != other.get(key)
     ]
+
+
+def racy_free_pages(op_keys) -> frozenset:
+    """Page slots whose end state legitimately differs between lazy and
+    synchronous coherence on this op sequence.
+
+    After ``madvise`` returns on the initiating core, every *other* core
+    may still hold a TLB entry for the slot until its next sweep -- the
+    paper's bounded staleness window. A touch from such a core legally
+    lands on the doomed frame: the write is lost at reclamation and the
+    slot ends unmapped. An eager mechanism invalidated remote TLBs inside
+    the madvise, so the identical touch refaults and the slot ends mapped
+    with the written content. Both outcomes are correct; comparing them
+    is the one check the differential oracle must drop (the initiator's
+    own later touches always refault -- its local entry died inside the
+    free op -- so same-core sequences stay fully checked). ``mmap`` ends
+    a slot's window: the fresh range has never been in any TLB.
+    ``munmap`` needs no entry here: it tears the slot down, and later
+    touches skip. The set is a pure function of the program-op projection,
+    so the primary and every replayed mechanism leg mask identically --
+    over-approximating (a sweep may have closed the window before the
+    touch) only drops a comparison, never invents a divergence."""
+    initiator: Dict[int, str] = {}
+    racy = set()
+    for key in op_keys:
+        _op, core, _idx, kind, page = key.split(":")
+        slot = int(page[1:])
+        if kind == "madvise":
+            initiator[slot] = core
+        elif kind == "mmap":
+            initiator.pop(slot, None)
+        elif kind in ("touch_w", "touch_r") and initiator.get(slot, core) != core:
+            racy.add(slot)
+    return frozenset(racy)

@@ -1,9 +1,11 @@
 """Exhaustive small-scope exploration with dynamic partial-order reduction.
 
 The explorer enumerates every schedulable action sequence of a
-:class:`~repro.verify.mc.executor.McExecutor` scope by depth-first search
-with replay (the simulator cannot be snapshotted -- generators are live),
-pruned two ways:
+:class:`~repro.verify.mc.executor.McExecutor` scope by depth-first search,
+backtracking between siblings via in-place world snapshots
+(:meth:`McExecutor.fork` / ``restore`` -- O(state) per sibling instead of
+an O(depth) cold-boot replay; ``McConfig(use_snapshots=False)`` keeps the
+replay path as a bit-identical escape hatch), pruned two ways:
 
 * **Sleep sets** over an independence relation. The relation is
   deliberately conservative -- only pairs proven to commute in *every*
@@ -44,6 +46,7 @@ from .executor import (
     McScope,
     TOGGLE_VARIANTS,
     diff_mech_snapshots,
+    racy_free_pages,
 )
 
 #: Deterministic drain extension bound for truncated (ddmin) traces.
@@ -69,6 +72,12 @@ class McConfig:
     #: reduced and brute-force runs cover the same state set).
     collect_hashes: bool = False
     shrink_budget: int = 60
+    #: Backtrack via in-place world snapshots (O(1) per sibling) instead of
+    #: replaying every prefix from a cold boot (O(depth)). False is the
+    #: bit-identical escape hatch, same pattern as the timer wheel and the
+    #: sweep index; mutated scopes force the replay path because a mutation
+    #: may carry broken state the snapshot layer does not model.
+    use_snapshots: bool = True
 
 
 @dataclass
@@ -90,6 +99,7 @@ class CellResult:
     hash_pruned: int = 0
     sleep_skipped: int = 0
     replays: int = 0
+    restores: int = 0
     max_depth: int = 0
     incomplete: bool = False
     counterexample: Optional[Counterexample] = None
@@ -130,6 +140,8 @@ class McResult:
             f"{sum(c.complete_leaves for c in self.cells)}",
             f"pruned: {self.hash_pruned} by state hash, "
             f"{self.sleep_skipped} by sleep sets (DPOR)",
+            f"backtracking: {sum(c.restores for c in self.cells)} restores, "
+            f"{sum(c.replays for c in self.cells)} replays",
             f"cells: {len(self.cells)} root branches "
             f"({', '.join(c.root_action for c in self.cells)})",
         ]
@@ -184,6 +196,14 @@ class _CellExplorer:
         self.root_action = root_action
         self.root_sleep = tuple(root_sleep)
         self.result = CellResult(cell=cell, root_action=root_action)
+        # Mutations may carry deliberately-broken derived state the snapshot
+        # layer does not model; they keep the proven replay path.
+        self.use_snapshots = config.use_snapshots and config.scope.mutate is None
+        #: DFS-path stack of (trace, world snapshot) for O(1) backtracking.
+        self._snaps: List[Tuple[Tuple[str, ...], object]] = []
+        #: variant -> (executor, boot snapshot): differential replicas are
+        #: booted once per cell and rewound per leaf instead of re-booted.
+        self._replicas: Dict[str, Tuple[McExecutor, object]] = {}
         #: hash -> list of sleep sets it was explored with.
         self.visited: Dict[str, List[frozenset]] = {}
         #: mechanism -> {op projection -> normalized snapshot}
@@ -192,7 +212,11 @@ class _CellExplorer:
     # ------------------------------------------------------------------ run
 
     def run(self) -> CellResult:
-        executor = self._replay(())
+        executor = self._executor = self._replay(())
+        if self.use_snapshots:
+            # Base snapshot of the freshly-booted world: the backtracking
+            # floor when a node itself is unsnapshottable (ops in flight).
+            self._snaps.append(((), executor.fork()))
         root_hash = executor.state_hash()
         sleep = set()
         if not self.config.no_reduction:
@@ -213,6 +237,21 @@ class _CellExplorer:
         for key in trace:
             executor.apply(key, tolerant=False)
         return executor
+
+    def _backtrack(self, trace: Tuple[str, ...]) -> McExecutor:
+        """Rewind the shared executor to the state reached by ``trace``:
+        restore the nearest ancestor snapshot on the DFS path (usually the
+        current node's own -- a pure O(state) restore, no prefix replay)
+        and re-apply the unsnapshottable suffix, if any."""
+        executor = self._executor
+        for snap_trace, snap in reversed(self._snaps):
+            if len(snap_trace) <= len(trace):
+                executor.restore(snap)
+                self.result.restores += 1
+                for key in trace[len(snap_trace):]:
+                    executor.apply(key, tolerant=False)
+                return executor
+        return self._replay(trace)
 
     def _fail(self, trace: Tuple[str, ...], findings: List[str]) -> None:
         if self.result.counterexample is None:
@@ -258,23 +297,37 @@ class _CellExplorer:
             self._leaf(trace, executor)
             return
 
-        live: Optional[McExecutor] = executor
-        cur_sleep = set(sleep)
-        for action in enabled:
-            if action in cur_sleep:
-                res.sleep_skipped += 1
-                continue
-            if live is not None:
-                child, live = live, None
-            else:
-                child = self._replay(trace)
-            child_sleep = set()
-            if not self.config.no_reduction:
-                child_sleep = {z for z in cur_sleep if _independent(z, action, child)}
-            child.execute(action)
-            self._dfs(trace + (action,), child_sleep, child, h)
-            if not self.config.no_reduction:
-                cur_sleep.add(action)
+        # Actions actually expanded: the skip set is the *initial* sleep set
+        # (actions added during the loop are previously-iterated siblings,
+        # which cannot reappear in ``enabled``).
+        expand = [action for action in enabled if action not in sleep]
+        res.sleep_skipped += len(enabled) - len(expand)
+        snap = None
+        if len(expand) > 1 and self.use_snapshots and not executor.in_flight:
+            # Only branching nodes snapshot: a chain node's world is never
+            # backtracked to (its sole child consumes the live executor).
+            snap = executor.fork()
+            self._snaps.append((trace, snap))
+        try:
+            live: Optional[McExecutor] = executor
+            cur_sleep = set(sleep)
+            for action in expand:
+                if live is not None:
+                    child, live = live, None
+                elif self.use_snapshots:
+                    child = self._backtrack(trace)
+                else:
+                    child = self._replay(trace)
+                child_sleep = set()
+                if not self.config.no_reduction:
+                    child_sleep = {z for z in cur_sleep if _independent(z, action, child)}
+                child.execute(action)
+                self._dfs(trace + (action,), child_sleep, child, h)
+                if not self.config.no_reduction:
+                    cur_sleep.add(action)
+        finally:
+            if snap is not None:
+                self._snaps.pop()
 
     # ----------------------------------------------------------------- leaf
 
@@ -303,6 +356,27 @@ class _CellExplorer:
             if findings:
                 self._fail(trace, findings)
 
+    def _variant_replica(self, variant: str, trace: Tuple[str, ...]) -> McExecutor:
+        """A replica executor for ``variant`` advanced through ``trace``:
+        booted once per cell and rewound to its boot snapshot per leaf when
+        snapshots are on, else booted cold every time."""
+        if not self.use_snapshots:
+            replica = McExecutor(self.config.scope, variant=variant)
+            self.result.replays += 1
+        else:
+            pair = self._replicas.get(variant)
+            if pair is None:
+                replica = McExecutor(self.config.scope, variant=variant)
+                self._replicas[variant] = (replica, replica.fork())
+                self.result.replays += 1
+            else:
+                replica, boot_snap = pair
+                replica.restore(boot_snap)
+                self.result.restores += 1
+        for key in trace:
+            replica.apply(key)
+        return replica
+
     def _differential(self, trace: Tuple[str, ...],
                       executor: McExecutor) -> List[str]:
         findings: List[str] = []
@@ -310,10 +384,7 @@ class _CellExplorer:
         base_snap = executor.mech_snapshot()
         # Fast-path escape hatches: end state must be hash-identical.
         for variant in TOGGLE_VARIANTS:
-            replica = McExecutor(self.config.scope, variant=variant)
-            self.result.replays += 1
-            for key in trace:
-                replica.apply(key)
+            replica = self._variant_replica(variant, trace)
             vfind = replica.findings()
             if vfind:
                 findings.append(f"toggle {variant}: findings {vfind}")
@@ -323,20 +394,22 @@ class _CellExplorer:
                 )
         # Reversed same-instant event order through the engine's ready-set
         # hook: semantic end state must match.
-        replica = McExecutor(self.config.scope, variant="revheap")
-        self.result.replays += 1
-        for key in trace:
-            replica.apply(key)
+        replica = self._variant_replica("revheap", trace)
         diffs = diff_mech_snapshots(base_snap, replica.mech_snapshot())
         diffs += [f"revheap findings: {f}" for f in replica.findings()]
         findings.extend(f"revheap: {d}" for d in diffs)
-        # Synchronous mechanisms over the program-op projection.
+        # Synchronous mechanisms over the program-op projection. Slots a
+        # cross-core touch may have hit inside a free operation's staleness
+        # window end differently under lazy vs eager invalidation by design;
+        # both sides mask them identically (see racy_free_pages).
         projection = tuple(k for k in trace if k.startswith("op:"))
+        racy = racy_free_pages(projection)
+        mech_base = executor.mech_snapshot(racy) if racy else base_snap
         for mech in self.config.scope.check_mechanisms:
             snap = self._mech_end_state(mech, projection, findings)
             if snap is None:
                 continue
-            for d in diff_mech_snapshots(base_snap, snap):
+            for d in diff_mech_snapshots(mech_base, snap):
                 findings.append(f"mechanism {mech}: {d}")
         return findings
 
@@ -345,10 +418,7 @@ class _CellExplorer:
         cache = self._mech_cache.setdefault(mech, {})
         if projection in cache:
             return cache[projection]
-        replica = McExecutor(self.config.scope, variant=f"mech:{mech}")
-        self.result.replays += 1
-        for key in projection:
-            replica.apply(key)
+        replica = self._variant_replica(f"mech:{mech}", projection)
         if replica.in_flight or replica.findings():
             findings.append(
                 f"mechanism {mech}: replay unhealthy "
@@ -357,7 +427,7 @@ class _CellExplorer:
             )
             cache[projection] = None
             return None
-        snap = replica.mech_snapshot()
+        snap = replica.mech_snapshot(racy_free_pages(projection))
         cache[projection] = snap
         return snap
 
@@ -405,12 +475,14 @@ def check_trace(config: McConfig, trace: Sequence[str]) -> List[str]:
             findings.append(f"stutter: enabled action {key!r} changed nothing")
             return findings
         prev = cur
+    extension: List[str] = []
     for _ in range(EXTEND_CAP):
         daemon = [a for a in executor.enabled_actions() if not a.startswith("op:")]
         if not daemon:
             break
         before = executor.state_hash()
         executor.execute(daemon[0])
+        extension.append(daemon[0])
         if executor.findings():
             return executor.findings()
         if executor.state_hash() == before:
@@ -424,7 +496,11 @@ def check_trace(config: McConfig, trace: Sequence[str]) -> List[str]:
         return findings
     if config.differential and executor.program_complete():
         cell = _CellExplorer(config, 0, "", ())
-        return cell._differential(tuple(trace), executor)
+        # The replicas must replay the drain extension too: the primary
+        # executor above was drained to a maximal schedule, and comparing
+        # it against an undrained replay would report pending lazy work as
+        # a divergence.
+        return cell._differential(tuple(trace) + tuple(extension), executor)
     return []
 
 

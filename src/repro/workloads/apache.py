@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from .. import build_system
+from .. import warm_build_system
 from ..hw.cache import CacheProfile
 from ..mm.addr import PAGE_SIZE
 from ..mm.vma import VmaKind
@@ -76,7 +76,7 @@ class ApacheWorkload:
 
     def run(self, mechanism: str, **mechanism_kwargs) -> WorkloadResult:
         cfg = self.config
-        system = build_system(
+        system = warm_build_system(
             mechanism,
             machine=cfg.machine,
             cores=cfg.cores,

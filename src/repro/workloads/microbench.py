@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from .. import build_system
+from .. import warm_build_system
 from ..mm.addr import PAGE_SIZE
 from ..sim.engine import MSEC, AllOf
 from .base import WorkloadResult
@@ -54,7 +54,7 @@ class MunmapMicrobench:
 
     def run(self, mechanism: str, **mechanism_kwargs) -> WorkloadResult:
         cfg = self.config
-        system = build_system(
+        system = warm_build_system(
             mechanism,
             machine=cfg.machine,
             cores=cfg.cores,
@@ -121,7 +121,7 @@ class MunmapMicrobench:
         """Section 6.4's memory-utilization bound: peak bytes parked on
         lazy lists during the run."""
         cfg = self.config
-        system = build_system(
+        system = warm_build_system(
             mechanism, machine=cfg.machine, cores=cfg.cores, seed=cfg.seed, **mechanism_kwargs
         )
         kernel = system.kernel

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from .. import build_system
+from .. import warm_build_system
 from ..kernel.autonuma import AutoNuma
 from ..mm.addr import PAGE_SIZE
 from ..sim.engine import MSEC, SEC, Timeout
@@ -74,7 +74,7 @@ class NumaWorkload:
     def run(self, mechanism: str, **mechanism_kwargs) -> WorkloadResult:
         cfg = self.config
         prof = self.profile
-        system = build_system(
+        system = warm_build_system(
             mechanism, machine=cfg.machine, cores=cfg.cores, seed=cfg.seed, **mechanism_kwargs
         )
         kernel = system.kernel

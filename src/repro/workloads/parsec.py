@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from .. import build_system
+from .. import warm_build_system
 from ..coherence.latr import LatrCoherence
 from ..hw.cache import CacheProfile
 from ..mm.addr import PAGE_SIZE
@@ -97,7 +97,7 @@ class ParsecWorkload:
     def run(self, mechanism: str, **mechanism_kwargs) -> WorkloadResult:
         cfg = self.config
         prof = self.profile
-        system = build_system(
+        system = warm_build_system(
             mechanism, machine=cfg.machine, cores=cfg.cores, seed=cfg.seed, **mechanism_kwargs
         )
         kernel = system.kernel

@@ -19,6 +19,7 @@ from repro.verify.mc import (
     generate_program,
     merge_cells,
     per_core_programs,
+    racy_free_pages,
     root_actions,
     run_mc,
 )
@@ -170,3 +171,53 @@ class TestExecutor:
             h = executor.state_hash()
             assert h not in seen
             seen.add(h)
+
+
+class TestRacyFreeNormalization:
+    """Post-free staleness window: after ``madvise`` returns, remote cores
+    may legally write through stale TLB entries onto the doomed frame under
+    lazy coherence (the write is lost at reclaim, the slot ends absent)
+    while synchronous mechanisms refault and end mapped.  The mechanism
+    differential masks exactly those slots; ``racy_free_pages`` is the pure
+    projection-to-slots function both legs apply."""
+
+    def test_cross_core_touch_after_madvise_is_racy(self):
+        keys = ("op:c3:i03:madvise:p0", "op:c0:i04:touch_w:p0")
+        assert racy_free_pages(keys) == frozenset({0})
+
+    def test_same_core_touch_is_not_racy(self):
+        # The initiator's own TLB is invalidated inside the free op, so
+        # its later touches are fully checked.
+        keys = ("op:c1:i01:madvise:p2", "op:c1:i05:touch_r:p2")
+        assert racy_free_pages(keys) == frozenset()
+
+    def test_mmap_closes_the_staleness_window(self):
+        keys = (
+            "op:c0:i00:madvise:p1",
+            "op:c1:i01:mmap:p1",
+            "op:c2:i02:touch_w:p1",
+        )
+        assert racy_free_pages(keys) == frozenset()
+
+    def test_untouched_freed_slot_is_not_racy(self):
+        assert racy_free_pages(("op:c0:i00:madvise:p0",)) == frozenset()
+
+    def test_shrunk_staleness_trace_is_clean(self):
+        # Regression: the ddmin-shrunk 4c/3p/7ops counterexample produced
+        # by the pre-normalization oracle.  c0 and c2 write p0 through
+        # boot-time TLB entries after c3's madvise; the divergence vs the
+        # synchronous mechanisms is legal bounded staleness and must be
+        # masked.  Also exercises check_trace's drain extension: the
+        # replicas must replay the deterministic drain, or the toggle and
+        # revheap legs diverge artificially.
+        config = McConfig(scope=McScope(cores=4, pages=3, ops=7))
+        trace = (
+            "op:c3:i03:madvise:p0",
+            "op:c0:i00:touch_w:p0",
+            "op:c0:i04:migrate:p1",
+            "op:c1:i01:munmap:p1",
+            "op:c1:i05:mmap:p2",
+            "op:c2:i02:touch_r:p2",
+            "op:c2:i06:touch_w:p0",
+        )
+        assert check_trace(config, trace) == []

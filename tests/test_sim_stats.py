@@ -67,6 +67,43 @@ class TestLatencyRecorder:
             rec.record(v)
         assert rec.stdev == pytest.approx(2.138, abs=1e-3)
 
+    def test_percentile_cache_sees_same_length_mutation(self):
+        # Regression: the stale-sorted-cache guard used to compare lengths
+        # only, so an in-place mutation that kept len(samples) constant
+        # served percentiles from the stale sorted copy.
+        rec = LatencyRecorder("lat")
+        for v in (10, 20, 30):
+            rec.record(v)
+        assert rec.percentile(100) == 30  # populate the cache
+        rec.samples[2] = 300
+        assert rec.percentile(100) == 300
+        rec.samples.sort(reverse=True)
+        assert rec.percentile(0) == 10
+        del rec.samples[0]
+        assert rec.percentile(100) == 20
+
+    def test_percentile_cache_sees_reassignment(self):
+        rec = LatencyRecorder("lat")
+        for v in (1, 2, 3):
+            rec.record(v)
+        assert rec.percentile(50) == 2
+        rec.samples = [5, 6, 7]
+        assert rec.percentile(50) == 6
+
+    def test_snapshot_restore_roundtrip_invalidates_cache(self):
+        rec = LatencyRecorder("lat")
+        for v in (10, 20, 30):
+            rec.record(v)
+        snap = rec.snapshot()
+        assert rec.percentile(100) == 30
+        rec.record(999)
+        assert rec.percentile(100) == 999
+        rec.restore(snap)
+        assert rec.count == 3
+        assert rec.percentile(100) == 30
+        rec.samples[0] = 70  # version tracking still live after restore
+        assert rec.percentile(100) == 70
+
 
 class TestRateWindow:
     def test_rate_over_window(self):

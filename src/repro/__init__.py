@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from .coherence import MECHANISMS, LatrCoherence, LinuxShootdown, make_mechanism
-from .hw import COMMODITY_2S16C, LARGE_NUMA_8S120C, Machine, MachineSpec, preset
+from .hw import COMMODITY_2S16C, FLEET_16S960C, LARGE_NUMA_8S120C, Machine, MachineSpec, preset
 from .kernel import Kernel
 from .sim import Simulator
 
@@ -72,6 +72,8 @@ def build_system(
     frames_per_node: Optional[int] = None,
     use_timer_wheel: Optional[bool] = None,
     use_tlb_index: Optional[bool] = None,
+    gate_latencies: Optional[bool] = None,
+    use_batched_faults: Optional[bool] = None,
     **mechanism_kwargs,
 ) -> System:
     """Build and boot a simulated machine running one coherence mechanism.
@@ -87,6 +89,12 @@ def build_system(
             through the plain heap instead of the timer wheel (default on).
         use_tlb_index: TLB escape hatch -- False keeps the linear-scan
             invalidation paths (default on).
+        gate_latencies: stats escape hatch -- False keeps the historical
+            record-from-t=0 latency recorders instead of gating them on
+            the measurement window (default gated).
+        use_batched_faults: syscall escape hatch -- False routes
+            ``touch_pages`` through the per-page generic access path
+            instead of the batched fault handler (default batched).
         mechanism_kwargs: forwarded to the mechanism constructor (e.g.
             ``queue_depth=`` for LATR ablations).
     """
@@ -95,10 +103,18 @@ def build_system(
         spec = spec.with_cores(cores)
     sim = Simulator(use_timer_wheel=use_timer_wheel)
     mech = make_mechanism(mechanism, **mechanism_kwargs)
-    hw = Machine(sim, spec, pcid_enabled=pcid, use_tlb_index=use_tlb_index)
+    hw = Machine(
+        sim,
+        spec,
+        pcid_enabled=pcid,
+        use_tlb_index=use_tlb_index,
+        gate_latencies=gate_latencies,
+    )
     kwargs = {}
     if frames_per_node is not None:
         kwargs["frames_per_node"] = frames_per_node
+    if use_batched_faults is not None:
+        kwargs["use_batched_faults"] = use_batched_faults
     kernel = Kernel(hw, mech, seed=seed, **kwargs)
     kernel.start()
     return System(sim=sim, machine=hw, kernel=kernel)
@@ -130,6 +146,7 @@ def warm_build_system(mechanism: str = "latr", **kwargs) -> System:
 
 __all__ = [
     "COMMODITY_2S16C",
+    "FLEET_16S960C",
     "warm_build_system",
     "Kernel",
     "LARGE_NUMA_8S120C",

@@ -32,6 +32,15 @@ reach the same verdict, node count and canonical state-hash set
 ``MC_SNAPSHOT_MIN_SPEEDUP`` times faster (``speedup_ok``) -- the explorer
 silently falling back to replay fails the bench.
 
+The openloop-stress case runs the open-loop service workload (the ``slo``
+experiment's engine) on the 120-core box twice: with the batched
+``touch_pages`` fault path (the default) and with the per-page generic
+path (``use_batched_faults=False``). The legs' metrics and counters must
+be identical (``tables_match``), and the batched leg must clear an
+absolute simulator-throughput floor, ``OPENLOOP_MIN_EVENTS_PER_SEC``
+(``events_floor_ok``) -- best-of up to ``OPENLOOP_FLOOR_ROUNDS`` timing
+rounds, since absolute rates swing with host phase.
+
 The all-fast-parallel case (full suite only) runs every registered
 experiment in fast mode twice -- serially, then with the run cells sharded
 over one worker process per CPU -- and records the jobs=1 vs jobs=N
@@ -106,6 +115,34 @@ INVALIDATE_STRESS_OPS_QUICK = 1_500
 MC_SNAPSHOT_SCOPE = (4, 3, 5)
 MC_SNAPSHOT_SCOPE_QUICK = (4, 3, 5)
 MC_SNAPSHOT_MIN_SPEEDUP = 5.0
+
+#: Fixed scope of the openloop-stress microbench: the open-loop service
+#: workload on the 120-core box, offered load held below the Linux
+#: capacity knee so the measured window is steady state (no unbounded
+#: backlog distorting later rounds), with long per-request service times
+#: so the arrival path -- dispatch, per-request mmap/touch/munmap, and
+#: execute quanta -- dominates the event mix. Quick and full runs share
+#: the scope so their baselines compare.
+OPENLOOP_STRESS_SCOPE = dict(
+    machine="large-numa-8s120c",
+    mechanism="linux",
+    offered_kreq_s=5.0,
+    request_work_ns=8_000_000,
+    request_pages=1,
+    conn_churn_per_sec=0.0,
+    warmup_ms=5,
+    duration_ms=100,
+)
+
+#: Absolute simulator-throughput floor for the openloop-stress case. The
+#: open-loop hot path's trajectory across baselines is 49.6k -> 170k ->
+#: this stop at >=300k events/s, reached by the batched fault path (flat
+#: per-page loop under one mmap_sem hold, no nested generator frames or
+#: redundant walks). Absolute wall-clock rates swing with host phase, so
+#: the case times up to OPENLOOP_FLOOR_ROUNDS batched rounds and gates on
+#: the best -- a structural slowdown still fails every round.
+OPENLOOP_MIN_EVENTS_PER_SEC = 300_000.0
+OPENLOOP_FLOOR_ROUNDS = 8
 
 
 # ---------------------------------------------------------------------------
@@ -483,6 +520,66 @@ def _mc_snapshot_case(scope: Tuple[int, int, int], pairs: int = 3) -> CaseResult
 
 
 # ---------------------------------------------------------------------------
+# The openloop-stress microbench (batched fault path vs per-page generic)
+# ---------------------------------------------------------------------------
+
+
+def run_openloop_stress(use_batched_faults: bool = True) -> Dict[str, object]:
+    """One open-loop run at the fixed stress scope. Returns the complete
+    observable outcome -- headline metrics plus the raw counter snapshot --
+    which must not depend on ``use_batched_faults``: the batched path is a
+    pure wall-clock optimisation and may never change a modelled result."""
+    from .workloads.openloop import run_openloop
+
+    result = run_openloop(
+        use_batched_faults=use_batched_faults, **OPENLOOP_STRESS_SCOPE
+    )
+    return {"metrics": dict(result.metrics), "counters": dict(result.counters)}
+
+
+def _openloop_stress_case() -> CaseResult:
+    """Time the batched leg until it clears the absolute events/s floor
+    (best-of up to OPENLOOP_FLOOR_ROUNDS -- the host phase swings a leg
+    tens of percent, and the floor is a property of the code, not of one
+    noisy sample), then the per-page generic leg as its recorded baseline.
+    Two hard gates: identical metrics+counters between the legs
+    (``tables_match``) and the batched events/s floor (``events_floor_ok``)."""
+    import gc
+
+    best: Optional[Tuple[float, int, object]] = None
+    rounds = 0
+    for _ in range(OPENLOOP_FLOOR_ROUNDS):
+        gc.collect()
+        run = _timed(lambda: run_openloop_stress(use_batched_faults=True))
+        rounds += 1
+        if best is None or run[0] < best[0]:
+            best = run
+        if best[1] / best[0] >= OPENLOOP_MIN_EVENTS_PER_SEC:
+            break
+    wall_batched, events_batched, outcome_batched = best
+    wall_generic, _events_generic, outcome_generic = _timed(
+        lambda: run_openloop_stress(use_batched_faults=False), rounds=2
+    )
+    events_per_sec = events_batched / wall_batched if wall_batched > 0 else 0.0
+    return CaseResult(
+        name="openloop-stress-120c",
+        wall_s=wall_batched,
+        events=events_batched,
+        extra={
+            "sim_ms": OPENLOOP_STRESS_SCOPE["duration_ms"],
+            "floor_rounds": rounds,
+            "generic_wall_s": round(wall_generic, 4),
+            "speedup_vs_generic": (
+                round(wall_generic / wall_batched, 2) if wall_batched > 0 else 0.0
+            ),
+            "min_events_per_sec": OPENLOOP_MIN_EVENTS_PER_SEC,
+            "events_floor_ok": events_per_sec >= OPENLOOP_MIN_EVENTS_PER_SEC,
+            "tables_match": outcome_batched == outcome_generic,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
 # The suite
 # ---------------------------------------------------------------------------
 
@@ -546,6 +643,7 @@ def bench_suite(quick: bool = False) -> List[Callable[[], CaseResult]]:
             lambda: _invalidate_stress_case(INVALIDATE_STRESS_OPS_QUICK),
             lambda: _mc_snapshot_case(MC_SNAPSHOT_SCOPE_QUICK, pairs=2),
             lambda: _sweep_stress_case(SWEEP_STRESS_MS_QUICK),
+            _openloop_stress_case,
         ]
     return [
         lambda: _experiment_case("fig6"),
@@ -555,6 +653,7 @@ def bench_suite(quick: bool = False) -> List[Callable[[], CaseResult]]:
         lambda: _invalidate_stress_case(INVALIDATE_STRESS_OPS),
         lambda: _mc_snapshot_case(MC_SNAPSHOT_SCOPE),
         lambda: _sweep_stress_case(SWEEP_STRESS_MS),
+        _openloop_stress_case,
         lambda: _all_parallel_case(),
     ]
 
@@ -668,6 +767,11 @@ def run_bench(
                 f"{case.extra['speedup_vs_replay']}x speedup, "
                 f"{case.extra['states_per_sec']} states/s)"
             )
+        if "speedup_vs_generic" in case.extra:
+            line += (
+                f"  (generic {case.extra['generic_wall_s']}s, "
+                f"{case.extra['speedup_vs_generic']}x speedup)"
+            )
         if "speedup_vs_serial" in case.extra:
             line += (
                 f"  (serial {case.extra['serial_wall_s']}s, "
@@ -691,6 +795,13 @@ def run_bench(
             echo(
                 f"  {case.name}: FAIL -- snapshot and replay exploration "
                 f"diverge (verdict/nodes/state set)"
+            )
+            failed = True
+        if case.extra.get("events_floor_ok") is False:
+            echo(
+                f"  {case.name}: FAIL -- {case.events_per_sec:,.0f} events/s "
+                f"below the {case.extra.get('min_events_per_sec'):,.0f} floor "
+                f"after {case.extra.get('floor_rounds')} round(s)"
             )
             failed = True
         if case.extra.get("speedup_ok") is False:

@@ -37,7 +37,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (e.g. fig6, tab5), 'all', 'list', 'fuzz', 'mc', "
-        "'bench', or 'ci'",
+        "'bench', or 'ci'; 'run <id>' is accepted as an alias for '<id>'",
+    )
+    parser.add_argument(
+        "run_target",
+        nargs="?",
+        default=None,
+        help=argparse.SUPPRESS,
     )
     parser.add_argument(
         "--fast",
@@ -96,6 +102,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="mc: skip the differential oracle at complete traces",
     )
     parser.add_argument(
+        "--legacy-latency-stats",
+        action="store_true",
+        help="record latency samples from t=0 instead of gating them on "
+        "the measurement window (reproduces the old warmup-polluted "
+        "percentiles, for A/B comparison)",
+    )
+    parser.add_argument(
         "--no-snapshots",
         action="store_true",
         help="disable all snapshot/fork machinery: warm-boot pools boot "
@@ -137,10 +150,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.experiment == "run":
+        if args.run_target is None:
+            parser.error("'run' needs an experiment id (e.g. 'run slo')")
+        args.experiment = args.run_target
+    elif args.run_target is not None:
+        parser.error(f"unexpected extra argument {args.run_target!r}")
+
     if args.no_snapshots:
         from .snapshot import set_snapshots_enabled
 
         set_snapshots_enabled(False)
+
+    if args.legacy_latency_stats:
+        from .sim.stats import set_latency_gating
+
+        set_latency_gating(False)
 
     if args.experiment == "list":
         for exp_id in available_experiments():

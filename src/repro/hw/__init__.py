@@ -5,13 +5,14 @@ from .core import Core
 from .interconnect import Interconnect
 from .latency import DEFAULT_LATENCY, LatencyModel
 from .machine import Machine
-from .spec import COMMODITY_2S16C, LARGE_NUMA_8S120C, PRESETS, MachineSpec, preset
+from .spec import COMMODITY_2S16C, FLEET_16S960C, LARGE_NUMA_8S120C, PRESETS, MachineSpec, preset
 from .tlb import NO_PCID, Tlb, TlbEntry
 from .topology import Topology
 
 __all__ = [
     "CacheProfile",
     "COMMODITY_2S16C",
+    "FLEET_16S960C",
     "Core",
     "DEFAULT_LATENCY",
     "Interconnect",

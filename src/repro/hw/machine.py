@@ -26,11 +26,12 @@ class Machine:
         stats: Optional[StatsRegistry] = None,
         pcid_enabled: bool = False,
         use_tlb_index: Optional[bool] = None,
+        gate_latencies: Optional[bool] = None,
     ):
         self.sim = sim
         self.spec = spec
         self.latency = latency or DEFAULT_LATENCY
-        self.stats = stats or StatsRegistry(sim)
+        self.stats = stats or StatsRegistry(sim, gate_latencies=gate_latencies)
         self.pcid_enabled = pcid_enabled
         self.topology = Topology(spec)
         self.cores: List[Core] = [

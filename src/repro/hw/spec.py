@@ -104,9 +104,25 @@ LARGE_NUMA_8S120C = MachineSpec(
     l2_tlb_entries=512,
 )
 
+#: Beyond Table 3: a fleet-scale rack unit for the open-loop SLO scenario
+#: (ROADMAP item 3 asks for 500-1000 simulated cores). Loosely modeled on a
+#: 16-socket high-core-count box; nothing in the paper constrains it, so the
+#: TLB geometry matches the large NUMA machine.
+FLEET_16S960C = MachineSpec(
+    name="fleet-16s960c",
+    sockets=16,
+    cores_per_socket=60,
+    freq_ghz=2.60,
+    ram_gb=8192,
+    llc_mb_per_socket=48,
+    l1_dtlb_entries=64,
+    l2_tlb_entries=512,
+)
+
 PRESETS: Dict[str, MachineSpec] = {
     COMMODITY_2S16C.name: COMMODITY_2S16C,
     LARGE_NUMA_8S120C.name: LARGE_NUMA_8S120C,
+    FLEET_16S960C.name: FLEET_16S960C,
 }
 
 

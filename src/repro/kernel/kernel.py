@@ -34,11 +34,15 @@ class Kernel:
         coherence: TLBCoherence,
         frames_per_node: int = DEFAULT_FRAMES_PER_NODE,
         seed: int = 1,
+        use_batched_faults: Optional[bool] = None,
     ):
         self.machine = machine
         self.sim: Simulator = machine.sim
         self.stats = machine.stats
         self.coherence = coherence
+        #: Escape hatch for the flat touch_pages fault path (default on);
+        #: False routes every touch through the generic per-page handler.
+        self.use_batched_faults = True if use_batched_faults is None else use_batched_faults
         self.frames = FrameAllocator(machine.spec.sockets, frames_per_node)
         self.page_cache = PageCache(self.frames)
         self.scheduler = Scheduler(self)

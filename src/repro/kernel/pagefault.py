@@ -64,33 +64,48 @@ class PageFaultHandler:
         if not sem_held:
             yield mm.mmap_sem.acquire()
         try:
-            vma = mm.vmas.find(vaddr)
-            if vma is None or (write and not (vma.prot & Prot.WRITE)):
-                stats.counter("faults.segfault").add()
-                return FaultResult(FaultKind.SEGFAULT, vpn)
-
-            pte = mm.page_table.walk(vpn)
-            if pte is None:
-                result = yield from self._demand_fault(task, core, vma, vpn, write)
-            elif pte.swapped:
-                result = yield from self._swap_in(task, core, vpn, pte)
-            elif pte.numa_hint:
-                result = yield from self._numa_hint_fault(task, core, vpn, pte)
-            elif pte.cow and write:
-                result = yield from self._cow_break(task, core, vpn, pte)
-            elif pte.present:
-                stats.counter("faults.spurious").add()
-                result = FaultResult(FaultKind.SPURIOUS, vpn, pfn=pte.pfn)
-            else:
-                stats.counter("faults.segfault").add()
-                return FaultResult(FaultKind.SEGFAULT, vpn)
+            result = yield from self.resolve_locked(task, core, vaddr, write)
         finally:
             if not sem_held:
                 mm.mmap_sem.release()
 
-        if not result.fatal and result.pfn is not None:
+        if result.kind is FaultKind.SEGFAULT:
+            return result
+        if result.pfn is not None:
             yield from self._install_translation(task, core, vpn, result.pfn, write)
         stats.counter(f"faults.{result.kind.value}").add()
+        return result
+
+    def resolve_locked(self, task, core, vaddr: int, write: bool) -> Generator:
+        """The under-``mmap_sem`` half of :meth:`handle`: find the VMA and
+        dispatch to the right fault flavour. Exposed so the batched
+        ``touch_pages`` path can delegate pages that turn out not to be
+        plain anonymous demand faults without re-charging the fault entry
+        cost (the caller owns ``mmap_sem``, the entry accounting, the TLB
+        install, and the per-kind counter)."""
+        mm = task.mm
+        vpn = vpn_of(vaddr)
+        stats = self.kernel.stats
+        vma = mm.vmas.find(vaddr)
+        if vma is None or (write and not (vma.prot & Prot.WRITE)):
+            stats.counter("faults.segfault").add()
+            return FaultResult(FaultKind.SEGFAULT, vpn)
+
+        pte = mm.page_table.walk(vpn)
+        if pte is None:
+            result = yield from self._demand_fault(task, core, vma, vpn, write)
+        elif pte.swapped:
+            result = yield from self._swap_in(task, core, vpn, pte)
+        elif pte.numa_hint:
+            result = yield from self._numa_hint_fault(task, core, vpn, pte)
+        elif pte.cow and write:
+            result = yield from self._cow_break(task, core, vpn, pte)
+        elif pte.present:
+            stats.counter("faults.spurious").add()
+            result = FaultResult(FaultKind.SPURIOUS, vpn, pfn=pte.pfn)
+        else:
+            stats.counter("faults.segfault").add()
+            result = FaultResult(FaultKind.SEGFAULT, vpn)
         return result
 
     # ---- fault flavours ----------------------------------------------------------

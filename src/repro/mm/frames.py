@@ -11,8 +11,9 @@ through a recycled frame.
 from __future__ import annotations
 
 from collections import deque
+from heapq import merge as _heap_merge
 from itertools import count
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 
 class FrameAllocatorError(RuntimeError):
@@ -46,18 +47,26 @@ class _FreeList:
     ``deque(range(base, base + n))`` it replaces -- popleft drains the fresh
     range in ascending order first, appends queue behind it -- without
     materializing half a million integers per node at boot.
+
+    ``remove_run`` (huge-page allocation) can cut a hole in the middle of
+    the watermark; the ascending remainders beyond the primary ``[lo, hi)``
+    live as extra lazy segments in ``_extra``, drained in order after the
+    primary before the tail -- never materialized.
     """
 
-    __slots__ = ("_lo", "_hi", "_tail")
+    __slots__ = ("_lo", "_hi", "_extra", "_tail")
 
     def __init__(self, pfns=(), fresh: Optional[range] = None):
         self._tail: Deque[int] = deque(pfns)
+        self._extra: Deque[Tuple[int, int]] = deque()
         if fresh is not None:
             self._lo, self._hi = fresh.start, fresh.stop
         else:
             self._lo = self._hi = 0
 
     def popleft(self) -> int:
+        if self._lo >= self._hi and self._extra:
+            self._lo, self._hi = self._extra.popleft()
         if self._lo < self._hi:
             pfn = self._lo
             self._lo += 1
@@ -68,11 +77,65 @@ class _FreeList:
         self._tail.append(pfn)
 
     def __len__(self) -> int:
-        return (self._hi - self._lo) + len(self._tail)
+        return (
+            (self._hi - self._lo)
+            + sum(hi - lo for lo, hi in self._extra)
+            + len(self._tail)
+        )
 
     def __iter__(self):
         yield from range(self._lo, self._hi)
+        for lo, hi in self._extra:
+            yield from range(lo, hi)
         yield from self._tail
+
+    def covers_fresh(self, pfn: int) -> bool:
+        """O(segments) membership probe of the lazy ranges only."""
+        if self._lo <= pfn < self._hi:
+            return True
+        return any(lo <= pfn < hi for lo, hi in self._extra)
+
+    def remove_run(self, base: int, end: int) -> None:
+        """Drop every free PFN in ``[base, end)``, keeping laziness.
+
+        Watermark segments are cut arithmetically (a middle cut splits one
+        segment into two lazy remainders); only tail members inside the run
+        cost a rebuild, and only when at least one is actually present.
+        The logical drain order -- ascending fresh first, then recycled
+        tail -- is exactly what filtering the eager list preserved.
+        """
+        segments = []
+        for lo, hi in [(self._lo, self._hi)] + list(self._extra):
+            cut_lo, cut_hi = max(lo, base), min(hi, end)
+            if cut_lo >= cut_hi:  # no overlap
+                if lo < hi:
+                    segments.append((lo, hi))
+                continue
+            if lo < cut_lo:
+                segments.append((lo, cut_lo))
+            if cut_hi < hi:
+                segments.append((cut_hi, hi))
+        if segments:
+            self._lo, self._hi = segments[0]
+            self._extra = deque(segments[1:])
+        else:
+            self._lo = self._hi = 0
+            self._extra = deque()
+        if any(base <= p < end for p in self._tail):
+            self._tail = deque(p for p in self._tail if not base <= p < end)
+
+    # ---- snapshot plumbing (see repro.snapshot / verify.mc.executor) ----------
+
+    def state(self) -> Tuple:
+        """Exact state without materializing the lazy segments."""
+        return (self._lo, self._hi, tuple(self._extra), tuple(self._tail))
+
+    def set_state(self, state: Tuple) -> None:
+        lo, hi, extra, tail = state
+        self._lo = lo
+        self._hi = hi
+        self._extra = deque(extra)
+        self._tail = deque(tail)
 
 
 #: Process-global version numbers for allocator change tracking; values
@@ -151,22 +214,33 @@ class FrameAllocator:
             raise ValueError("count must be positive")
         if not 0 <= node < self.nodes:
             raise ValueError(f"bad node {node}")
-        free = sorted(self._free[node])
-        free_set = set(free)
+        queue = self._free[node]
+        # The fresh watermark segments are probed arithmetically; only the
+        # (short, recycled-frames-only) tail needs a membership set. The
+        # eager ``sorted(...)``/``set(...)`` this replaces materialized the
+        # whole lazy range -- defeating O(1) construction on big nodes.
+        tail_set = set(queue._tail)
         base_lo = node * self.frames_per_node
-        candidates = (
-            range(base_lo, base_lo + self.frames_per_node, count)
-            if aligned
-            else free
-        )
+        if aligned:
+            candidates = range(base_lo, base_lo + self.frames_per_node, count)
+        else:
+            # Any free PFN can start an unaligned run; scan them in the
+            # same ascending order the eager sorted list produced, without
+            # building it (lazy merge of the segments and sorted tail).
+            candidates = _heap_merge(
+                range(queue._lo, queue._hi),
+                *(range(lo, hi) for lo, hi in queue._extra),
+                sorted(tail_set),
+            )
         for base in candidates:
-            if all(base + i in free_set for i in range(count)):
+            if all(
+                queue.covers_fresh(base + i) or base + i in tail_set
+                for i in range(count)
+            ):
                 for i in range(count):
                     pfn = base + i
                     self._refcount[pfn] = 1
-                self._free[node] = type(self._free[node])(
-                    p for p in self._free[node] if not base <= p < base + count
-                )
+                queue.remove_run(base, base + count)
                 self.total_allocs += count
                 return base
         raise FrameAllocatorError(
@@ -175,10 +249,14 @@ class FrameAllocator:
 
     def contiguous_run_available(self, count: int, node: int = 0) -> bool:
         """Whether an aligned run of ``count`` free frames exists on node."""
-        free_set = set(self._free[node])
+        queue = self._free[node]
+        tail_set = set(queue._tail)
         base_lo = node * self.frames_per_node
         return any(
-            all(base + i in free_set for i in range(count))
+            all(
+                queue.covers_fresh(base + i) or base + i in tail_set
+                for i in range(count)
+            )
             for base in range(base_lo, base_lo + self.frames_per_node, count)
         )
 

@@ -1,0 +1,164 @@
+"""Arrival processes for open-loop workloads.
+
+A closed-loop workload (Apache under wrk) issues the next request only
+after the previous one completes, so the server can never be *behind* --
+queueing delay is bounded by the connection count and the tail stays
+tame even at saturation.  The data-center regime the paper's section 1
+motivates is the opposite: requests arrive on their own clock
+(open loop), and once offered load crosses capacity the backlog -- and
+with it the p99/p999 -- grows without bound.  These generators supply
+that clock.
+
+Both processes draw from a caller-provided ``random.Random`` (one of
+``kernel.rng``'s named streams), so runs are deterministic per seed and
+adding a new consumer never perturbs the draws other consumers see.
+
+* :class:`PoissonArrivals` -- memoryless arrivals at a fixed rate:
+  exponential gaps, the M/G/k baseline.
+* :class:`MarkovModulatedArrivals` -- a two-state Markov-modulated
+  Poisson process (MMPP): the rate switches between a base state and a
+  burst state, with exponentially distributed dwell times in each.
+  Bursty traffic is what actually drives tails in fleet traces; a
+  Poisson stream at the same mean rate understates the p999.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .engine import MSEC, SEC
+
+
+class ArrivalProcess:
+    """Interface: a deterministic stream of inter-arrival gaps (ns)."""
+
+    def next_gap_ns(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def gaps(self, n: int):
+        """Draw ``n`` gaps at once (dispatchers batch their RNG work)."""
+        next_gap = self.next_gap_ns
+        return [next_gap() for _ in range(n)]
+
+    @property
+    def mean_rate_per_sec(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential inter-arrival gaps at ``rate_per_sec``."""
+
+    def __init__(self, rng: random.Random, rate_per_sec: float):
+        if rate_per_sec <= 0:
+            raise ValueError(f"arrival rate must be positive: {rate_per_sec}")
+        self._rng = rng
+        self.rate_per_sec = float(rate_per_sec)
+        self._mean_gap_ns = SEC / self.rate_per_sec
+
+    def next_gap_ns(self) -> int:
+        # expovariate(1) * mean keeps the draw count independent of the
+        # rate, so sweeping offered load replays the same uniforms.
+        return int(self._rng.expovariate(1.0) * self._mean_gap_ns)
+
+    @property
+    def mean_rate_per_sec(self) -> float:
+        return self.rate_per_sec
+
+
+class MarkovModulatedArrivals(ArrivalProcess):
+    """Two-state MMPP: Poisson at ``base_rate`` or ``base_rate * burst_factor``.
+
+    State dwell times are exponential with the given means.  The process
+    tracks how much simulated time its emitted gaps have consumed and
+    switches state when the current dwell budget is exhausted; a gap that
+    straddles the switch is re-scaled for the portion drawn in each state,
+    which keeps the modulation exact in distribution without the caller
+    ever seeing the state machine.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        base_rate_per_sec: float,
+        burst_factor: float = 4.0,
+        base_dwell_ms: float = 8.0,
+        burst_dwell_ms: float = 2.0,
+    ):
+        if base_rate_per_sec <= 0:
+            raise ValueError(f"arrival rate must be positive: {base_rate_per_sec}")
+        if burst_factor < 1.0:
+            raise ValueError(f"burst_factor must be >= 1: {burst_factor}")
+        if base_dwell_ms <= 0 or burst_dwell_ms <= 0:
+            raise ValueError("dwell times must be positive")
+        self._rng = rng
+        self.base_rate_per_sec = float(base_rate_per_sec)
+        self.burst_factor = float(burst_factor)
+        self._dwell_ns = (base_dwell_ms * MSEC, burst_dwell_ms * MSEC)
+        #: 0 = base state, 1 = burst state.
+        self._state = 0
+        self._dwell_left_ns = rng.expovariate(1.0) * self._dwell_ns[0]
+
+    def _state_rate(self) -> float:
+        if self._state:
+            return self.base_rate_per_sec * self.burst_factor
+        return self.base_rate_per_sec
+
+    def next_gap_ns(self) -> int:
+        gap = 0.0
+        # Unit-exponential "work" left for this arrival; each state burns
+        # it at its own rate (this is the standard MMPP thinning).
+        work = self._rng.expovariate(1.0)
+        while True:
+            mean_gap_ns = SEC / self._state_rate()
+            needed_ns = work * mean_gap_ns
+            if needed_ns <= self._dwell_left_ns:
+                self._dwell_left_ns -= needed_ns
+                gap += needed_ns
+                return int(gap)
+            # Dwell expires first: consume it, switch state, keep the
+            # residual exponential work (memorylessness makes this exact).
+            gap += self._dwell_left_ns
+            work -= self._dwell_left_ns / mean_gap_ns
+            self._state ^= 1
+            self._dwell_left_ns = (
+                self._rng.expovariate(1.0) * self._dwell_ns[self._state]
+            )
+
+    @property
+    def mean_rate_per_sec(self) -> float:
+        """Long-run average rate (dwell-weighted across the two states)."""
+        base_dwell, burst_dwell = self._dwell_ns
+        total = base_dwell + burst_dwell
+        return self.base_rate_per_sec * (
+            base_dwell / total + self.burst_factor * burst_dwell / total
+        )
+
+
+def make_arrivals(
+    kind: str,
+    rng: random.Random,
+    rate_per_sec: float,
+    burst_factor: float = 4.0,
+    base_dwell_ms: float = 8.0,
+    burst_dwell_ms: float = 2.0,
+) -> ArrivalProcess:
+    """Factory keyed by workload-config strings ("poisson" / "bursty").
+
+    For ``bursty`` the requested ``rate_per_sec`` is the *long-run mean*
+    offered load -- the base rate is solved so the dwell-weighted average
+    lands on it, which keeps Poisson and bursty rows of an offered-load
+    sweep directly comparable.
+    """
+    if kind == "poisson":
+        return PoissonArrivals(rng, rate_per_sec)
+    if kind == "bursty":
+        total = base_dwell_ms + burst_dwell_ms
+        mean_factor = (base_dwell_ms + burst_factor * burst_dwell_ms) / total
+        return MarkovModulatedArrivals(
+            rng,
+            rate_per_sec / mean_factor,
+            burst_factor=burst_factor,
+            base_dwell_ms=base_dwell_ms,
+            burst_dwell_ms=burst_dwell_ms,
+        )
+    raise ValueError(f"unknown arrival process {kind!r}; have poisson, bursty")

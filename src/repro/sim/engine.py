@@ -94,7 +94,12 @@ class EventHandle:
             self._sim._note_cancelled(self)
 
     def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Tuple-free (time, seq) comparison: this runs on every heap
+        # sift in the event loop, and the two tuple allocations dominate
+        # the comparison itself.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"

@@ -13,13 +13,35 @@ from typing import Dict, List, Optional, Tuple
 
 from .engine import SEC, Simulator
 
-#: Never-reused version mint shared by every LatencyRecorder: a version
-#: number is issued for exactly one sample-list content, and a restore only
-#: rewinds the version together with installing exactly that content, so
-#: equal versions imply identical samples (the same contract as
-#: ``repro.hw.tlb._VERSIONS``). This is what lets ``restore`` skip
-#: untouched recorders on the model checker's backtracking hot path.
+#: Never-reused version mint shared by every LatencyRecorder and
+#: QuantileRecorder: a version number is issued for exactly one recorder
+#: state, and a restore only rewinds the version together with installing
+#: exactly that state, so equal versions imply identical state (the same
+#: contract as ``repro.hw.tlb._VERSIONS``). This is what lets ``restore``
+#: skip untouched recorders on the model checker's backtracking hot path.
 _VERSIONS = count(1)
+
+#: Recorder window states. A gated recorder accepts samples while FREE
+#: (no measurement window yet -- workloads that never open one keep the
+#: old record-everything behaviour) and while OPEN; opening the window
+#: discards warmup samples, closing it drops everything after.
+_WIN_FREE, _WIN_OPEN, _WIN_CLOSED = 0, 1, 2
+
+#: Process-wide default for whether registries gate latency/quantile
+#: recorders on the measurement window. ``--legacy-latency-stats`` flips
+#: this off so old (warmup-polluted) tables can be reproduced for A/B.
+_GATE_LATENCIES_DEFAULT = True
+
+
+def set_latency_gating(enabled: bool) -> None:
+    """Escape hatch: registries built after this call gate (or don't gate)
+    latency recorders on the measurement window."""
+    global _GATE_LATENCIES_DEFAULT
+    _GATE_LATENCIES_DEFAULT = bool(enabled)
+
+
+def latency_gating_enabled() -> bool:
+    return _GATE_LATENCIES_DEFAULT
 
 
 class Counter:
@@ -109,14 +131,38 @@ class _SampleList(list):
 
 
 class LatencyRecorder:
-    """Collects latency samples (ns) and reports summary statistics."""
+    """Collects latency samples (ns) and reports summary statistics.
 
-    def __init__(self, name: str):
+    When ``gated`` (the registry decides at creation time), the recorder
+    participates in the measurement window that ``RateWindow`` already
+    honours: ``start_window`` discards warmup samples, ``stop_window``
+    drops everything recorded after.  Ungated recorders ignore both calls
+    and keep the historical record-everything behaviour.
+    """
+
+    def __init__(self, name: str, gated: bool = False):
         self.name = name
+        self.gated = gated
+        self._window_state = _WIN_FREE
         self._version = next(_VERSIONS)
         self._samples: _SampleList = _SampleList(self)
         self._sorted: Optional[List[int]] = None
         self._sorted_version = -1
+
+    def start_window(self) -> None:
+        """Begin the measurement window: forget warmup samples."""
+        if not self.gated:
+            return
+        self._window_state = _WIN_OPEN
+        # clear() bumps the version, covering the state change too.
+        self._samples.clear()
+
+    def stop_window(self) -> None:
+        """Close the window: subsequent samples are dropped."""
+        if not self.gated:
+            return
+        self._window_state = _WIN_CLOSED
+        self._version = next(_VERSIONS)
 
     @property
     def samples(self) -> List[int]:
@@ -131,6 +177,8 @@ class LatencyRecorder:
     def record(self, latency_ns: int) -> None:
         if latency_ns < 0:
             raise ValueError(f"negative latency sample on {self.name!r}: {latency_ns}")
+        if self._window_state == _WIN_CLOSED:
+            return
         self._samples.append(latency_ns)
 
     @property
@@ -186,21 +234,190 @@ class LatencyRecorder:
 
     # ---- snapshot/restore -----------------------------------------------------
 
-    def snapshot(self) -> Tuple[Tuple[int, ...], int]:
-        return (tuple(self._samples), self._version)
+    def snapshot(self) -> Tuple[Tuple[int, ...], int, int]:
+        return (tuple(self._samples), self._version, self._window_state)
 
-    def restore(self, snap: Tuple[Tuple[int, ...], int]) -> None:
-        samples, version = snap
+    def restore(self, snap: Tuple[Tuple[int, ...], int, int]) -> None:
+        samples, version, window_state = snap
         if self._version == version:
             # Versions are never reused (module-level mint), so an equal
-            # version means the samples are already exactly the snapshot's.
+            # version means the recorder state is already exactly the
+            # snapshot's (every state transition mints a fresh version).
             return
         self._samples = _SampleList(self, samples)
         self._version = version
+        self._window_state = window_state
         # Invalidate the sorted cache: it may be keyed on a version from a
         # divergent history.
         self._sorted = None
         self._sorted_version = -1
+
+
+class QuantileRecorder:
+    """Bounded streaming quantile estimator over non-negative integers (ns).
+
+    ``LatencyRecorder`` keeps every sample, which is fine for thousands of
+    requests but not for open-loop runs that record millions.  This
+    recorder keeps a fixed log-spaced histogram instead (HdrHistogram-style
+    indexing): values below ``2**SUB_BITS`` get exact unit bins, larger
+    values share ``2**SUB_BITS`` linear sub-buckets per power of two, so
+    any reported percentile is within a relative half-bin error of
+    ``2**-(SUB_BITS + 1)`` (~1.6% at the default 5 sub-bucket bits) while
+    memory stays O(log(max) * 2**SUB_BITS) regardless of sample count.
+
+    Window gating and the snapshot/restore version-mint contract match
+    :class:`LatencyRecorder` exactly.
+    """
+
+    #: log2 of the number of linear sub-buckets per power of two.
+    SUB_BITS = 5
+
+    __slots__ = (
+        "name",
+        "gated",
+        "_window_state",
+        "_version",
+        "_bins",
+        "_count",
+        "_total",
+        "_min",
+        "_max",
+    )
+
+    def __init__(self, name: str, gated: bool = False):
+        self.name = name
+        self.gated = gated
+        self._window_state = _WIN_FREE
+        self._version = next(_VERSIONS)
+        self._reset()
+
+    def _reset(self) -> None:
+        self._bins: Dict[int, int] = {}
+        self._count = 0
+        self._total = 0
+        self._min: Optional[int] = None
+        self._max: Optional[int] = None
+
+    # ---- windowing ------------------------------------------------------------
+
+    def start_window(self) -> None:
+        if not self.gated:
+            return
+        self._window_state = _WIN_OPEN
+        self._reset()
+        self._version = next(_VERSIONS)
+
+    def stop_window(self) -> None:
+        if not self.gated:
+            return
+        self._window_state = _WIN_CLOSED
+        self._version = next(_VERSIONS)
+
+    # ---- recording ------------------------------------------------------------
+
+    @staticmethod
+    def _bin_index(value: int) -> int:
+        """Histogram bin for ``value``; monotonic in ``value``."""
+        sub_bits = QuantileRecorder.SUB_BITS
+        if value < (1 << sub_bits):
+            return value
+        exp = value.bit_length() - 1
+        # Top (SUB_BITS + 1) bits of the value: in [2**SUB_BITS, 2**(SUB_BITS+1)).
+        sub = value >> (exp - sub_bits)
+        return ((exp - sub_bits) << sub_bits) + sub
+
+    @staticmethod
+    def _bin_rep(index: int) -> int:
+        """Midpoint of the value range covered by bin ``index``."""
+        sub_bits = QuantileRecorder.SUB_BITS
+        if index < (1 << sub_bits):
+            return index
+        shift = (index >> sub_bits) - 1
+        sub = (index & ((1 << sub_bits) - 1)) | (1 << sub_bits)
+        lo = sub << shift
+        return lo + ((1 << shift) >> 1)
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency sample on {self.name!r}: {latency_ns}")
+        if self._window_state == _WIN_CLOSED:
+            return
+        bins = self._bins
+        idx = self._bin_index(latency_ns)
+        bins[idx] = bins.get(idx, 0) + 1
+        self._count += 1
+        self._total += latency_ns
+        if self._min is None or latency_ns < self._min:
+            self._min = latency_ns
+        if self._max is None or latency_ns > self._max:
+            self._max = latency_ns
+        self._version = next(_VERSIONS)
+
+    # ---- reporting ------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def minimum(self) -> int:
+        return self._min if self._min is not None else 0
+
+    @property
+    def maximum(self) -> int:
+        return self._max if self._max is not None else 0
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile, exact within the bin's half-width."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile out of range: {pct}")
+        if not self._count:
+            return 0.0
+        rank = max(1, math.ceil((pct / 100.0) * self._count))
+        seen = 0
+        for idx in sorted(self._bins):
+            seen += self._bins[idx]
+            if seen >= rank:
+                # Clamp to the observed extremes so p0/p100 are exact and
+                # a sparse top bin cannot report beyond the true maximum.
+                return float(min(max(self._bin_rep(idx), self._min), self._max))
+        return float(self._max)  # pragma: no cover - rank <= count always hits
+
+    # ---- snapshot/restore -----------------------------------------------------
+
+    def snapshot(self):
+        return (
+            tuple(sorted(self._bins.items())),
+            self._count,
+            self._total,
+            self._min,
+            self._max,
+            self._window_state,
+            self._version,
+        )
+
+    def restore(self, snap) -> None:
+        bins, count, total, lo, hi, window_state, version = snap
+        if self._version == version:
+            # Same mint contract as LatencyRecorder: every mutation and
+            # window transition mints a fresh version, so equality means
+            # the state already matches the snapshot.
+            return
+        self._bins = dict(bins)
+        self._count = count
+        self._total = total
+        self._min = lo
+        self._max = hi
+        self._window_state = window_state
+        self._version = version
 
 
 class RateWindow:
@@ -237,12 +454,23 @@ class RateWindow:
 
 
 class StatsRegistry:
-    """Owns all counters/recorders for one simulated machine run."""
+    """Owns all counters/recorders for one simulated machine run.
 
-    def __init__(self, sim: Simulator):
+    ``gate_latencies`` decides whether latency/quantile recorders honour
+    the measurement window (the fixed behaviour) or record from t=0 (the
+    historical behaviour, kept behind ``set_latency_gating``/the
+    ``--legacy-latency-stats`` CLI flag for A/B comparisons). ``None``
+    defers to the process-wide default.
+    """
+
+    def __init__(self, sim: Simulator, gate_latencies: Optional[bool] = None):
         self.sim = sim
+        if gate_latencies is None:
+            gate_latencies = _GATE_LATENCIES_DEFAULT
+        self.gate_latencies = bool(gate_latencies)
         self._counters: Dict[str, Counter] = {}
         self._latencies: Dict[str, LatencyRecorder] = {}
+        self._quantiles: Dict[str, QuantileRecorder] = {}
         self._rates: Dict[str, RateWindow] = {}
         self._windows_active = False
 
@@ -253,8 +481,23 @@ class StatsRegistry:
 
     def latency(self, name: str) -> LatencyRecorder:
         if name not in self._latencies:
-            self._latencies[name] = LatencyRecorder(name)
+            rec = self._latencies[name] = LatencyRecorder(
+                name, gated=self.gate_latencies
+            )
+            if self._windows_active:
+                # A measurement window is open: recorders created after
+                # warmup (first sample inside the window) join it directly.
+                rec.start_window()
         return self._latencies[name]
+
+    def quantile(self, name: str) -> QuantileRecorder:
+        if name not in self._quantiles:
+            rec = self._quantiles[name] = QuantileRecorder(
+                name, gated=self.gate_latencies
+            )
+            if self._windows_active:
+                rec.start_window()
+        return self._quantiles[name]
 
     def rate(self, name: str) -> RateWindow:
         if name not in self._rates:
@@ -269,11 +512,19 @@ class StatsRegistry:
         self._windows_active = True
         for window in self._rates.values():
             window.start_window()
+        for rec in self._latencies.values():
+            rec.start_window()
+        for qrec in self._quantiles.values():
+            qrec.start_window()
 
     def stop_all_windows(self) -> None:
         self._windows_active = False
         for window in self._rates.values():
             window.stop_window()
+        for rec in self._latencies.values():
+            rec.stop_window()
+        for qrec in self._quantiles.values():
+            qrec.stop_window()
 
     def counters_snapshot(self) -> Dict[str, int]:
         return {name: c.value for name, c in self._counters.items()}
@@ -286,6 +537,9 @@ class StatsRegistry:
             "counters": {name: c.value for name, c in self._counters.items()},
             "latencies": {
                 name: rec.snapshot() for name, rec in self._latencies.items()
+            },
+            "quantiles": {
+                name: rec.snapshot() for name, rec in self._quantiles.items()
             },
             "rates": {
                 name: (r.events, r._window_start, r._window_end)
@@ -327,6 +581,17 @@ class StatsRegistry:
                     del live_latencies[name]
             for name, rec_snap in latencies.items():
                 live_latencies[name].restore(rec_snap)
+        quantiles = snap["quantiles"]
+        live_quantiles = self._quantiles
+        if len(live_quantiles) == len(quantiles):
+            for rec, rec_snap in zip(live_quantiles.values(), quantiles.values()):
+                rec.restore(rec_snap)
+        else:
+            for name in list(live_quantiles):
+                if name not in quantiles:
+                    del live_quantiles[name]
+            for name, rec_snap in quantiles.items():
+                live_quantiles[name].restore(rec_snap)
         rates = snap["rates"]
         live_rates = self._rates
         if len(live_rates) == len(rates):
@@ -355,6 +620,10 @@ class StatsRegistry:
         for name, rec in sorted(self._latencies.items()):
             out[f"lat.{name}.mean_ns"] = rec.mean
             out[f"lat.{name}.count"] = rec.count
+        for name, qrec in sorted(self._quantiles.items()):
+            out[f"quant.{name}.mean_ns"] = qrec.mean
+            out[f"quant.{name}.count"] = qrec.count
+            out[f"quant.{name}.p99_ns"] = qrec.percentile(99.0)
         for name, rate in sorted(self._rates.items()):
             out[f"rate.{name}.per_sec"] = rate.per_second()
         return out

@@ -29,7 +29,7 @@ Restore invariants:
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .coherence.latr import LatrCoherence
@@ -208,7 +208,7 @@ def _frames_snapshot(frames) -> Tuple:
         return cached
     snap = (
         frames._version,
-        [(fl._lo, fl._hi, tuple(fl._tail)) for fl in frames._free],
+        [fl.state() for fl in frames._free],
         dict(frames._refcount),
         dict(frames._generation),
         frames.total_allocs,
@@ -222,10 +222,8 @@ def _frames_restore(frames, snap: Tuple) -> None:
     if frames._version == snap[0]:
         return
     version, free, refcount, generation, allocs, frees = snap
-    for fl, (lo, hi, tail) in zip(frames._free, free):
-        fl._lo = lo
-        fl._hi = hi
-        fl._tail = deque(tail)
+    for fl, fl_state in zip(frames._free, free):
+        fl.set_state(fl_state)
     frames._refcount = dict(refcount)
     frames._generation = dict(generation)
     frames.total_allocs = allocs

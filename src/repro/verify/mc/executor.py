@@ -471,9 +471,9 @@ class McExecutor:
             cached_alloc = self._frames_canon = (
                 frames_version,
                 dumps((
-                    # (lo, hi, tail) is the free list's exact state without
-                    # materializing the fresh watermark range on every hash.
-                    [(q._lo, q._hi, tuple(q._tail)) for q in frames._free],
+                    # Each free list's exact state (watermark segments +
+                    # tail) without materializing the lazy ranges per hash.
+                    [q.state() for q in frames._free],
                     sorted(frames._refcount.items()),
                     sorted(frames._generation.items()),
                 ), 4),

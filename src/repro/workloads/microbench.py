@@ -105,6 +105,8 @@ class MunmapMicrobench:
             mechanism=mechanism,
             metrics={
                 "munmap_us": mean_munmap / 1000.0,
+                "munmap_p50_us": sorted(munmap_samples)[int(0.50 * (len(munmap_samples) - 1))]
+                / 1000.0,
                 "munmap_p99_us": sorted(munmap_samples)[int(0.99 * (len(munmap_samples) - 1))]
                 / 1000.0,
                 "shootdown_us": sd.mean / 1000.0,

@@ -95,3 +95,47 @@ class TestSweepStressEquivalence:
         assert indexed == full
         assert indexed["count.latr.sweeps"] > 0
         assert indexed["count.shootdown.initiated"] > 0
+
+
+class TestOpenLoopStressCase:
+    def test_events_floor_failure_fails_the_run(self, tmp_path):
+        _report, code = run_bench(
+            bench_dir=str(tmp_path),
+            suite=[
+                lambda: _fake_case(
+                    "openloop-stress-120c",
+                    0.1,
+                    events_floor_ok=False,
+                    min_events_per_sec=300_000.0,
+                    floor_rounds=8,
+                )
+            ],
+            echo=lambda _line: None,
+        )
+        assert code == 1
+
+    def test_small_scope_tables_match(self, monkeypatch):
+        # Shrink the stress scope so tier-1 stays fast; the equivalence
+        # check (batched vs generic fault path) is scope-independent.
+        import repro.bench as bench
+
+        monkeypatch.setattr(
+            bench,
+            "OPENLOOP_STRESS_SCOPE",
+            dict(
+                machine="commodity-2s16c",
+                mechanism="linux",
+                offered_kreq_s=20.0,
+                request_work_ns=200_000,
+                request_pages=1,
+                conn_churn_per_sec=0.0,
+                warmup_ms=2,
+                duration_ms=10,
+            ),
+        )
+        monkeypatch.setattr(bench, "OPENLOOP_MIN_EVENTS_PER_SEC", 0.0)
+        monkeypatch.setattr(bench, "OPENLOOP_FLOOR_ROUNDS", 1)
+        case = bench._openloop_stress_case()
+        assert case.extra["tables_match"] is True
+        assert case.extra["events_floor_ok"] is True
+        assert case.events > 0

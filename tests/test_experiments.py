@@ -64,7 +64,13 @@ class TestCheapExperiments:
 
     def test_tab3(self):
         result = run_experiment("tab3", fast=True)
-        assert {row[0] for row in result.rows} == {"commodity-2s16c", "large-numa-8s120c"}
+        # The paper's two Table 3 boxes plus the fleet-scale extension
+        # preset used by the open-loop slo scenario.
+        assert {row[0] for row in result.rows} == {
+            "commodity-2s16c",
+            "large-numa-8s120c",
+            "fleet-16s960c",
+        }
 
     def test_fig2_timeline_ordering(self):
         result = run_experiment("fig2", fast=True)
@@ -117,3 +123,37 @@ class TestCsvExport:
         content = (target / "tab3.csv").read_text()
         assert content.startswith("machine,")
         assert "commodity-2s16c" in content
+
+
+class TestTailTableColumns:
+    """Regression: the munmap rows used to put ``munmap_us`` (the mean)
+    under the "p50 us" header."""
+
+    def test_munmap_row_p50_column_is_the_median(self):
+        from repro.experiments.tail_latency import (
+            APACHE_MECHS,
+            MICRO_MECHS,
+            tail_assemble,
+        )
+
+        class FakeResult:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def metric(self, name):
+                return f"{self.tag}:{name}"
+
+        values = [FakeResult(f"apache-{m}") for m in APACHE_MECHS]
+        values += [FakeResult(f"micro-{m}") for m in MICRO_MECHS]
+        result = tail_assemble(values)
+        assert result.headers == ("quantity", "p50 us", "p99 us", "p99.9 us")
+        by_label = {row[0]: row for row in result.rows}
+        for mech in MICRO_MECHS:
+            row = by_label[f"munmap syscall ({mech})"]
+            # The value under "p50 us" must come from munmap_p50_us -- not
+            # from the munmap_us mean, and not shifted into another column.
+            assert row[1] == f"micro-{mech}:munmap_p50_us"
+            assert row[2] == f"micro-{mech}:munmap_p99_us"
+        for mech in APACHE_MECHS:
+            row = by_label[f"apache request ({mech})"]
+            assert row[1] == f"apache-{mech}:latency_p50_us"

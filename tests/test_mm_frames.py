@@ -148,3 +148,69 @@ class TestAllocExclude:
         frames = FrameAllocator(nodes=1, frames_per_node=4)
         with pytest.raises(FrameAllocatorError):
             frames.alloc(0, exclude=range(0, 4))
+
+
+class TestContiguousWatermark:
+    """Regression tests: ``alloc_contiguous`` must keep the never-allocated
+    frame range lazy (it used to materialize and re-sort the whole free
+    list per call), and ``contiguous_run_available`` must not mutate."""
+
+    def test_aligned_alloc_keeps_watermark_lazy(self):
+        frames = FrameAllocator(nodes=1, frames_per_node=1 << 20)
+        base = frames.alloc_contiguous(512, node=0)
+        assert base == 0
+        lo, hi, extra, tail = frames._free[0].state()
+        # The run was cut off the front arithmetically: no extra segments,
+        # no materialized tail of half a million integers.
+        assert (lo, hi) == (512, 1 << 20)
+        assert extra == ()
+        assert tail == ()
+
+    def test_mid_cut_splits_into_lazy_segments(self):
+        frames = FrameAllocator(nodes=1, frames_per_node=64)
+        assert frames.alloc(0) == 0
+        assert frames.alloc(0) == 1
+        # Frames 0..1 are taken, so the first aligned 4-run is [4, 8).
+        base = frames.alloc_contiguous(4, node=0)
+        assert base == 4
+        lo, hi, extra, tail = frames._free[0].state()
+        assert (lo, hi) == (2, 4)
+        assert extra == ((8, 64),)
+        assert tail == ()
+
+    def test_drain_order_matches_eager_filter(self):
+        frames = FrameAllocator(nodes=1, frames_per_node=16)
+        frames.alloc_contiguous(4, node=0)  # takes [0, 4)
+        pfn = frames.alloc(0)  # takes 4
+        frames.put(pfn)  # recycled behind the fresh range
+        expected = list(range(5, 16)) + [4]
+        assert list(frames._free[0]) == expected
+        assert [frames.alloc(0) for _ in range(len(expected))] == expected
+
+    def test_unaligned_run_spanning_recycled_tail(self):
+        frames = FrameAllocator(nodes=1, frames_per_node=8)
+        taken = [frames.alloc(0) for _ in range(3)]  # 0, 1, 2
+        for pfn in taken:
+            frames.put(pfn)  # recycled: tail = [0, 1, 2], fresh = [3, 8)
+        base = frames.alloc_contiguous(5, node=0, aligned=False)
+        assert base == 0  # spans tail frames 0..2 plus fresh 3..4
+        lo, hi, extra, tail = frames._free[0].state()
+        assert (lo, hi) == (5, 8)
+        assert tail == ()
+
+    def test_contiguous_run_available_does_not_mutate(self):
+        frames = FrameAllocator(nodes=1, frames_per_node=1 << 16)
+        state_before = frames._free[0].state()
+        version_before = frames._version
+        assert frames.contiguous_run_available(512, node=0)
+        assert not frames.contiguous_run_available(1 << 17, node=0)
+        assert frames._free[0].state() == state_before
+        assert frames._version == version_before
+
+    def test_fragmented_node_raises(self):
+        frames = FrameAllocator(nodes=1, frames_per_node=8)
+        pfns = [frames.alloc(0) for _ in range(8)]
+        for pfn in pfns[::2]:
+            frames.put(pfn)  # only every other frame free: no 2-run
+        with pytest.raises(FrameAllocatorError):
+            frames.alloc_contiguous(2, node=0)

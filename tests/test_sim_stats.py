@@ -1,6 +1,8 @@
 """Unit tests for the measurement machinery."""
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given, settings
 
 from repro.sim.engine import SEC, Simulator
 from repro.sim.stats import (
@@ -169,3 +171,216 @@ class TestStatsRegistry:
 def test_weighted_mean():
     assert weighted_mean([(10, 1), (20, 3)]) == pytest.approx(17.5)
     assert weighted_mean([]) == 0.0
+
+
+class TestQuantileRecorder:
+    def test_small_values_exact(self):
+        from repro.sim.stats import QuantileRecorder
+
+        rec = QuantileRecorder("q")
+        for v in range(32):  # unit bins below 2**SUB_BITS are exact
+            rec.record(v)
+        assert rec.count == 32
+        assert rec.minimum == 0
+        assert rec.maximum == 31
+        assert rec.percentile(50) == 15.0  # nearest rank: 16th smallest of 0..31
+        assert rec.percentile(100) == 31.0
+
+    def test_summary_stats_exact(self):
+        from repro.sim.stats import QuantileRecorder
+
+        rec = QuantileRecorder("q")
+        for v in (100, 200, 3000, 40000):
+            rec.record(v)
+        # count/total/mean/min/max are tracked exactly; only the
+        # percentile positions are binned.
+        assert rec.count == 4
+        assert rec.total == 43300
+        assert rec.mean == pytest.approx(10825.0)
+        assert rec.minimum == 100
+        assert rec.maximum == 40000
+
+    def test_percentile_clamped_to_extremes(self):
+        from repro.sim.stats import QuantileRecorder
+
+        rec = QuantileRecorder("q")
+        rec.record(1_000_003)
+        assert rec.percentile(0) == 1_000_003.0
+        assert rec.percentile(100) == 1_000_003.0
+
+    def test_empty_is_zero(self):
+        from repro.sim.stats import QuantileRecorder
+
+        rec = QuantileRecorder("q")
+        assert rec.percentile(99) == 0.0
+        assert rec.mean == 0.0
+
+    def test_negative_sample_rejected(self):
+        from repro.sim.stats import QuantileRecorder
+
+        rec = QuantileRecorder("q")
+        with pytest.raises(ValueError):
+            rec.record(-1)
+
+    def test_percentile_out_of_range(self):
+        from repro.sim.stats import QuantileRecorder
+
+        rec = QuantileRecorder("q")
+        rec.record(1)
+        with pytest.raises(ValueError):
+            rec.percentile(101)
+
+    def test_bin_memory_is_bounded(self):
+        from repro.sim.stats import QuantileRecorder
+
+        rec = QuantileRecorder("q")
+        for v in range(1, 200_000, 7):
+            rec.record(v)
+        # log-spaced bins: ~2**SUB_BITS per power of two, not one per sample.
+        assert len(rec._bins) < 64 * 20
+
+    def test_snapshot_restore_roundtrip(self):
+        from repro.sim.stats import QuantileRecorder
+
+        rec = QuantileRecorder("q")
+        for v in (5, 50, 500, 5000):
+            rec.record(v)
+        snap = rec.snapshot()
+        p99 = rec.percentile(99)
+        rec.record(1_000_000)
+        rec.restore(snap)
+        assert rec.count == 4
+        assert rec.percentile(99) == p99
+
+    def test_restore_skips_on_equal_version(self):
+        from repro.sim.stats import QuantileRecorder
+
+        rec = QuantileRecorder("q")
+        rec.record(77)
+        snap = rec.snapshot()
+        # Untouched since the snapshot: restore must be a no-op (the
+        # version-mint contract -- equal version implies identical state).
+        bins_before = rec._bins
+        rec.restore(snap)
+        assert rec._bins is bins_before
+
+
+class TestQuantileAccuracyProperty:
+    """The recorder's documented error bound, property-tested against an
+    exact nearest-rank percentile."""
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=300),
+        pct=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_within_half_bin_of_exact(self, values, pct):
+        import math
+
+        from repro.sim.stats import QuantileRecorder
+
+        rec = QuantileRecorder("q")
+        for v in values:
+            rec.record(v)
+        rank = max(1, math.ceil((pct / 100.0) * len(values)))
+        exact = sorted(values)[rank - 1]
+        estimate = rec.percentile(pct)
+        # Relative half-bin error: 2**-(SUB_BITS+1) of the exact value
+        # (exact for values below 2**SUB_BITS, which unit bins hold).
+        tolerance = exact * 2.0 ** -(QuantileRecorder.SUB_BITS + 1)
+        assert abs(estimate - exact) <= tolerance
+
+
+class TestWindowGating:
+    def _gated_registry(self):
+        sim = Simulator()
+        return sim, StatsRegistry(sim, gate_latencies=True)
+
+    def test_start_window_discards_warmup_samples(self):
+        _sim, stats = self._gated_registry()
+        rec = stats.latency("req")
+        qrec = stats.quantile("req.q")
+        rec.record(999_999)  # warmup pollution
+        qrec.record(999_999)
+        stats.start_all_windows()
+        rec.record(10)
+        qrec.record(10)
+        assert rec.count == 1 and rec.maximum == 10
+        assert qrec.count == 1 and qrec.maximum == 10
+
+    def test_stop_window_drops_later_samples(self):
+        _sim, stats = self._gated_registry()
+        rec = stats.latency("req")
+        qrec = stats.quantile("req.q")
+        stats.start_all_windows()
+        rec.record(10)
+        qrec.record(10)
+        stats.stop_all_windows()
+        rec.record(999)
+        qrec.record(999)
+        assert rec.count == 1
+        assert qrec.count == 1
+
+    def test_recorder_created_mid_window_joins_it(self):
+        _sim, stats = self._gated_registry()
+        stats.start_all_windows()
+        rec = stats.latency("late")
+        qrec = stats.quantile("late.q")
+        rec.record(5)
+        qrec.record(5)
+        stats.stop_all_windows()
+        rec.record(6)
+        qrec.record(6)
+        assert rec.count == 1
+        assert qrec.count == 1
+
+    def test_ungated_recorder_ignores_windows(self):
+        sim = Simulator()
+        stats = StatsRegistry(sim, gate_latencies=False)
+        rec = stats.latency("req")
+        rec.record(1)
+        stats.start_all_windows()
+        rec.record(2)
+        stats.stop_all_windows()
+        rec.record(3)
+        # Historical behaviour: every sample from t=0 is kept.
+        assert rec.count == 3
+
+    def test_recorder_without_any_window_records_freely(self):
+        # Workloads that never call start_all_windows must keep working
+        # even with gating on (the FREE state).
+        sim = Simulator()
+        stats = StatsRegistry(sim, gate_latencies=True)
+        rec = stats.latency("free")
+        rec.record(42)
+        assert rec.count == 1
+
+    def test_module_default_controls_new_registries(self):
+        from repro.sim.stats import latency_gating_enabled, set_latency_gating
+
+        sim = Simulator()
+        assert latency_gating_enabled()
+        try:
+            set_latency_gating(False)
+            assert StatsRegistry(sim).gate_latencies is False
+            set_latency_gating(True)
+            assert StatsRegistry(sim).gate_latencies is True
+        finally:
+            set_latency_gating(True)
+
+    def test_gated_window_state_survives_snapshot_restore(self):
+        _sim, stats = self._gated_registry()
+        rec = stats.latency("req")
+        qrec = stats.quantile("req.q")
+        stats.start_all_windows()
+        rec.record(10)
+        qrec.record(10)
+        snap = (rec.snapshot(), qrec.snapshot())
+        stats.stop_all_windows()
+        rec.restore(snap[0])
+        qrec.restore(snap[1])
+        # Restored into the open-window state: recording works again.
+        rec.record(11)
+        qrec.record(11)
+        assert rec.count == 2
+        assert qrec.count == 2

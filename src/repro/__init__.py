@@ -74,6 +74,7 @@ def build_system(
     use_tlb_index: Optional[bool] = None,
     gate_latencies: Optional[bool] = None,
     use_batched_faults: Optional[bool] = None,
+    use_pt_replication: Optional[bool] = None,
     **mechanism_kwargs,
 ) -> System:
     """Build and boot a simulated machine running one coherence mechanism.
@@ -95,6 +96,11 @@ def build_system(
         use_batched_faults: syscall escape hatch -- False routes
             ``touch_pages`` through the per-page generic access path
             instead of the batched fault handler (default batched).
+        use_pt_replication: NUMA page-table placement modelling
+            (numaPTE) -- None asks the mechanism (only "numapte" wants
+            it); True charges hop-aware walk latency (and, under the
+            numapte policy, replicates tables per node); False keeps the
+            flat single-table model bit-identically.
         mechanism_kwargs: forwarded to the mechanism constructor (e.g.
             ``queue_depth=`` for LATR ablations).
     """
@@ -115,6 +121,8 @@ def build_system(
         kwargs["frames_per_node"] = frames_per_node
     if use_batched_faults is not None:
         kwargs["use_batched_faults"] = use_batched_faults
+    if use_pt_replication is not None:
+        kwargs["use_pt_replication"] = use_pt_replication
     kernel = Kernel(hw, mech, seed=seed, **kwargs)
     kernel.start()
     return System(sim=sim, machine=hw, kernel=kernel)

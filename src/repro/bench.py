@@ -277,6 +277,116 @@ def _sweep_stress_case(duration_ms: int) -> CaseResult:
 
 
 # ---------------------------------------------------------------------------
+# The pt-replication microbench (replicated vs single page table)
+# ---------------------------------------------------------------------------
+
+
+def run_pt_replication_stress(
+    duration_ms: int = SWEEP_STRESS_MS,
+    replicated: bool = True,
+    machine: str = "large-numa-8s120c",
+) -> Dict[str, object]:
+    """Sweep-stress-shaped load through the numaPTE facade: core 0 keeps a
+    trickle of mmaps/munmaps (each fanning out to every live replica when
+    replication is on) while a rotating scatter of remote-socket cores
+    touches the fresh range (each first touch a hardware walk, local under
+    replication). ``replicated=False`` is the single-table leg of the
+    wall-clock comparison: same mechanism, same op sequence, facade never
+    built."""
+    from . import build_system
+    from .mm.addr import PAGE_SIZE
+    from .sim.engine import MSEC, AllOf, Timeout
+
+    system = build_system(
+        "numapte", machine=machine, seed=7, use_pt_replication=replicated
+    )
+    kernel = system.kernel
+    cores = kernel.machine.cores
+    proc = kernel.create_process("pt-repl-stress")
+    tasks = [kernel.spawn_thread(proc, f"pr.t{core.id}", core.id) for core in cores]
+
+    def touch(task, vrange):
+        core = kernel.machine.core(task.home_core_id)
+        yield from kernel.syscalls.touch_pages(task, core, vrange, write=False)
+
+    def driver():
+        t0, c0 = tasks[0], kernel.machine.core(0)
+        rep = 0
+        while True:
+            vrange = yield from kernel.syscalls.mmap(t0, c0, 4 * PAGE_SIZE)
+            yield from kernel.syscalls.touch_pages(t0, c0, vrange, write=True)
+            remote = [tasks[(rep * 7 + i * 15 + 1) % len(tasks)] for i in range(4)]
+            spawned = [
+                system.sim.spawn(touch(task, vrange), name=f"pr.touch{task.tid}")
+                for task in remote
+            ]
+            yield AllOf(spawned)
+            yield from kernel.syscalls.munmap(t0, c0, vrange)
+            rep += 1
+            yield Timeout(MSEC)
+
+    system.sim.spawn(driver(), name="pt-repl-stress-driver")
+    system.sim.run(until=duration_ms * MSEC)
+    return kernel.stats.summary()
+
+
+#: Replicated-walk bookkeeping budget: the facade (mirrored mutations,
+#: local-replica lookup, pending-count drains) may cost at most this much
+#: wall-clock over the identical single-table run.
+PT_REPLICATION_MAX_OVERHEAD_PCT = 10.0
+
+
+def _pt_replication_case(duration_ms: int) -> CaseResult:
+    """Time both legs; the replicated leg is the case proper, pinned to
+    <= PT_REPLICATION_MAX_OVERHEAD_PCT wall-clock over the single table.
+
+    The legs are interleaved round by round (rather than one ``_timed``
+    block each) with the in-pair order alternating, after an untimed
+    warmup of each: a leg that always runs first (or cold) eats the
+    process warmup and allocator drift, and the overhead ratio swings
+    tens of percent."""
+    import gc
+
+    from .sim.engine import Simulator
+
+    for leg in (False, True):  # untimed warmup
+        run_pt_replication_stress(duration_ms, replicated=leg)
+    best: Dict[bool, Tuple[float, int, Dict[str, object]]] = {}
+    for round_idx in range(5):
+        order = (False, True) if round_idx % 2 == 0 else (True, False)
+        for leg in order:
+            gc.collect()
+            events_before = Simulator.total_events_executed
+            started = time.perf_counter()
+            summary = run_pt_replication_stress(duration_ms, replicated=leg)
+            wall = time.perf_counter() - started
+            events = Simulator.total_events_executed - events_before
+            if leg not in best or wall < best[leg][0]:
+                best[leg] = (wall, events, summary)
+    wall_repl, events_repl, summary_repl = best[True]
+    wall_single, _events_single, _summary_single = best[False]
+    overhead_pct = (wall_repl / wall_single - 1.0) * 100.0 if wall_single > 0 else 0.0
+    return CaseResult(
+        name="pt-replication-120c",
+        wall_s=wall_repl,
+        events=events_repl,
+        extra={
+            "sim_ms": duration_ms,
+            "single_table_wall_s": round(wall_single, 4),
+            "overhead_pct": round(overhead_pct, 2),
+            "max_overhead_pct": PT_REPLICATION_MAX_OVERHEAD_PCT,
+            "overhead_ok": overhead_pct <= PT_REPLICATION_MAX_OVERHEAD_PCT,
+            # Correctness ride-along: the replicated leg must never walk
+            # remotely, and must actually be replicating.
+            "replicas_ok": (
+                "count.pt.walk.remote" not in summary_repl
+                and summary_repl.get("count.pt.replica.updates", 0) > 0
+            ),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
 # The engine-stress microbench (timer wheel vs plain heap)
 # ---------------------------------------------------------------------------
 
@@ -643,6 +753,10 @@ def bench_suite(quick: bool = False) -> List[Callable[[], CaseResult]]:
             lambda: _invalidate_stress_case(INVALIDATE_STRESS_OPS_QUICK),
             lambda: _mc_snapshot_case(MC_SNAPSHOT_SCOPE_QUICK, pairs=2),
             lambda: _sweep_stress_case(SWEEP_STRESS_MS_QUICK),
+            # Full duration even in quick mode: at 20 sim-ms each leg is
+            # ~25 ms wall and timer jitter alone can swing the overhead
+            # ratio past the 10% budget.
+            lambda: _pt_replication_case(SWEEP_STRESS_MS),
             _openloop_stress_case,
         ]
     return [
@@ -653,6 +767,7 @@ def bench_suite(quick: bool = False) -> List[Callable[[], CaseResult]]:
         lambda: _invalidate_stress_case(INVALIDATE_STRESS_OPS),
         lambda: _mc_snapshot_case(MC_SNAPSHOT_SCOPE),
         lambda: _sweep_stress_case(SWEEP_STRESS_MS),
+        lambda: _pt_replication_case(SWEEP_STRESS_MS),
         _openloop_stress_case,
         lambda: _all_parallel_case(),
     ]
@@ -772,6 +887,11 @@ def run_bench(
                 f"  (generic {case.extra['generic_wall_s']}s, "
                 f"{case.extra['speedup_vs_generic']}x speedup)"
             )
+        if "single_table_wall_s" in case.extra:
+            line += (
+                f"  (single table {case.extra['single_table_wall_s']}s, "
+                f"{case.extra['overhead_pct']:+.1f}% overhead)"
+            )
         if "speedup_vs_serial" in case.extra:
             line += (
                 f"  (serial {case.extra['serial_wall_s']}s, "
@@ -802,6 +922,19 @@ def run_bench(
                 f"  {case.name}: FAIL -- {case.events_per_sec:,.0f} events/s "
                 f"below the {case.extra.get('min_events_per_sec'):,.0f} floor "
                 f"after {case.extra.get('floor_rounds')} round(s)"
+            )
+            failed = True
+        if case.extra.get("overhead_ok") is False:
+            echo(
+                f"  {case.name}: FAIL -- replication bookkeeping overhead "
+                f"{case.extra.get('overhead_pct')}% over the single table "
+                f"exceeds the {case.extra.get('max_overhead_pct')}% budget"
+            )
+            failed = True
+        if case.extra.get("replicas_ok") is False:
+            echo(
+                f"  {case.name}: FAIL -- replicated leg walked remotely "
+                f"or never fanned out an update"
             )
             failed = True
         if case.extra.get("speedup_ok") is False:

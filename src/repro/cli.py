@@ -364,9 +364,64 @@ def _snapshot_differential() -> int:
     return 0
 
 
+def _numapte_smoke() -> int:
+    """numaPTE gate: replication eliminates remote hardware walks and
+    actually fans out updates; the ``use_pt_replication`` escape hatch
+    degenerates to the Linux baseline byte-identically; and the
+    broken-replica mutation is caught by both the continuous invariant
+    monitor (fuzz leg) and the model checker's mutation audit."""
+    from .verify import generate_plan, mutation_spec, run_one
+    from .verify.mc import McConfig, McScope, run_mc
+
+    plan = generate_plan(1, 60)
+    on = run_one("numapte", plan)
+    if not on.clean:
+        print("numapte-smoke: replicated run had findings", file=sys.stderr)
+        return 1
+    summary = on.stats_summary
+    if summary.get("count.pt.walk.remote", 0):
+        print("numapte-smoke: remote hardware walks survived replication", file=sys.stderr)
+        return 1
+    if not summary.get("count.pt.replica.updates", 0):
+        print("numapte-smoke: no replica fan-out happened", file=sys.stderr)
+        return 1
+    off = run_one("numapte", plan, use_pt_replication=False)
+    base = run_one("linux", plan)
+    if off.stats_summary != base.stats_summary or off.snapshot != base.snapshot:
+        print(
+            "numapte-smoke: use_pt_replication=False is not byte-identical "
+            "to the single-table baseline",
+            file=sys.stderr,
+        )
+        return 1
+    mutation = mutation_spec("broken_replica")
+    bad = run_one("latr", plan, mutate=mutation.name)
+    if not any(v.check == "replica_coherence" for v in bad.violations):
+        print("numapte-smoke: monitor missed the broken_replica mutation", file=sys.stderr)
+        return 1
+    audit = run_mc(
+        McConfig(scope=McScope(cores=2, pages=2, ops=5, mutate=mutation.name))
+    )
+    if audit.verdict != "violation":
+        print(
+            f"numapte-smoke: mc audit missed broken_replica "
+            f"(verdict {audit.verdict})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"numapte ok: {int(summary['count.pt.walk.local'])} local walks, "
+        f"0 remote, {int(summary['count.pt.replica.updates'])} replica "
+        f"updates; escape hatch byte-identical; broken_replica caught by "
+        f"monitor and mc"
+    )
+    return 0
+
+
 def _run_ci_command(args) -> int:
     """``python -m repro ci``: the full local gate -- tier-1 pytest, a
-    small exhaustive mc scope, the snapshot-vs-replay differential, a
+    small exhaustive mc scope, the snapshot-vs-replay differential, the
+    numaPTE smoke (replication/escape-hatch/mutation-audit gate), a
     parallel fast-mode smoke of every experiment, and the quick wall-clock
     bench (which gates the mc-snapshot speedup and hash equality) with its
     regression check against the committed BENCH_*.json baseline (exit 2
@@ -413,6 +468,7 @@ def _run_ci_command(args) -> int:
             lambda: main(["mc", "--cores", "2", "--pages", "2", "--ops", "4"]),
         ),
         ("snapshot differential (3c/2p/5ops)", _snapshot_differential),
+        ("numapte-smoke", _numapte_smoke),
         ("repro all --fast --jobs 2", lambda: main(["all", "--fast", "--jobs", "2"])),
         (
             "repro bench --quick --check-regression",

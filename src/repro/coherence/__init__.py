@@ -14,6 +14,7 @@ from .base import (
 from .hw_assisted import DidiShootdown, UnitdCoherence
 from .latr import LatrCoherence
 from .linux import LinuxShootdown
+from .numapte import NumaPteCoherence
 from .states import DEFAULT_QUEUE_DEPTH, STATE_BYTES, LatrFlag, LatrState, LatrStateQueue
 
 MECHANISMS = {
@@ -23,6 +24,7 @@ MECHANISMS = {
     "barrelfish": BarrelfishShootdown,
     "didi": DidiShootdown,
     "unitd": UnitdCoherence,
+    "numapte": NumaPteCoherence,
 }
 
 
@@ -50,6 +52,7 @@ __all__ = [
     "MECHANISMS",
     "MECHANISM_PROPERTIES",
     "MechanismProperties",
+    "NumaPteCoherence",
     "OpClass",
     "OPERATION_CLASSES",
     "STATE_BYTES",

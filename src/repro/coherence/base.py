@@ -105,6 +105,10 @@ class TLBCoherence:
     #: Mechanism name as used in experiment tables.
     name = "base"
     properties = MechanismProperties(False, False, False, True)
+    #: Whether this policy replicates page tables per NUMA node (numaPTE).
+    #: The kernel consults this when ``use_pt_replication`` is unset; only
+    #: the replica-coherence policy in ``coherence/numapte.py`` opts in.
+    wants_pt_replicas = False
 
     def __init__(self):
         self.kernel: Optional["Kernel"] = None

@@ -1,0 +1,38 @@
+"""numaPTE: replicated per-NUMA-node page tables (Gao et al., PAPERS.md).
+
+A *replica-coherence* policy rather than a new shootdown protocol: TLB
+invalidation behaves exactly like the Linux baseline (synchronous IPI
+rounds), but the kernel keeps one page-table replica per NUMA node behind
+the :class:`~repro.mm.pagetable.ReplicatedPageTable` facade, so every
+hardware walk descends a *local* table. The trade the ``numapte``
+experiment measures is remote-walk elimination vs. the fan-out cost of
+keeping the replicas coherent:
+
+* every PTE mutation is mirrored to each live replica (the mm layer fans
+  out; the kernel charges hop-aware per-entry update cost at its existing
+  PTE-work sites), and
+* replicas materialize lazily, on the first hardware walk a node issues
+  against the mm, so single-node processes never pay for replication.
+
+Setting :attr:`wants_pt_replicas` is the whole policy surface: the kernel
+reads it to decide table placement (``Kernel.use_pt_replication``) and the
+mm layer builds the facade. AutoNUMA migrations therefore update every
+replica through the same write-coordinating API instead of relying on the
+shootdown alone -- the invariant monitor's ``replica_coherence`` check and
+the model checker's canonical hash both observe each replica.
+"""
+
+from __future__ import annotations
+
+from .base import MECHANISM_PROPERTIES
+from .linux import LinuxShootdown
+
+
+class NumaPteCoherence(LinuxShootdown):
+    """Linux-style TLB shootdowns over per-node page-table replicas."""
+
+    name = "numapte"
+    # Table 2 columns match the baseline: numaPTE changes *table
+    # placement*, not the shootdown protocol.
+    properties = MECHANISM_PROPERTIES["Linux"]
+    wants_pt_replicas = True

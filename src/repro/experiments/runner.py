@@ -456,6 +456,7 @@ def _load_all() -> None:
         memoverhead,
         model_check,
         model_exhaust,
+        numapte,
         slo,
         tail_latency,
         thp,

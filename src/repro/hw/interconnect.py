@@ -128,3 +128,14 @@ class Interconnect:
     def cacheline_transfer_cost(self, src_core_id: int, dst_core_id: int) -> int:
         """Latency for one cacheline to move between two cores' caches."""
         return self.latency.cacheline(self.topology.core_hops(src_core_id, dst_core_id))
+
+    def pt_walk_cost(self, walker_node: int, table_node: int) -> int:
+        """Extra hardware-walk latency when a core on ``walker_node``
+        descends a page table resident on ``table_node`` (0 when local)."""
+        return self.latency.pt_walk_extra(self.topology.socket_hops(walker_node, table_node))
+
+    def pt_replica_update_cost(self, writer_node: int, replica_node: int) -> int:
+        """Per-entry cost of pushing a PTE update to one replica."""
+        return self.latency.pt_replica_update(
+            self.topology.socket_hops(writer_node, replica_node)
+        )

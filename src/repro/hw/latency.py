@@ -76,6 +76,17 @@ class LatencyModel:
     #: AutoNUMA scan costs (task_numa_work bookkeeping per sampled page).
     numa_scan_per_page_ns: int = 900
 
+    # --- Page-table placement (numaPTE replication model) ---
+    #: Extra page-walk cost when the walked table's pages live on a remote
+    #: node: a 4-level walk issues up to four memory reads whose cacheline
+    #: fills cross the interconnect (numaPTE's motivating observation).
+    #: Indexed by socket hops; 0 at hop 0 keeps the local walk exactly
+    #: ``tlb_miss_walk_ns``.
+    pt_walk_remote_extra_ns: Tuple[int, int, int] = (0, 360, 840)
+    #: Per-entry cost of propagating a PTE update to one replica, by hops
+    #: to the replica's node (a directed cacheline write + bookkeeping).
+    pt_replica_update_ns: Tuple[int, int, int] = (45, 130, 250)
+
     # --- Memory hierarchy ---
     cacheline_local_ns: int = 40
     cacheline_remote_ns: Tuple[int, int, int] = (45, 130, 250)
@@ -102,6 +113,14 @@ class LatencyModel:
         if hops <= 0:
             return self.cacheline_local_ns
         return self.cacheline_remote_ns[self._clamp(hops)]
+
+    def pt_walk_extra(self, hops: int) -> int:
+        """Extra walk latency beyond ``tlb_miss_walk_ns`` for a table
+        whose pages are ``hops`` sockets away."""
+        return self.pt_walk_remote_extra_ns[self._clamp(hops)]
+
+    def pt_replica_update(self, hops: int) -> int:
+        return self.pt_replica_update_ns[self._clamp(hops)]
 
     def ipi_handler(self, pages: int, full_flush_threshold: int) -> int:
         """Remote handler cost: entry/exit + per-page INVLPG or full flush."""

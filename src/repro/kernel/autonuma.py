@@ -102,6 +102,12 @@ class AutoNuma:
                 yield from kernel.coherence.migration_unmap(
                     core, mm, chunk, apply_change
                 )
+                # Synchronous mechanisms applied the hint PTEs above; the
+                # fan-out to any page-table replicas is charged here (LATR
+                # defers the apply, so its fan-out drains at a later site).
+                replica_work = kernel.drain_replica_work(core, mm)
+                if replica_work:
+                    yield from core.execute(replica_work)
             finally:
                 mm.mmap_sem.release()
 
@@ -165,7 +171,7 @@ class AutoNuma:
         )
         if not migrate:
             mm.page_table.update_pte(vpn, current.clear_numa_hint())
-            yield from core.execute(lat.pte_set_ns)
+            yield from core.execute(lat.pte_set_ns + kernel.drain_replica_work(core, mm))
             return FaultResult(FaultKind.NUMA_HINT, vpn, pfn=current.pfn)
 
         # Migrate: allocate on the accessing node, copy, switch the PTE.

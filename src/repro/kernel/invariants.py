@@ -91,6 +91,45 @@ def check_lazy_vrange_isolation(kernel: "Kernel") -> List[str]:
     return violations
 
 
+def check_replica_coherence(kernel: "Kernel") -> List[str]:
+    """numaPTE invariant: every materialized page-table replica mirrors the
+    canonical table exactly (same 4 KiB entries, same huge entries).
+
+    Replica fan-out is applied synchronously with the canonical mutation
+    (only the *cost* is deferred into pending-update counts), so there is no
+    legal slack: this holds at every instant and is continuous-safe.
+    """
+    violations = []
+    for mm in kernel.mm_registry.values():
+        pt = mm.page_table
+        replicas = getattr(pt, "_replicas", None)
+        if not replicas:
+            continue
+        canonical = dict(pt.all_entries())
+        for node, replica in sorted(replicas.items()):
+            mirrored = dict(replica.all_entries())
+            if mirrored == canonical:
+                continue
+            missing = canonical.keys() - mirrored.keys()
+            extra = mirrored.keys() - canonical.keys()
+            stale = [
+                vpn for vpn in canonical.keys() & mirrored.keys()
+                if canonical[vpn] != mirrored[vpn]
+            ]
+            detail = []
+            if missing:
+                detail.append(f"{len(missing)} missing (e.g. {min(missing):#x})")
+            if extra:
+                detail.append(f"{len(extra)} extra (e.g. {min(extra):#x})")
+            if stale:
+                detail.append(f"{len(stale)} stale (e.g. {min(stale):#x})")
+            violations.append(
+                f"{mm.name}: node-{node} replica diverged from canonical "
+                f"table: {', '.join(detail)}"
+            )
+    return violations
+
+
 def check_no_stale_entries_for(kernel: "Kernel", mm, vrange) -> List[str]:
     """Bounded-staleness helper: assert no core still caches a translation
     for ``vrange`` (call after the staleness bound elapsed)."""
@@ -112,4 +151,5 @@ def check_all(kernel: "Kernel") -> List[str]:
         check_tlb_frame_safety(kernel)
         + check_frame_refcounts(kernel)
         + check_lazy_vrange_isolation(kernel)
+        + check_replica_coherence(kernel)
     )

@@ -14,6 +14,7 @@ from ..hw.machine import Machine
 from ..mm.frames import FrameAllocator
 from ..mm.mmstruct import MmStruct
 from ..mm.pagecache import PageCache
+from ..mm.pagetable import ReplicatedPageTable
 from ..sim.engine import Simulator
 from ..sim.rng import RngStreams
 from .scheduler import Scheduler
@@ -35,6 +36,7 @@ class Kernel:
         frames_per_node: int = DEFAULT_FRAMES_PER_NODE,
         seed: int = 1,
         use_batched_faults: Optional[bool] = None,
+        use_pt_replication: Optional[bool] = None,
     ):
         self.machine = machine
         self.sim: Simulator = machine.sim
@@ -43,6 +45,20 @@ class Kernel:
         #: Escape hatch for the flat touch_pages fault path (default on);
         #: False routes every touch through the generic per-page handler.
         self.use_batched_faults = True if use_batched_faults is None else use_batched_faults
+        #: NUMA-aware page-table placement modelling (numaPTE). ``None``
+        #: asks the mechanism (only numaPTE wants it); off preserves
+        #: today's flat single-table behavior bit-identically. When on,
+        #: hardware walks charge hop-aware latency for remote tables and,
+        #: if the mechanism replicates (``wants_pt_replicas``), every mm
+        #: gets one page-table replica per node behind the facade.
+        self.use_pt_replication = (
+            coherence.wants_pt_replicas if use_pt_replication is None else use_pt_replication
+        )
+        self.pt_replicas_enabled = self.use_pt_replication and coherence.wants_pt_replicas
+        #: Node the single shared table (or the canonical replica) lives on.
+        self.pt_home_node = 0
+        #: (writer_node, replica_node) -> per-entry update cost ns memo.
+        self._pt_update_costs: Dict[tuple, int] = {}
         self.frames = FrameAllocator(machine.spec.sockets, frames_per_node)
         self.page_cache = PageCache(self.frames)
         self.scheduler = Scheduler(self)
@@ -90,7 +106,12 @@ class Kernel:
     # ---- processes -------------------------------------------------------------
 
     def create_process(self, name: str) -> KProcess:
-        mm = MmStruct(self.sim, name=name)
+        mm = MmStruct(
+            self.sim,
+            name=name,
+            pt_nodes=self.machine.spec.sockets if self.pt_replicas_enabled else None,
+            pt_home_node=self.pt_home_node,
+        )
         self.mm_registry[mm.pcid] = mm
         proc = KProcess(name, mm)
         self.processes.append(proc)
@@ -125,6 +146,82 @@ class Kernel:
     def set_page_content(self, pfn: int, tag: str) -> None:
         """Workload hook: tag a frame's contents (drives KSM dedup)."""
         self.page_contents[pfn] = tag
+
+    # ---- NUMA-aware page-table placement (numaPTE) ----------------------------------
+
+    def pt_walk_table(self, core, mm: MmStruct):
+        """Table a hardware walk from ``core`` descends, plus the extra ns
+        per walk its placement costs: ``(table, extra_ns)``.
+
+        With ``use_pt_replication`` off this is the shared table at zero
+        extra -- the flat model, exactly as before. On: a replicated mm
+        returns the core's *local* replica (materialized on first use) at
+        zero extra; a single-table mm charges the hop distance to the
+        table's home node. Batched fault paths hoist this per batch.
+        """
+        pt = mm.page_table
+        if not self.use_pt_replication:
+            return pt, 0
+        node = core.socket
+        if isinstance(pt, ReplicatedPageTable):
+            return pt.local_table(node), 0
+        table_node = self.pt_home_node
+        if table_node == node:
+            return pt, 0
+        return pt, self.machine.interconnect.pt_walk_cost(node, table_node)
+
+    def note_pt_walks(self, n: int, extra_ns: int) -> None:
+        """Count ``n`` hardware walks that each paid ``extra_ns`` for
+        table placement (no-op with replication off -- the flat model
+        keeps its counter set unchanged). Feeds the numapte experiment."""
+        if not self.use_pt_replication or n <= 0:
+            return
+        if extra_ns:
+            self.stats.counter("pt.walk.remote").add(n)
+            self.stats.counter("pt.walk.remote_ns").add(n * extra_ns)
+        else:
+            self.stats.counter("pt.walk.local").add(n)
+
+    def pt_hw_walk(self, core, mm: MmStruct, vpn: int):
+        """One counted hardware walk: ``(pte, extra_ns)``."""
+        table, extra = self.pt_walk_table(core, mm)
+        self.note_pt_walks(1, extra)
+        return table.walk(vpn), extra
+
+    def drain_replica_work(self, core, mm: MmStruct) -> int:
+        """Hop-aware ns of pending replica fan-out work for ``mm``.
+
+        The facade counts entry updates per replica node at mutation
+        time; this converts the counts into nanoseconds against the
+        charging core and resets them. Always 0 (with no side effects)
+        when replication is off, so call sites can add it into existing
+        ``core.execute`` sums without changing event schedules.
+        """
+        if not self.pt_replicas_enabled:
+            return 0
+        pt = mm.page_table
+        if not isinstance(pt, ReplicatedPageTable):
+            return 0
+        pending = pt.take_pending_updates()
+        if not pending:
+            return 0
+        node = core.socket
+        # Node pairs recur on every drain; memoize the (deterministic)
+        # per-entry hop cost instead of re-deriving it each time.
+        costs = self._pt_update_costs
+        total = 0
+        entries = 0
+        for replica_node, n_updates in pending:
+            cost = costs.get((node, replica_node))
+            if cost is None:
+                cost = costs[(node, replica_node)] = (
+                    self.machine.interconnect.pt_replica_update_cost(node, replica_node)
+                )
+            total += n_updates * cost
+            entries += n_updates
+        self.stats.counter("pt.replica.updates").add(entries)
+        self.stats.counter("pt.replica.update_ns").add(total)
+        return total
 
     # ---- convenience ----------------------------------------------------------------
 

@@ -229,7 +229,10 @@ class PageFaultHandler:
 
         kernel = self.kernel
         mm = task.mm
-        pte = mm.page_table.walk(vpn)
+        # The hardware re-walk descends the walking core's local replica
+        # (numaPTE) or pays the hop distance to the shared table's node;
+        # with replication modelling off both are the flat walk as before.
+        pte, walk_extra = kernel.pt_hw_walk(core, mm, vpn)
         if pte is None or not pte.present:
             # The mapping changed under us (lazy unmap landed); nothing to cache.
             yield from core.execute(0)
@@ -245,4 +248,7 @@ class PageFaultHandler:
         else:
             core.tlb.fill(mm.pcid, vpn, entry)
         extra = kernel.coherence.on_tlb_fill(core, mm, vpn)
-        yield from core.execute(kernel.machine.latency.tlb_miss_walk_ns + extra)
+        # Any replica fan-out the fault's PTE writes accumulated is charged
+        # here, on the faulting core (0 when replication is off).
+        extra += kernel.drain_replica_work(core, mm)
+        yield from core.execute(kernel.machine.latency.tlb_miss_walk_ns + walk_extra + extra)

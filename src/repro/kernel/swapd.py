@@ -90,6 +90,11 @@ class SwapDevice:
             done = yield from kernel.coherence.migration_unmap(
                 core, mm, vrange, apply_change
             )
+            # Swap-out PTE rewrites fan out to any page-table replicas;
+            # charged here (0 and no extra yield when replication is off).
+            replica_work = kernel.drain_replica_work(core, mm)
+            if replica_work:
+                yield from core.execute(replica_work)
         finally:
             mm.mmap_sem.release()
 

@@ -162,7 +162,9 @@ class Syscalls:
                     core.id, mm.cpumask
                 ).items()
             )
-            yield from core.execute(pte_work + sharer_work)
+            yield from core.execute(
+                pte_work + sharer_work + kernel.drain_replica_work(core, mm)
+            )
 
             vrange_to_free = vrange if remove_vma else None
             yield from kernel.coherence.shootdown_free(
@@ -200,7 +202,7 @@ class Syscalls:
                 mm.page_table.update_pte(vpn, updated)
                 pte_work += lat.pte_set_ns
             mm.bump_generation()
-            yield from core.execute(pte_work)
+            yield from core.execute(pte_work + kernel.drain_replica_work(core, mm))
             yield from kernel.coherence.shootdown_sync(
                 core, mm, vrange, ShootdownReason.MPROTECT
             )
@@ -247,7 +249,7 @@ class Syscalls:
                     kernel.release_frames([pte.pfn])
                 pte_work += lat.pte_clear_ns + lat.pte_set_ns
             mm.bump_generation()
-            yield from core.execute(pte_work)
+            yield from core.execute(pte_work + kernel.drain_replica_work(core, mm))
             yield from kernel.coherence.shootdown_sync(
                 core, mm, old, ShootdownReason.MREMAP
             )
@@ -306,7 +308,7 @@ class Syscalls:
                     child.mm.page_table.set_pte(vpn, shared)
                     kernel.frames.get(pte.pfn)
                     pte_work += 2 * lat.pte_set_ns
-                yield from core.execute(pte_work)
+                yield from core.execute(pte_work + kernel.drain_replica_work(core, mm))
                 yield from kernel.coherence.shootdown_sync(
                     core, mm, vma.range, ShootdownReason.COW
                 )
@@ -328,7 +330,9 @@ class Syscalls:
         entry = core.tlb.lookup(mm.pcid, vpn)
         if entry is not None and (entry.writable or not write):
             return None
-        pte = mm.page_table.walk(vpn)
+        # TLB refill: the hardware walk descends the core's local replica
+        # (or pays the hop distance to the shared table's home node).
+        pte, walk_extra = kernel.pt_hw_walk(core, mm, vpn)
         if pte is not None and pte.present and (pte.writable or not write):
             entry = TlbEntry(
                 pfn=pte.pfn,
@@ -343,7 +347,7 @@ class Syscalls:
             else:
                 core.tlb.fill(mm.pcid, vpn, entry)
             extra = kernel.coherence.on_tlb_fill(core, mm, vpn)
-            yield from core.execute(self._lat.tlb_miss_walk_ns + extra)
+            yield from core.execute(self._lat.tlb_miss_walk_ns + walk_extra + extra)
             return None
         result = yield from kernel.fault_handler.handle(task, core, vaddr, write)
         if result.fatal:
@@ -417,14 +421,20 @@ class Syscalls:
         on_tlb_fill = kernel.coherence.on_tlb_fill
         base_ns = lat.page_fault_base_ns
         anon_ns = lat.page_alloc_ns + lat.page_zero_ns + lat.pte_set_ns
-        walk_ns = lat.tlb_miss_walk_ns
+        # Hardware walks in this batch descend the core's local replica
+        # (numaPTE) or pay the shared table's hop distance; both hoisted
+        # once per batch. Off-mode: walk_table is page_table, extra is 0.
+        walk_table, walk_extra = kernel.pt_walk_table(core, mm)
+        walk_ns = lat.tlb_miss_walk_ns + walk_extra
+        drain_replica_work = kernel.drain_replica_work
+        fast_fills = 0
         mm_id = mm.mm_id
         for vpn in vrange.vpns():
             entry = tlb.lookup(pcid, vpn)
             if entry is not None and (entry.writable or not write):
                 continue
             vaddr = vpn * PAGE_SIZE
-            if page_table.walk(vpn) is not None:
+            if walk_table.walk(vpn) is not None:
                 # Present/CoW/swapped/hinted mappings: the generic access
                 # path already handles every flavour.
                 yield from self.access(task, core, vaddr, write=write)
@@ -469,7 +479,10 @@ class Syscalls:
                         debug_mm_id=mm_id,
                     ),
                 )
-                yield from core.execute(walk_ns + on_tlb_fill(core, mm, vpn))
+                fast_fills += 1
+                yield from core.execute(
+                    walk_ns + on_tlb_fill(core, mm, vpn) + drain_replica_work(core, mm)
+                )
                 faults_anon.add()
                 continue
             if result.fatal:
@@ -479,6 +492,7 @@ class Syscalls:
                     task, core, vpn, result.pfn, write
                 )
             stats.counter(f"faults.{result.kind.value}").add()
+        kernel.note_pt_walks(fast_fills, walk_extra)
 
     def write_with_content(self, task: Task, core, vaddr: int, tag: str) -> Generator:
         """Write to a page and tag the backing frame's content (KSM hook).

@@ -149,6 +149,11 @@ class Khugepaged:
             done = yield from kernel.coherence.migration_unmap(
                 core, mm, vrange, apply_change
             )
+            # Replica fan-out of the 512 clears + 1 huge install (numaPTE);
+            # 0 and no extra yield when replication is off.
+            replica_work = kernel.drain_replica_work(core, mm)
+            if replica_work:
+                yield from core.execute(replica_work)
         finally:
             mm.mmap_sem.release()
 

@@ -16,7 +16,7 @@ from .fault import FaultKind, FaultResult, SegmentationFault
 from .frames import FrameAllocator, FrameAllocatorError
 from .mmstruct import MMAP_BASE, MmStruct
 from .pagecache import PageCache
-from .pagetable import PageTable
+from .pagetable import PageTable, ReplicatedPageTable
 from .pte import Pte, PteFlags, make_huge_pte, make_present_pte, make_swap_pte
 from .vma import Prot, Vma, VmaKind, VmaSet, VmaSetError
 
@@ -36,6 +36,7 @@ __all__ = [
     "Prot",
     "Pte",
     "PteFlags",
+    "ReplicatedPageTable",
     "SegmentationFault",
     "VADDR_LIMIT",
     "VirtRange",

@@ -18,7 +18,7 @@ from typing import List, Optional, Set
 from ..sim.engine import Simulator
 from ..sim.resources import Lock
 from .addr import PAGE_SIZE, VirtRange, page_align_up
-from .pagetable import PageTable
+from .pagetable import PageTable, ReplicatedPageTable
 from .vma import Vma, VmaSet
 
 #: Default base of the mmap area (like x86-64 mmap_base, simplified).
@@ -30,10 +30,24 @@ _mm_ids = itertools.count(1)
 class MmStruct:
     """A process address space."""
 
-    def __init__(self, sim: Simulator, name: str = ""):
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "",
+        pt_nodes: Optional[int] = None,
+        pt_home_node: int = 0,
+    ):
         self.mm_id = next(_mm_ids)
         self.name = name or f"mm{self.mm_id}"
-        self.page_table = PageTable()
+        # ``pt_nodes`` set means page-table replication (numaPTE): one
+        # replica per NUMA node behind the ReplicatedPageTable facade.
+        # Unset keeps today's single shared table, bit-identically.
+        if pt_nodes is not None and pt_nodes > 1:
+            self.page_table: PageTable = ReplicatedPageTable(
+                nodes=pt_nodes, home_node=pt_home_node
+            )
+        else:
+            self.page_table = PageTable()
         self.vmas = VmaSet()
         self.mmap_sem = Lock(sim, name=f"{self.name}.mmap_sem")
         #: Cores that have run a thread of this mm since its last full flush

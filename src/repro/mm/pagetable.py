@@ -164,16 +164,87 @@ class PageTable:
         return prev
 
     def update_pte(self, vpn: int, pte: Pte) -> None:
-        """Replace an existing PTE in place (PTE must exist)."""
+        """Replace an existing PTE in place (PTE must exist).
+
+        A vpn covered by a huge mapping replaces the covering PD entry
+        (mprotect over a collapsed range rewrites the single huge PTE).
+        """
         self._version = next(_VERSIONS)
-        existing = self.walk(vpn)
-        if existing is None:
+        base = huge_base_vpn(vpn)
+        if base in self._huge:
+            self._huge[base] = pte
+            if self.observer is not None:
+                self.observer("set_huge", base)
+            return
+        node = self._root
+        pml4, pdpt, pd, pt = _indices(vpn)
+        for idx in (pml4, pdpt, pd):
+            node = node.get(idx)
+            if node is None:
+                raise KeyError(f"update of unmapped vpn {vpn:#x}")
+        if pt not in node:
             raise KeyError(f"update of unmapped vpn {vpn:#x}")
-        self.set_pte(vpn, pte)
+        node[pt] = pte
+        if self.observer is not None:
+            self.observer("set", vpn)
 
     def entries_in_range(self, vrange: VirtRange) -> Iterator[Tuple[int, Pte]]:
         """Yield (vpn, pte) for every mapped 4 KiB page in ``vrange``
-        (huge mappings are surfaced once, at their base vpn)."""
+        (huge mappings are surfaced once, at their base vpn).
+
+        Descends the radix tree, so cost is O(mapped entries in range),
+        not O(range length). Yield order matches the historical per-vpn
+        probe exactly: ascending by position, where a huge mapping's
+        position is the first covered vpn inside the range (its base,
+        or ``vpn_start`` when the range starts mid-huge) but it is
+        yielded at its base vpn.
+        """
+        start, end = vrange.vpn_start, vrange.vpn_end
+        if start >= end:
+            return
+        overlapping = sorted(
+            (max(base, start), base, pte)
+            for base, pte in self._huge.items()
+            if base < end and base + HUGE_PAGE_PAGES > start
+        )
+        entries_4k = self._entries_4k_in_range(start, end)
+        nxt = next(entries_4k, None)
+        # No 4 KiB entry can exist under a huge mapping, so positions
+        # never tie and a plain two-way merge preserves the probe order.
+        for pos, base, pte in overlapping:
+            while nxt is not None and nxt[0] < pos:
+                yield nxt
+                nxt = next(entries_4k, None)
+            yield base, pte
+        while nxt is not None:
+            yield nxt
+            nxt = next(entries_4k, None)
+
+    def _entries_4k_in_range(self, start: int, end: int) -> Iterator[Tuple[int, Pte]]:
+        """Radix descent over 4 KiB entries with vpn in [start, end)."""
+        span_pml4 = 1 << (3 * BITS_PER_LEVEL)
+        span_pdpt = 1 << (2 * BITS_PER_LEVEL)
+        span_pd = 1 << BITS_PER_LEVEL
+        for pml4_idx, pdpt_node in sorted(self._root.items()):
+            base1 = pml4_idx << (3 * BITS_PER_LEVEL)
+            if base1 >= end or base1 + span_pml4 <= start:
+                continue
+            for pdpt_idx, pd_node in sorted(pdpt_node.items()):
+                base2 = base1 | (pdpt_idx << (2 * BITS_PER_LEVEL))
+                if base2 >= end or base2 + span_pdpt <= start:
+                    continue
+                for pd_idx, pt_node in sorted(pd_node.items()):
+                    base3 = base2 | (pd_idx << BITS_PER_LEVEL)
+                    if base3 >= end or base3 + span_pd <= start:
+                        continue
+                    for pt_idx, pte in sorted(pt_node.items()):
+                        vpn = base3 | pt_idx
+                        if start <= vpn < end:
+                            yield vpn, pte
+
+    def _entries_in_range_probing(self, vrange: VirtRange) -> Iterator[Tuple[int, Pte]]:
+        """The historical O(range) per-vpn probe, kept as the reference
+        implementation for the equivalence test of the radix descent."""
         seen_huge = set()
         for vpn in vrange.vpns():
             base = huge_base_vpn(vpn)
@@ -204,3 +275,250 @@ class PageTable:
                             | pt_idx
                         )
                         yield vpn, pte
+
+
+class ReplicatedPageTable(PageTable):
+    """numaPTE-style per-NUMA-node page-table replication facade.
+
+    The facade *is* the home node's table (all inherited storage is the
+    canonical replica, so single-table callers keep working unchanged);
+    remote nodes get lazily materialized :class:`PageTable` replicas that
+    every mutator fans out to. Replicas share ``Pte`` objects with the
+    canonical table -- coherence means structural agreement, and the
+    invariant monitor checks it entry-by-entry.
+
+    Cost accounting is decoupled from the data structure: fan-outs only
+    *count* pending entry-updates per node; the kernel drains those
+    counts into hop-aware nanoseconds at its existing charge sites.
+    """
+
+    #: Mutation-audit hook: nodes whose replicas the fan-out skips
+    #: (the ``broken_replica`` variant sets this on one mm's facade).
+    _skip_replica_nodes: frozenset = frozenset()
+
+    def __init__(self, nodes: int, home_node: int = 0):
+        super().__init__()
+        #: NUMA node count of the machine this mm runs on.
+        self.nodes = nodes
+        #: Node whose replica is the canonical (inherited) table.
+        self.home_node = home_node
+        #: node -> replica table; the home node is never in here.
+        self._replicas: Dict[int, PageTable] = {}
+        #: Lifetime count of entry updates fanned out to replicas.
+        self.replica_updates = 0
+        #: Lifetime count of lazy replica materializations.
+        self.replica_materializations = 0
+        #: node -> entry updates not yet charged by the kernel.
+        self._pending_updates: Dict[int, int] = {}
+
+    # ---- write coordination: every mutator mirrors to live replicas ---------
+    #
+    # The inherited mutators fire the observer (the invariant monitor's
+    # continuous-check hook) at their end -- *before* the fan-out would
+    # run. The monitor's replica-coherence check must never observe that
+    # mid-mutation window, so each override runs the canonical mutation
+    # with the observer detached, mirrors, and only then notifies.
+
+    def set_pte(self, vpn: int, pte: Pte) -> Optional[Pte]:
+        prev = self._quiet(super().set_pte, vpn, pte)
+        self._mirror("set_pte", vpn, pte)
+        self._notify("set", vpn)
+        return prev
+
+    def clear_pte(self, vpn: int) -> Optional[Pte]:
+        prev = self._quiet(super().clear_pte, vpn)
+        if prev is not None:
+            self._mirror("clear_pte", vpn)
+            self._notify("clear", vpn)
+        return prev
+
+    def update_pte(self, vpn: int, pte: Pte) -> None:
+        self._quiet(super().update_pte, vpn, pte)
+        self._mirror("update_pte", vpn, pte)
+        base = huge_base_vpn(vpn)
+        if base in self._huge:
+            self._notify("set_huge", base)
+        else:
+            self._notify("set", vpn)
+
+    def set_huge_pte(self, base_vpn: int, pte: Pte) -> None:
+        self._quiet(super().set_huge_pte, base_vpn, pte)
+        self._mirror("set_huge_pte", base_vpn, pte)
+        self._notify("set_huge", base_vpn)
+
+    def clear_huge_pte(self, base_vpn: int) -> Optional[Pte]:
+        prev = self._quiet(super().clear_huge_pte, base_vpn)
+        if prev is not None:
+            self._mirror("clear_huge_pte", base_vpn)
+            self._notify("clear_huge", base_vpn)
+        return prev
+
+    def _quiet(self, method, *args):
+        obs, self.observer = self.observer, None
+        try:
+            return method(*args)
+        finally:
+            self.observer = obs
+
+    def _notify(self, event: str, vpn: int) -> None:
+        if self.observer is not None:
+            self.observer(event, vpn)
+
+    def _mirror(self, method: str, *args) -> None:
+        """Apply one canonical mutation to every live replica.
+
+        The two ops the fault and munmap paths hammer (``set_pte`` /
+        ``clear_pte``) take inlined fast paths that share one index split
+        across all replicas; mutation hooks (``broken_replica``) wrap this
+        method, so dispatch stays here. The fast paths must mutate exactly
+        like :class:`PageTable`'s -- the shadow-model property test and the
+        replica-coherence monitor guard that equivalence."""
+        if not self._replicas:
+            return
+        if method == "set_pte":
+            self._mirror_set(*args)
+        elif method == "clear_pte":
+            self._mirror_clear(*args)
+        else:
+            skip = self._skip_replica_nodes
+            pending = self._pending_updates
+            n = 0
+            for node, replica in self._replicas.items():
+                if node in skip:
+                    continue
+                getattr(replica, method)(*args)
+                pending[node] = pending.get(node, 0) + 1
+                n += 1
+            self.replica_updates += n
+
+    def _mirror_set(self, vpn: int, pte: Pte) -> None:
+        """Fan out one 4 KiB install (PageTable.set_pte, sans the huge
+        check -- the canonical mutation already vetted it)."""
+        skip = self._skip_replica_nodes
+        pending = self._pending_updates
+        pml4, pdpt, pd, pt = _indices(vpn)
+        n = 0
+        for node, replica in self._replicas.items():
+            if node in skip:
+                continue
+            replica._version = next(_VERSIONS)
+            level = replica._root
+            for idx in (pml4, pdpt, pd):
+                nxt = level.get(idx)
+                if nxt is None:
+                    nxt = {}
+                    level[idx] = nxt
+                    replica.table_pages_allocated += 1
+                level = nxt
+            if pt not in level:
+                replica._count += 1
+            level[pt] = pte
+            pending[node] = pending.get(node, 0) + 1
+            n += 1
+        self.replica_updates += n
+
+    def _mirror_clear(self, vpn: int) -> None:
+        """Fan out one 4 KiB teardown (PageTable.clear_pte, including the
+        interior-node pruning)."""
+        skip = self._skip_replica_nodes
+        pending = self._pending_updates
+        pml4, pdpt, pd, pt = _indices(vpn)
+        n = 0
+        for node, replica in self._replicas.items():
+            if node in skip:
+                continue
+            replica._version = next(_VERSIONS)
+            root = replica._root
+            pdpt_d = root.get(pml4)
+            if pdpt_d is None:
+                continue
+            pd_d = pdpt_d.get(pdpt)
+            if pd_d is None:
+                continue
+            pt_d = pd_d.get(pd)
+            if pt_d is None:
+                continue
+            if pt_d.pop(pt, None) is None:
+                continue
+            replica._count -= 1
+            if not pt_d:
+                del pd_d[pd]
+                if not pd_d:
+                    del pdpt_d[pdpt]
+                    if not pdpt_d:
+                        del root[pml4]
+            pending[node] = pending.get(node, 0) + 1
+            n += 1
+        self.replica_updates += n
+
+    # ---- walk-side API -------------------------------------------------------
+
+    def local_table(self, node: int) -> PageTable:
+        """The replica a hardware walk from ``node`` descends
+        (materialized on first use)."""
+        if node == self.home_node:
+            return self
+        replica = self._replicas.get(node)
+        if replica is None:
+            replica = self._materialize(node)
+        return replica
+
+    def walk_local(self, vpn: int, node: int) -> Optional[Pte]:
+        return self.local_table(node).walk(vpn)
+
+    def _materialize(self, node: int) -> PageTable:
+        """Clone the canonical table as ``node``'s replica.
+
+        Interior dicts are copied (and counted as that node's table
+        pages); ``Pte`` leaves are shared with the canonical table.
+        """
+        replica = PageTable()
+        pages = 1  # the replica's root
+        root: Dict[int, Dict] = {}
+        for pml4_idx, pdpt_node in self._root.items():
+            new_pdpt: Dict[int, Dict] = {}
+            pages += 1
+            for pdpt_idx, pd_node in pdpt_node.items():
+                new_pd: Dict[int, Dict] = {}
+                pages += 1
+                for pd_idx, pt_node in pd_node.items():
+                    new_pd[pd_idx] = dict(pt_node)
+                    pages += 1
+                new_pdpt[pdpt_idx] = new_pd
+            root[pml4_idx] = new_pdpt
+        replica._root = root
+        replica._count = self._count
+        replica._huge = dict(self._huge)
+        replica.table_pages_allocated = pages
+        replica._version = next(_VERSIONS)
+        self._replicas[node] = replica
+        self.replica_materializations += 1
+        # Derived state changed: invalidate version-keyed snapshot and
+        # canonical-hash caches that fold replica state.
+        self._version = next(_VERSIONS)
+        return replica
+
+    # ---- accounting ----------------------------------------------------------
+
+    def take_pending_updates(self) -> Tuple[Tuple[int, int], ...]:
+        """Drain (node, entry-update count) pairs accumulated since the
+        last drain; the kernel turns them into hop-aware charge."""
+        if not self._pending_updates:
+            return ()
+        items = tuple(sorted(self._pending_updates.items()))
+        self._pending_updates.clear()
+        # Keep the version contract over the *whole* facade (canonical +
+        # replicas + pending counts): equal version implies equal state.
+        self._version = next(_VERSIONS)
+        return items
+
+    def table_pages_by_node(self) -> Dict[int, int]:
+        """Table pages allocated per node (home = canonical table)."""
+        pages = {self.home_node: self.table_pages_allocated}
+        for node, replica in self._replicas.items():
+            pages[node] = replica.table_pages_allocated
+        return pages
+
+    def replicas(self) -> Dict[int, PageTable]:
+        """Live remote replicas by node (read-only view for checkers)."""
+        return dict(self._replicas)

@@ -33,6 +33,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .coherence.latr import LatrCoherence
+from .mm.pagetable import PageTable, ReplicatedPageTable
 from .sim.engine import Signal, SimulationError, live_continuation
 
 
@@ -149,9 +150,25 @@ def _mm_snapshot(mm) -> Tuple:
     # previous deep copy, the dominant cost of an mm snapshot.
     pt_snap = getattr(pt, "_snap_cache", None)
     if pt_snap is None or pt_snap[0] != pt._version:
+        # Replica slot (numaPTE): per-node replica contents plus the
+        # facade's pending-update and lifetime counters. The facade's
+        # version covers all of it -- every replica mutation,
+        # materialization, and pending-count drain bumps it.
+        replicas = None
+        if isinstance(pt, ReplicatedPageTable):
+            replicas = (
+                {
+                    node: (r._version, _copy_pt_root(r._root), r._count,
+                           dict(r._huge), r.table_pages_allocated)
+                    for node, r in pt._replicas.items()
+                },
+                dict(pt._pending_updates),
+                pt.replica_updates,
+                pt.replica_materializations,
+            )
         pt_snap = pt._snap_cache = (
             pt._version, _copy_pt_root(pt._root), pt._count, dict(pt._huge),
-            pt.table_pages_allocated,
+            pt.table_pages_allocated, replicas,
         )
     vmas = list(mm.vmas._vmas)
     return (
@@ -169,12 +186,35 @@ def _mm_restore(mm, snap: Tuple) -> None:
     (pt_snap, vma_snap, sem_counts, cpumask, users, bump, free_ranges,
      lazy_vranges, lazy_frames, map_generation) = snap
     pt = mm.page_table
-    version, root, count, huge, table_pages = pt_snap
+    version, root, count, huge, table_pages, replicas = pt_snap
     if pt._version != version:
         pt._root = _copy_pt_root(root)
         pt._count = count
         pt._huge = dict(huge)
         pt.table_pages_allocated = table_pages
+        if replicas is not None:
+            repl_snaps, pending, updates, materializations = replicas
+            live = {}
+            for node, r_snap in repl_snaps.items():
+                r_version, r_root, r_count, r_huge, r_pages = r_snap
+                replica = pt._replicas.get(node)
+                if replica is None:
+                    # Dropped by an earlier restore; rebuild it in place.
+                    replica = PageTable()
+                elif replica._version == r_version:
+                    live[node] = replica
+                    continue
+                replica._root = _copy_pt_root(r_root)
+                replica._count = r_count
+                replica._huge = dict(r_huge)
+                replica.table_pages_allocated = r_pages
+                replica._version = r_version
+                live[node] = replica
+            # Replicas materialized after the snapshot are dropped.
+            pt._replicas = live
+            pt._pending_updates = dict(pending)
+            pt.replica_updates = updates
+            pt.replica_materializations = materializations
         pt._version = version
         pt._snap_cache = pt_snap
     # pt.observer is wiring, not state: leave it attached.

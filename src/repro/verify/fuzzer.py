@@ -96,6 +96,7 @@ def build_fuzz_system(
     latr_kwargs: Optional[Dict[str, object]] = None,
     use_timer_wheel: Optional[bool] = None,
     use_tlb_index: Optional[bool] = None,
+    use_pt_replication: Optional[bool] = None,
 ) -> FuzzSystem:
     """Boot a system for one fuzz run, with every schedule knob applied
     *before* the kernel starts (tick offsets matter from the first tick)."""
@@ -136,7 +137,15 @@ def build_fuzz_system(
     machine = Machine(sim, spec, use_tlb_index=use_tlb_index)
     if mutation is not None and mutation.machine_patch is not None:
         mutation.machine_patch(machine)
-    kernel = Kernel(machine, coherence, frames_per_node=frames_per_node, seed=plan.seed)
+    kernel = Kernel(
+        machine,
+        coherence,
+        frames_per_node=frames_per_node,
+        seed=plan.seed,
+        use_pt_replication=use_pt_replication,
+    )
+    if mutation is not None and mutation.kernel_patch is not None:
+        mutation.kernel_patch(kernel)
     kernel.scheduler.tick_offsets = dict(plan.schedule.tick_offsets)
     AutoNuma.install(kernel)  # fault side only; the fuzzer posts its own hints
     SwapDevice.install(kernel)
@@ -507,6 +516,7 @@ def run_one(
     latr_kwargs: Optional[Dict[str, object]] = None,
     use_timer_wheel: Optional[bool] = None,
     use_tlb_index: Optional[bool] = None,
+    use_pt_replication: Optional[bool] = None,
     pool=None,
 ) -> RunResult:
     """Replay ``plan`` once on ``mechanism``; never raises -- harness
@@ -529,6 +539,7 @@ def run_one(
             latr_kwargs=latr_kwargs,
             use_timer_wheel=use_timer_wheel,
             use_tlb_index=use_tlb_index,
+            use_pt_replication=use_pt_replication,
         )
 
     if pool is not None and mutate is None and not with_tracer:
@@ -541,7 +552,7 @@ def run_one(
             tuple(sorted(plan.schedule.tick_offsets.items())),
             frames_per_node, monitor_stride,
             tuple(sorted((latr_kwargs or {}).items())),
-            use_timer_wheel, use_tlb_index,
+            use_timer_wheel, use_tlb_index, use_pt_replication,
         )
         system = pool.acquire(key, build)
     else:

@@ -165,6 +165,8 @@ class McExecutor:
         kernel = Kernel(
             machine, coherence, frames_per_node=scope.frames_per_node, seed=1
         )
+        if self.mutation is not None and self.mutation.kernel_patch is not None:
+            self.mutation.kernel_patch(kernel)
         AutoNuma.install(kernel)  # fault side; the checker posts its own hints
         monitor = InvariantMonitor.install(kernel)
         # NOTE: kernel.start() is deliberately NOT called -- no periodic
@@ -439,13 +441,29 @@ class McExecutor:
         pt_version = page_table._version
         cached_pt = self._pt_canon
         if cached_pt is None or cached_pt[0] != pt_version:
-            cached_pt = self._pt_canon = (
-                pt_version,
-                dumps(sorted(
-                    (vpn, pte.pfn, int(pte.flags), pte.swap_slot)
-                    for vpn, pte in page_table.all_entries()
-                ), 4),
+            rows = sorted(
+                (vpn, pte.pfn, int(pte.flags), pte.swap_slot)
+                for vpn, pte in page_table.all_entries()
             )
+            replicas = getattr(page_table, "_replicas", None)
+            if replicas:
+                # numaPTE: replicas are functional state (walks descend
+                # them), so fold each one in -- a stale replica (the
+                # broken_replica mutation) desyncs the hash. The facade
+                # version covers replica contents and pending counts, so
+                # the version-keyed cache stays sound.
+                frag: object = (
+                    rows,
+                    sorted(
+                        (node, vpn, pte.pfn, int(pte.flags), pte.swap_slot)
+                        for node, replica in replicas.items()
+                        for vpn, pte in replica.all_entries()
+                    ),
+                    sorted(page_table._pending_updates.items()),
+                )
+            else:
+                frag = rows
+            cached_pt = self._pt_canon = (pt_version, dumps(frag, 4))
         pieces.append(cached_pt[1])
         vmas = sorted(
             (v.range.start, v.range.end, int(v.prot), v.kind.name, v.huge)

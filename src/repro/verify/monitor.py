@@ -36,6 +36,9 @@ if TYPE_CHECKING:  # pragma: no cover
 CONTINUOUS_CHECKS: Dict[str, Callable] = {
     "tlb_frame_safety": invariants.check_tlb_frame_safety,
     "lazy_vrange_isolation": invariants.check_lazy_vrange_isolation,
+    # Replica fan-out is applied synchronously with the canonical mutation
+    # (only its cost is deferred), so divergence is a bug at any instant.
+    "replica_coherence": invariants.check_replica_coherence,
 }
 
 #: Checkers valid only at quiescent points (run via :meth:`check_quiescent`).
@@ -73,7 +76,9 @@ class InvariantMonitor:
     def __init__(
         self,
         kernel: "Kernel",
-        checks: Sequence[str] = ("tlb_frame_safety", "lazy_vrange_isolation"),
+        checks: Sequence[str] = (
+            "tlb_frame_safety", "lazy_vrange_isolation", "replica_coherence"
+        ),
         max_violations: int = 50,
         raise_on_violation: bool = False,
         stride: int = 1,

@@ -25,12 +25,17 @@ bug lives (coherence algorithm, simulator engine, or TLB hardware model):
   cursor watermark advances past them: their bitmask bits never clear and
   lazy work never drains (a liveness bug the equivalence/differential
   oracles must flag, not the instant-level invariants).
+* ``broken_replica`` -- under the numaPTE replicated-page-table facade,
+  the write-coordinating fan-out silently drops PTE clears for node 1:
+  that node's replica keeps mappings the canonical table tore down, so
+  hardware walks from node-1 cores translate through stale entries (the
+  exact bug class the replica-coherence policy layer exists to prevent).
 
-The first two and ``tlb_index_desync`` must be caught by the
-:class:`~repro.verify.monitor.InvariantMonitor`; the engine and cache
-mutations are liveness/equivalence bugs caught by the drain guards and the
-differential oracles. The mutation tests and the model checker's
-mutation-audit experiment gate on exactly that.
+The first two, ``tlb_index_desync``, and ``broken_replica`` must be
+caught by the :class:`~repro.verify.monitor.InvariantMonitor`; the engine
+and cache mutations are liveness/equivalence bugs caught by the drain
+guards and the differential oracles. The mutation tests and the model
+checker's mutation-audit experiment gate on exactly that.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Type
 
 from ..coherence.latr import LatrCoherence
+from ..coherence.numapte import NumaPteCoherence
 from ..coherence.states import LatrFlag, LatrState
 from ..hw.machine import Machine
 from ..sim.engine import Simulator
@@ -49,6 +55,7 @@ MUTATIONS = (
     "wheel_bucket_skip",
     "tlb_index_desync",
     "active_cache_stale",
+    "broken_replica",
 )
 
 
@@ -68,9 +75,12 @@ class Mutation:
 
     name: str
     description: str
-    coherence_cls: Optional[Type[LatrCoherence]] = None
+    coherence_cls: Optional[Type] = None
     simulator_cls: Optional[Type[Simulator]] = None
     machine_patch: Optional[Callable[[Machine], None]] = None
+    #: Applied to the freshly-built Kernel (before any process exists);
+    #: hosts bugs that live below the coherence layer (e.g. the mm facade).
+    kernel_patch: Optional[Callable] = None
     detected_by: str = "monitor"
 
 
@@ -215,6 +225,56 @@ class StaleActiveCacheLatr(LatrCoherence):
 
 
 # ---------------------------------------------------------------------------
+# numaPTE replica-coherence mutation (PR 8)
+# ---------------------------------------------------------------------------
+
+
+class BrokenReplicaNumaPte(NumaPteCoherence):
+    """Mutation carrier: the mechanism itself is healthy numaPTE (which
+    turns page-table replication on); the bug lives in the paired
+    ``kernel_patch``. The subclass only swallows the LATR schedule knobs
+    the harnesses pass uniformly to mutated coherence classes."""
+
+    mutation = "broken_replica"
+
+    def __init__(self, **kwargs):
+        super().__init__()
+
+
+def skip_node1_replica(kernel) -> None:
+    """Mutation: every mm created from now on drops PTE *clears* from node
+    1's replica fan-out -- the missed-unmap flavour of replica incoherence:
+    node-1 hardware walks keep translating through mappings the canonical
+    table already tore down. (Installs still fan out, so the bug first
+    bites inside the checked op space, not during harness setup.)"""
+    from ..mm.pagetable import ReplicatedPageTable
+
+    original = kernel.create_process
+
+    def create_process(*args, **kwargs):
+        process = original(*args, **kwargs)
+        pt = process.mm.page_table
+        if isinstance(pt, ReplicatedPageTable):
+            orig_mirror = pt._mirror
+
+            def mirror(method, *args, _pt=pt, _orig=orig_mirror):
+                if method in ("clear_pte", "clear_huge_pte"):
+                    # BUG: node 1's replica never sees the teardown.
+                    _pt._skip_replica_nodes = frozenset({1})
+                    try:
+                        _orig(method, *args)
+                    finally:
+                        _pt._skip_replica_nodes = frozenset()
+                else:
+                    _orig(method, *args)
+
+            pt._mirror = mirror
+        return process
+
+    kernel.create_process = create_process
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -251,6 +311,13 @@ MUTATION_SPECS: Dict[str, Mutation] = {
             description="active-state sweep cache not invalidated on post",
             coherence_cls=StaleActiveCacheLatr,
             detected_by="progress",
+        ),
+        Mutation(
+            name="broken_replica",
+            description="numaPTE replica fan-out drops PTE clears for node 1",
+            coherence_cls=BrokenReplicaNumaPte,
+            kernel_patch=skip_node1_replica,
+            detected_by="monitor",
         ),
     )
 }

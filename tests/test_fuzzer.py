@@ -134,7 +134,11 @@ class TestMutationDetection:
         result = run_one("latr", plan, mutate=mutation)
         if spec.detected_by == "monitor":
             assert result.violations, f"mutation {mutation} was not detected"
-            assert any(v.check == "tlb_frame_safety" for v in result.violations)
+            expected_check = (
+                "replica_coherence" if mutation == "broken_replica"
+                else "tlb_frame_safety"
+            )
+            assert any(v.check == expected_check for v in result.violations)
             return
         findings = list(result.errors)
         if result.snapshot is not None:

@@ -1,10 +1,12 @@
 """Unit tests for the 4-level page table."""
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import HealthCheck, given, settings
 
-from repro.mm.addr import VirtRange
+from repro.mm.addr import HUGE_PAGE_PAGES, VirtRange
 from repro.mm.pagetable import PageTable
-from repro.mm.pte import Pte, PteFlags, make_present_pte
+from repro.mm.pte import Pte, PteFlags, make_huge_pte, make_present_pte
 
 
 class TestBasics:
@@ -46,6 +48,19 @@ class TestBasics:
         pt.set_pte(7, make_present_pte(1))
         pt.update_pte(7, make_present_pte(9))
         assert pt.walk(7).pfn == 9
+
+    def test_update_over_huge_replaces_in_place(self):
+        pt = PageTable()
+        pt.set_huge_pte(0, make_huge_pte(100))
+        v0 = pt._version
+        # Any vpn under the huge mapping rewrites the single PD entry,
+        # with exactly one version bump and no clear/re-add churn.
+        pt.update_pte(37, make_huge_pte(200))
+        assert pt.walk(37).pfn == 200
+        assert pt.walk(0).pfn == 200
+        assert pt.huge_count() == 1
+        assert len(pt) == 0
+        assert pt._version == v0 + 1
 
     def test_distant_vpns_do_not_collide(self):
         pt = PageTable()
@@ -94,6 +109,54 @@ class TestIteration:
             pt.set_pte(vpn, make_present_pte(vpn))
         walked = [vpn for vpn, _ in pt.all_entries()]
         assert walked == sorted(vpns)
+
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        vpns=st.lists(
+            st.integers(0, 6 * HUGE_PAGE_PAGES - 1), max_size=40, unique=True
+        ),
+        huge_bases=st.lists(
+            st.sampled_from([6 * HUGE_PAGE_PAGES, 7 * HUGE_PAGE_PAGES,
+                             9 * HUGE_PAGE_PAGES]),
+            max_size=3, unique=True,
+        ),
+        start=st.integers(0, 10 * HUGE_PAGE_PAGES),
+        span=st.integers(1, 4 * HUGE_PAGE_PAGES),
+    )
+    def test_radix_descent_equivalent_to_probing(
+        self, vpns, huge_bases, start, span
+    ):
+        """Satellite gate: the radix-descending ``entries_in_range`` must
+        yield exactly what the old per-vpn probing walk yielded -- same
+        pairs, same order -- over mixed 4K + huge tables and arbitrary
+        ranges (including ones starting mid-huge-page)."""
+        pt = PageTable()
+        for vpn in vpns:
+            pt.set_pte(vpn, make_present_pte(vpn))
+        for base in huge_bases:
+            pt.set_huge_pte(base, make_huge_pte(base))
+        vr = VirtRange.from_pages(start, span)
+        assert list(pt.entries_in_range(vr)) == list(
+            pt._entries_in_range_probing(vr)
+        )
+
+    def test_range_start_inside_huge_mapping(self):
+        pt = PageTable()
+        pt.set_huge_pte(0, make_huge_pte(0))
+        vr = VirtRange.from_pages(HUGE_PAGE_PAGES // 2, HUGE_PAGE_PAGES)
+        assert list(pt.entries_in_range(vr)) == list(
+            pt._entries_in_range_probing(vr)
+        )
+
+    def test_descent_cost_scales_with_mapped_not_range(self):
+        """The whole point of the radix descent: a huge sparse range costs
+        O(mapped entries), where probing walked every vpn."""
+        pt = PageTable()
+        pt.set_pte(0, make_present_pte(1))
+        pt.set_pte(1 << 34, make_present_pte(2))
+        vr = VirtRange.from_pages(0, (1 << 34) + 1)  # ~16G pages
+        assert [vpn for vpn, _ in pt.entries_in_range(vr)] == [0, 1 << 34]
 
 
 class TestPteFlags:

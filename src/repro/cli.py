@@ -418,14 +418,52 @@ def _numapte_smoke() -> int:
     return 0
 
 
+def _fleet_smoke() -> int:
+    """Fleet gate: the 960-core spec boots and runs the stress churn
+    cleanly, and the packed hot-state representations (SoA LATR queues,
+    packed TLB slots, slab frame frees -- the defaults) are byte-identical
+    to the object model at a short scope. The fleet bench *floor* rides in
+    the quick-bench step (fleet-stress-960c under ``--check-regression``);
+    this step is the cheap correctness half."""
+    from .bench import run_fleet_stress
+
+    scope = dict(
+        machine="fleet-16s960c", drivers=8, pages=4, touchers=3, duration_ms=2
+    )
+    packed = run_fleet_stress(packed=True, scope=scope)
+    if not packed.get("count.latr.sweeps") or not packed.get("count.latr.states_posted"):
+        print(
+            "fleet-smoke: 960-core run posted no LATR states or never swept",
+            file=sys.stderr,
+        )
+        return 1
+    objects = run_fleet_stress(packed=False, scope=scope)
+    if packed != objects:
+        diff = [k for k in packed.keys() | objects.keys() if packed.get(k) != objects.get(k)]
+        print(
+            f"fleet-smoke: packed and object-model stats diverge on "
+            f"{sorted(diff)[:8]}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"fleet ok: 960 cores, {int(packed['count.latr.sweeps'])} sweeps, "
+        f"{int(packed['count.latr.states_posted'])} posts; packed representations "
+        f"byte-identical to the object model"
+    )
+    return 0
+
+
 def _run_ci_command(args) -> int:
     """``python -m repro ci``: the full local gate -- tier-1 pytest, a
     small exhaustive mc scope, the snapshot-vs-replay differential, the
-    numaPTE smoke (replication/escape-hatch/mutation-audit gate), a
+    numaPTE smoke (replication/escape-hatch/mutation-audit gate), the
+    fleet smoke (960-core boot + packed-vs-object byte-identity), a
     parallel fast-mode smoke of every experiment, and the quick wall-clock
-    bench (which gates the mc-snapshot speedup and hash equality) with its
-    regression check against the committed BENCH_*.json baseline (exit 2
-    if the baseline is missing). Exits non-zero on the first failure.
+    bench (which gates the mc-snapshot speedup/hash equality and the
+    fleet-stress packed speedup and events/s floors) with its regression
+    check against the committed BENCH_*.json baseline (exit 2 if the
+    baseline is missing). Exits non-zero on the first failure.
 
     Needs a source checkout (it locates ``tests/`` next to ``src/``)."""
     import subprocess
@@ -469,6 +507,7 @@ def _run_ci_command(args) -> int:
         ),
         ("snapshot differential (3c/2p/5ops)", _snapshot_differential),
         ("numapte-smoke", _numapte_smoke),
+        ("fleet-smoke", _fleet_smoke),
         ("repro all --fast --jobs 2", lambda: main(["all", "--fast", "--jobs", "2"])),
         (
             "repro bench --quick --check-regression",

@@ -51,7 +51,17 @@ from ..mm.frames import FrameBatch
 from ..mm.mmstruct import MmStruct
 from ..sim.engine import Signal, Timeout
 from .base import MECHANISM_PROPERTIES, ShootdownReason, TLBCoherence
-from .states import DEFAULT_QUEUE_DEPTH, LatrFlag, LatrState, LatrStateQueue
+from .states import (
+    DEFAULT_QUEUE_DEPTH,
+    SOA_ACTIVE,
+    SOA_MIGRATION,
+    SOA_PTE_APPLIED,
+    LatrFlag,
+    LatrState,
+    LatrStateQueue,
+    SoaLatrQueue,
+    SoaLatrState,
+)
 
 #: Cacheline cost of one state record (68 B spans two 64 B lines).
 STATE_LINES = 2
@@ -70,6 +80,7 @@ class LatrCoherence(TLBCoherence):
         sweep_on_context_switch: bool = True,
         sweep_on_tick: bool = True,
         use_sweep_index: bool = True,
+        use_soa_states: bool = True,
     ):
         super().__init__()
         self.queue_depth = queue_depth
@@ -79,6 +90,12 @@ class LatrCoherence(TLBCoherence):
         #: False forces the original O(cores x queue_depth) full scan; the
         #: bench harness and the equivalence tests compare both paths.
         self.use_sweep_index = use_sweep_index
+        #: Escape hatch for the struct-of-arrays queue representation:
+        #: False rebuilds the original one-dataclass-per-state model. The
+        #: two representations are bit-identical in every modelled result
+        #: (stats, canonical hashes); only the simulator's wall-clock differs.
+        self.use_soa_states = use_soa_states
+        self._state_cls = SoaLatrState if use_soa_states else LatrState
         self.queues: Dict[int, LatrStateQueue] = {}
         #: Extra per-sweep cost for cache-thrashing applications whose state
         #: queue lines never stay resident (workload profiles set this; the
@@ -104,13 +121,20 @@ class LatrCoherence(TLBCoherence):
         #: changes on a post or a final deactivation, which happen orders
         #: of magnitude less often than the per-tick sweeps that read it.
         self._active_states_sorted: Optional[List[LatrState]] = None
+        #: SoA sweep row cache: (seq, owner socket, queue, slot, state)
+        #: tuples for ``_active_states_sorted``, keyed on that list's
+        #: *identity* (every invalidation path -- post, deactivate,
+        #: snapshot restore -- installs a fresh list object).
+        self._soa_sweep_rows: Optional[list] = None
+        self._soa_rows_src: Optional[list] = None
 
     # ---- wiring ---------------------------------------------------------------
 
     def attach(self, kernel) -> None:
         super().attach(kernel)
+        queue_cls = SoaLatrQueue if self.use_soa_states else LatrStateQueue
         self.queues = {
-            core.id: LatrStateQueue(core.id, self.queue_depth)
+            core.id: queue_cls(core.id, self.queue_depth)
             for core in kernel.machine.cores
         }
         for queue in self.queues.values():
@@ -141,6 +165,15 @@ class LatrCoherence(TLBCoherence):
         self._state_pull = lat.latr_state_pull
         self._core_hops = machine.topology.core_hops
         self._record_state_traffic = machine.llc.record_state_traffic
+        # SoA sweep fast-path tables: the topology's socket map / hop rows
+        # and the pull cost per (clamped) hop count, so the per-state loop
+        # does plain list indexing instead of bound-method calls.
+        topo = machine.topology
+        self._socket_of = topo._socket_of
+        self._hop_rows = topo._hops
+        self._pull_ns_by_hops = tuple(lat.latr_state_pull(h) for h in range(3))
+        self._soa_sweep_rows = None
+        self._soa_rows_src = None
 
     def start(self) -> None:
         """Spawn the background reclamation daemon (kernel.start calls this)."""
@@ -199,10 +232,16 @@ class LatrCoherence(TLBCoherence):
             self._stats.latency("shootdown.free").record(self.kernel.sim.now - start)
             return
 
-        state = LatrState(
+        if self.use_soa_states:
+            bitmask = 0
+            for t in targets:
+                bitmask |= 1 << t.id
+        else:
+            bitmask = {t.id for t in targets}
+        state = self._state_cls(
             vrange=vrange,
             mm=mm,
-            cpu_bitmask={t.id for t in targets},
+            cpu_bitmask=bitmask,
             flag=LatrFlag.FREE,
             owner_core=core.id,
             posted_at=self.kernel.sim.now,
@@ -252,13 +291,20 @@ class LatrCoherence(TLBCoherence):
         apply_pte_change: Callable[[], None],
     ) -> Generator:
         targets = self.select_targets(core, mm)
-        bitmask = {t.id for t in targets}
-        # The initiator participates too: its own TLB is invalidated at its
-        # next tick, after the first sweeper applied the PTE change (paper
-        # Figure 3b includes both cores in the bitmask).
-        if not core.lazy_tlb_mode:
-            bitmask.add(core.id)
-        state = LatrState(
+        if self.use_soa_states:
+            bitmask = 0
+            for t in targets:
+                bitmask |= 1 << t.id
+            # The initiator participates too: its own TLB is invalidated at
+            # its next tick, after the first sweeper applied the PTE change
+            # (paper Figure 3b includes both cores in the bitmask).
+            if not core.lazy_tlb_mode:
+                bitmask |= 1 << core.id
+        else:
+            bitmask = {t.id for t in targets}
+            if not core.lazy_tlb_mode:
+                bitmask.add(core.id)
+        state = self._state_cls(
             vrange=vrange,
             mm=mm,
             cpu_bitmask=bitmask,
@@ -344,6 +390,8 @@ class LatrCoherence(TLBCoherence):
         own wall-clock differs.
         """
         if self.use_sweep_index:
+            if self.use_soa_states:
+                return self._sweep_indexed_soa(core)
             return self._sweep_indexed(core)
         return self._sweep_full(core)
 
@@ -401,6 +449,84 @@ class LatrCoherence(TLBCoherence):
             total_pages += (vrange.end - vrange.start) >> PAGE_SHIFT
         self._sweep_cursor[core.id] = self._last_posted_seq
         return self._finish_sweep(core, matching, total_pages, cost, examined)
+
+    def _sweep_indexed_soa(self, core) -> int:
+        """The indexed sweep over the struct-of-arrays queues: identical
+        visit order, costs and counters to :meth:`_sweep_indexed`, but the
+        per-state checks are int-bitmask tests against the queue's parallel
+        arrays, hop pull costs come from precomputed tables, and LLC state
+        traffic is recorded once per sweep (the counters are pure sums, so
+        one batched add of ``STATE_LINES * pulls`` equals the object
+        model's per-pull adds)."""
+        cost = self._sweep_base_ns + self.cold_sweep_extra_ns
+        examined = self._active_state_count
+        if examined == 0:
+            self._sweeps_counter.value += 1
+            self._sweep_latency.record(cost)
+            kernel = self.kernel
+            if kernel.invariant_monitor is not None:
+                kernel.invariant_monitor.notify("latr.sweep", core=core.id)
+            return cost
+
+        cost += examined * self._sweep_per_entry_ns
+        core_id = core.id
+        cursor = self._sweep_cursor.get(core_id, 0)
+        socket_of = self._socket_of
+        states = self._active_states_sorted
+        if states is None:
+            queues = self.queues
+            states = [
+                state
+                for queue_id in sorted(self._active_queue_ids)
+                for state in queues[queue_id].active_states_after(-1)
+            ]
+            self._active_states_sorted = states
+        # The per-state immutable fields (seq, owner socket, queue, slot)
+        # flattened into tuples: rebuilt only when the active set changes,
+        # then shared by every sweeping core in between.
+        rows = self._soa_sweep_rows
+        if self._soa_rows_src is not states:
+            rows = [
+                (s.seq, socket_of[s.owner_core], s.queue, s.slot_idx, s)
+                for s in states
+            ]
+            self._soa_sweep_rows = rows
+            self._soa_rows_src = states
+        matching: list = []
+        total_pages = 0
+        core_bit = 1 << core_id
+        hop_row = self._hop_rows[socket_of[core_id]]
+        pull_ns = self._pull_ns_by_hops
+        pte_set_ns = self._lat.pte_set_ns
+        pulls = 0
+        for row in rows:
+            # Cursor skip on row[0] (seq) alone: states already examined at
+            # this core's previous sweep are the common case.
+            if row[0] <= cursor:
+                continue
+            queue = row[2]
+            idx = row[3]
+            hops = hop_row[row[1]]
+            if hops:
+                pulled_a = queue._pulled_a
+                if not pulled_a[idx] & core_bit:
+                    pulled_a[idx] |= core_bit
+                    pulls += 1
+                    cost += pull_ns[hops]
+            if not queue._mask_a[idx] & core_bit:
+                continue
+            flags_a = queue._flags_a
+            flags = flags_a[idx]
+            if flags & SOA_MIGRATION and not flags & SOA_PTE_APPLIED:
+                flags_a[idx] = flags | SOA_PTE_APPLIED
+                row[4].apply_pte_change()
+                cost += queue._npages_a[idx] * pte_set_ns
+            matching.append(row)
+            total_pages += queue._npages_a[idx]
+        if pulls:
+            self._record_state_traffic(STATE_LINES * pulls)
+        self._sweep_cursor[core_id] = self._last_posted_seq
+        return self._finish_sweep_soa(core, matching, total_pages, cost, examined)
 
     def _sweep_full(self, core) -> int:
         """The original scan: every queue, every slot (pre-index baseline)."""
@@ -488,6 +614,63 @@ class LatrCoherence(TLBCoherence):
             kernel.invariant_monitor.notify("latr.sweep", core=core.id)
         return cost
 
+    def _finish_sweep_soa(
+        self,
+        core,
+        matching: list,
+        total_pages: int,
+        cost: int,
+        examined: int,
+    ) -> int:
+        """:meth:`_finish_sweep` over SoA sweep rows: the invalidate/clear
+        pass works the queue arrays directly instead of going through the
+        handle's ``clear_cpu`` property machinery. Costs, counters, and the
+        deactivation protocol (completed_at before ``active``, then the
+        done signal) are identical."""
+        invalidated_states = len(matching)
+        if invalidated_states:
+            now = self._sim.now
+            keep_mask = ~(1 << core.id)
+            if total_pages > self._full_flush_threshold:
+                core.tlb.flush()
+                cost += self._full_flush_ns + invalidated_states * 30
+                for _seq, _socket, queue, idx, state in matching:
+                    mask = queue._mask_a[idx] & keep_mask
+                    queue._mask_a[idx] = mask
+                    if mask == 0 and queue._flags_a[idx] & SOA_ACTIVE:
+                        state.completed_at = now
+                        state.active = False
+                        state.done.succeed(state)
+            else:
+                tlb = core.tlb
+                invlpg_ns = self._invlpg_ns
+                for _seq, _socket, queue, idx, state in matching:
+                    vpn = queue._vpn_a[idx]
+                    npages = queue._npages_a[idx]
+                    tlb.invalidate_range(state.mm.pcid, vpn, vpn + npages)
+                    cost += npages * invlpg_ns + 30
+                    mask = queue._mask_a[idx] & keep_mask
+                    queue._mask_a[idx] = mask
+                    if mask == 0 and queue._flags_a[idx] & SOA_ACTIVE:
+                        state.completed_at = now
+                        state.active = False
+                        state.done.succeed(state)
+        self._sweeps_counter.value += 1
+        kernel = self.kernel
+        if invalidated_states:
+            if kernel.tracer is not None:
+                kernel.tracer.emit(
+                    "latr", "sweep", core=core.id,
+                    detail=f"states={invalidated_states} pages={total_pages}",
+                )
+            self._invalidated_counter.value += invalidated_states
+        if examined:
+            self._examined_counter.value += examined
+        self._sweep_latency.record(cost)
+        if kernel.invariant_monitor is not None:
+            kernel.invariant_monitor.notify("latr.sweep", core=core.id)
+        return cost
+
     # ---- scheduler hooks ---------------------------------------------------------
 
     def on_tick(self, core) -> None:
@@ -495,7 +678,10 @@ class LatrCoherence(TLBCoherence):
             # Inlined sweep() dispatch and steal_time (a bare increment):
             # this is the per-tick hot path.
             if self.use_sweep_index:
-                core._pending_interrupt_ns += self._sweep_indexed(core)
+                if self.use_soa_states:
+                    core._pending_interrupt_ns += self._sweep_indexed_soa(core)
+                else:
+                    core._pending_interrupt_ns += self._sweep_indexed(core)
             else:
                 core._pending_interrupt_ns += self._sweep_full(core)
 

@@ -44,6 +44,8 @@ def memoverhead_assemble(values, fast: bool = False) -> ExperimentResult:
             cores,
             pages,
             result.metric("peak_lazy_mb"),
+            # numaPTE has no LATR queues; its fixed state cost is 0.
+            result.metrics.get("latr_state_kb", 0.0),
             int(result.metric("pt_pages_node0")),
             # A 2-core run collapses to one socket; no node-1 exists.
             int(result.metrics.get("pt_pages_node1", 0)),
@@ -58,6 +60,7 @@ def memoverhead_assemble(values, fast: bool = False) -> ExperimentResult:
             "cores",
             "pages per munmap",
             "peak lazy MB",
+            "LATR state KB",
             "PT pages node0",
             "PT pages node1",
         ),
@@ -68,7 +71,9 @@ def memoverhead_assemble(values, fast: bool = False) -> ExperimentResult:
         ),
         notes=(
             "the lazy bound is rate x pages x 4 KB x reclamation delay; "
-            "numaPTE instead spends node-1 table pages on its replica"
+            "fixed LATR state is cores x 64 slots x 68 B (136 KB at 32 "
+            "cores, paper 4.1); numaPTE instead spends node-1 table pages "
+            "on its replica"
         ),
     )
 

@@ -27,6 +27,7 @@ class Machine:
         pcid_enabled: bool = False,
         use_tlb_index: Optional[bool] = None,
         gate_latencies: Optional[bool] = None,
+        use_packed_tlb: Optional[bool] = None,
     ):
         self.sim = sim
         self.spec = spec
@@ -43,6 +44,7 @@ class Machine:
                     spec.l1_dtlb_entries,
                     pcid_enabled=pcid_enabled,
                     use_index=use_tlb_index,
+                    use_packed=use_packed_tlb,
                 ),
             )
             for c in range(spec.total_cores)

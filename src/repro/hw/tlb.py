@@ -18,6 +18,24 @@ pcid owns, so range shootdowns never scan the other processes' entries.
 ``Tlb(..., use_index=False)`` keeps the original linear scans selectable --
 the differential tests prove both paths drop the same entries and report
 the same stats.
+
+Packed slots (``use_packed``, the default)
+------------------------------------------
+
+The hit path runs once per simulated memory access, so its representation
+dominates the simulator's wall-clock at fleet scale. In packed mode keys
+are single ints (``pcid << KEY_PCID_SHIFT | vpn`` -- no tuple allocation
+per lookup) and entries are int-encoded slots (writable bit 0, then
+generation, mm id and pfn bit fields -- no ``TlbEntry`` dataclass per
+fill), stored in a plain insertion-ordered dict whose LRU refresh is a
+delete + reinsert. ``fill``/``lookup``/``invalidate_range`` are then
+allocation-free on the hit path (``fill_new`` skips even the legacy-mode
+entry object at the two hot fill sites). Every inspection surface --
+``peek``, ``items()``, ``canonical_rows()`` -- decodes back to
+:class:`TlbEntry`/bool form, so invariant checkers, snapshots and the model
+checker's canonical hash observe byte-identical state either way;
+``use_packed=False`` (``use_packed_tlb`` on :class:`~repro.hw.machine.Machine`)
+is the escape hatch back to the object representation.
 """
 
 from __future__ import annotations
@@ -25,13 +43,16 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 from itertools import count
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 #: PCID used for every process when PCID support is off.
 NO_PCID = 0
 
 #: Default for ``Tlb(use_index=...)`` when left unspecified.
 DEFAULT_USE_TLB_INDEX = True
+
+#: Default for ``Tlb(use_packed=...)`` when left unspecified.
+DEFAULT_USE_PACKED_TLB = True
 
 #: Process-global version numbers for TLB change tracking. Values are
 #: never reused, so equal versions imply identical state: a version is
@@ -59,6 +80,60 @@ class TlbEntry:
 #: duplicated here so the hardware layer stays import-independent of mm).
 HUGE_SPAN = 512
 
+#: Packed-key layout: vpn in the low bits, pcid above. 48 vpn bits cover
+#: the whole modelled virtual address space with room to spare.
+KEY_PCID_SHIFT = 48
+KEY_VPN_MASK = (1 << KEY_PCID_SHIFT) - 1
+
+#: Packed-entry layout (low to high): writable bit, 32 generation bits,
+#: 20 debug-mm-id bits, then the pfn. Fields are sized so the whole slot
+#: stays a small int for the frame counts and process counts the simulator
+#: ever reaches.
+ENTRY_GEN_SHIFT = 1
+ENTRY_GEN_MASK = (1 << 32) - 1
+ENTRY_MM_SHIFT = 33
+ENTRY_MM_MASK = (1 << 20) - 1
+ENTRY_PFN_SHIFT = 53
+
+#: A resident translation as handed out by ``lookup``: a TlbEntry in the
+#: legacy representation, an int-encoded slot in packed mode. Hot callers
+#: use the ``entry_*`` accessors below, which dispatch on the type.
+TlbSlot = Union[TlbEntry, int]
+
+
+def encode_entry(pfn: int, writable: bool, generation: int, mm_id: int) -> int:
+    """Pack translation fields into one int slot."""
+    return (
+        (pfn << ENTRY_PFN_SHIFT)
+        | ((mm_id & ENTRY_MM_MASK) << ENTRY_MM_SHIFT)
+        | ((generation & ENTRY_GEN_MASK) << ENTRY_GEN_SHIFT)
+        | (1 if writable else 0)
+    )
+
+
+def decode_entry(slot: int) -> TlbEntry:
+    """Unpack an int slot back into a TlbEntry (bool writable and all)."""
+    return TlbEntry(
+        pfn=slot >> ENTRY_PFN_SHIFT,
+        writable=bool(slot & 1),
+        generation=(slot >> ENTRY_GEN_SHIFT) & ENTRY_GEN_MASK,
+        debug_mm_id=(slot >> ENTRY_MM_SHIFT) & ENTRY_MM_MASK,
+    )
+
+
+def entry_pfn(entry: TlbSlot) -> int:
+    return entry >> ENTRY_PFN_SHIFT if type(entry) is int else entry.pfn
+
+
+def entry_writable(entry: TlbSlot) -> bool:
+    return entry & 1 != 0 if type(entry) is int else entry.writable
+
+
+def entry_generation(entry: TlbSlot) -> int:
+    if type(entry) is int:
+        return (entry >> ENTRY_GEN_SHIFT) & ENTRY_GEN_MASK
+    return entry.generation
+
 
 class Tlb:
     """A single core's TLB (split 4 KiB / 2 MiB arrays, like x86 L1 dTLBs)."""
@@ -69,6 +144,7 @@ class Tlb:
         pcid_enabled: bool = False,
         huge_capacity: int = 32,
         use_index: Optional[bool] = None,
+        use_packed: Optional[bool] = None,
     ):
         if capacity < 1:
             raise ValueError("TLB capacity must be positive")
@@ -76,9 +152,17 @@ class Tlb:
         self.huge_capacity = huge_capacity
         self.pcid_enabled = pcid_enabled
         self.use_index = DEFAULT_USE_TLB_INDEX if use_index is None else bool(use_index)
-        self._entries: "OrderedDict[Tuple[int, int], TlbEntry]" = OrderedDict()
-        #: 2 MiB entries keyed by (pcid, base_vpn).
-        self._huge_entries: "OrderedDict[Tuple[int, int], TlbEntry]" = OrderedDict()
+        self.packed = DEFAULT_USE_PACKED_TLB if use_packed is None else bool(use_packed)
+        if self.packed:
+            # Plain dicts are insertion-ordered; LRU refresh is del+reinsert
+            # and the LRU victim is next(iter(...)) -- same order semantics
+            # as OrderedDict.move_to_end/popitem(last=False), less overhead.
+            self._entries: dict = {}
+            self._huge_entries: dict = {}
+        else:
+            self._entries = OrderedDict()
+            #: 2 MiB entries keyed by (pcid, base_vpn).
+            self._huge_entries = OrderedDict()
         #: Secondary index: effective pcid -> vpns resident in _entries.
         self._index: Dict[int, Set[int]] = {}
         #: Same for the huge array (base vpns).
@@ -98,32 +182,69 @@ class Tlb:
     def __len__(self) -> int:
         return len(self._entries) + len(self._huge_entries)
 
-    def _key(self, pcid: int, vpn: int) -> Tuple[int, int]:
-        return (pcid if self.pcid_enabled else NO_PCID, vpn)
+    def _key(self, pcid: int, vpn: int):
+        eff = pcid if self.pcid_enabled else NO_PCID
+        if self.packed:
+            return (eff << KEY_PCID_SHIFT) | vpn
+        return (eff, vpn)
 
-    def _huge_key(self, pcid: int, vpn: int) -> Tuple[int, int]:
-        return (pcid if self.pcid_enabled else NO_PCID, vpn - vpn % HUGE_SPAN)
+    def _huge_key(self, pcid: int, vpn: int):
+        eff = pcid if self.pcid_enabled else NO_PCID
+        base = vpn - vpn % HUGE_SPAN
+        if self.packed:
+            return (eff << KEY_PCID_SHIFT) | base
+        return (eff, base)
+
+    def _split_key(self, key) -> Tuple[int, int]:
+        if self.packed:
+            return key >> KEY_PCID_SHIFT, key & KEY_VPN_MASK
+        return key
 
     # ---- index maintenance -----------------------------------------------------
 
-    def _index_add(self, index: Dict[int, Set[int]], key: Tuple[int, int]) -> None:
-        vpns = index.get(key[0])
+    def _index_add(self, index: Dict[int, Set[int]], key) -> None:
+        pcid, vpn = self._split_key(key)
+        vpns = index.get(pcid)
         if vpns is None:
-            vpns = index[key[0]] = set()
-        vpns.add(key[1])
+            vpns = index[pcid] = set()
+        vpns.add(vpn)
 
-    def _index_drop(self, index: Dict[int, Set[int]], key: Tuple[int, int]) -> None:
-        vpns = index.get(key[0])
+    def _index_drop(self, index: Dict[int, Set[int]], key) -> None:
+        pcid, vpn = self._split_key(key)
+        vpns = index.get(pcid)
         if vpns is not None:
-            vpns.discard(key[1])
+            vpns.discard(vpn)
             if not vpns:
-                del index[key[0]]
+                del index[pcid]
 
     # ---- lookups and fills -----------------------------------------------------
 
-    def lookup(self, pcid: int, vpn: int) -> Optional[TlbEntry]:
-        """Translate; counts a hit or miss and refreshes LRU position."""
+    def lookup(self, pcid: int, vpn: int) -> Optional[TlbSlot]:
+        """Translate; counts a hit or miss and refreshes LRU position.
+
+        Returns the resident slot in its native representation (TlbEntry or
+        packed int) -- read it through ``entry_pfn``/``entry_writable``."""
         self._state_version = next(_VERSIONS)
+        if self.packed:
+            eff = pcid if self.pcid_enabled else NO_PCID
+            key = (eff << KEY_PCID_SHIFT) | vpn
+            entries = self._entries
+            slot = entries.get(key)
+            if slot is not None:
+                del entries[key]
+                entries[key] = slot
+                self.hits += 1
+                return slot
+            hkey = (eff << KEY_PCID_SHIFT) | (vpn - vpn % HUGE_SPAN)
+            huge = self._huge_entries
+            slot = huge.get(hkey)
+            if slot is not None:
+                del huge[hkey]
+                huge[hkey] = slot
+                self.hits += 1
+                return slot
+            self.misses += 1
+            return None
         key = self._key(pcid, vpn)
         entry = self._entries.get(key)
         if entry is not None:
@@ -140,14 +261,23 @@ class Tlb:
         return None
 
     def peek(self, pcid: int, vpn: int) -> Optional[TlbEntry]:
-        """Inspect without touching counters or LRU (for invariant checks)."""
+        """Inspect without touching counters or LRU (for invariant checks).
+        Always returns decoded ``TlbEntry`` form, in both representations."""
         entry = self._entries.get(self._key(pcid, vpn))
-        if entry is not None:
-            return entry
-        return self._huge_entries.get(self._huge_key(pcid, vpn))
+        if entry is None:
+            entry = self._huge_entries.get(self._huge_key(pcid, vpn))
+        if entry is None:
+            return None
+        return decode_entry(entry) if self.packed else entry
 
     def fill(self, pcid: int, vpn: int, entry: TlbEntry) -> None:
         """Install a 4 KiB translation, evicting LRU on overflow."""
+        if self.packed:
+            self.fill_new(
+                pcid, vpn, entry.pfn, entry.writable, entry.generation,
+                entry.debug_mm_id,
+            )
+            return
         self._state_version = next(_VERSIONS)
         self._entries_version = next(_VERSIONS)
         key = self._key(pcid, vpn)
@@ -162,6 +292,64 @@ class Tlb:
                 self._index_drop(self._index, evicted)
             self.evictions += 1
 
+    def fill_new(
+        self,
+        pcid: int,
+        vpn: int,
+        pfn: int,
+        writable: bool = True,
+        generation: int = 0,
+        mm_id: int = 0,
+    ) -> None:
+        """Install a fresh 4 KiB translation from raw fields.
+
+        The hot-path form of :meth:`fill`: packed mode encodes the slot
+        directly (no TlbEntry allocated), legacy mode builds the entry
+        object exactly as callers used to."""
+        self._state_version = next(_VERSIONS)
+        self._entries_version = next(_VERSIONS)
+        if not self.packed:
+            key = self._key(pcid, vpn)
+            entries = self._entries
+            if key in entries:
+                entries.move_to_end(key)
+            entries[key] = TlbEntry(
+                pfn=pfn, writable=writable, generation=generation,
+                debug_mm_id=mm_id,
+            )
+            if self.use_index:
+                self._index_add(self._index, key)
+            while len(entries) > self.capacity:
+                evicted, _ = entries.popitem(last=False)
+                if self.use_index:
+                    self._index_drop(self._index, evicted)
+                self.evictions += 1
+            return
+        eff = pcid if self.pcid_enabled else NO_PCID
+        key = (eff << KEY_PCID_SHIFT) | vpn
+        slot = (
+            (pfn << ENTRY_PFN_SHIFT)
+            | ((mm_id & ENTRY_MM_MASK) << ENTRY_MM_SHIFT)
+            | ((generation & ENTRY_GEN_MASK) << ENTRY_GEN_SHIFT)
+            | (1 if writable else 0)
+        )
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+        entries[key] = slot
+        if self.use_index:
+            vpns = self._index.get(eff)
+            if vpns is None:
+                vpns = self._index[eff] = set()
+            vpns.add(vpn)
+        capacity = self.capacity
+        while len(entries) > capacity:
+            evicted = next(iter(entries))
+            del entries[evicted]
+            if self.use_index:
+                self._index_drop(self._index, evicted)
+            self.evictions += 1
+
     def fill_huge(self, pcid: int, base_vpn: int, entry: TlbEntry) -> None:
         """Install a 2 MiB translation in the huge array."""
         self._state_version = next(_VERSIONS)
@@ -169,13 +357,26 @@ class Tlb:
         if base_vpn % HUGE_SPAN:
             raise ValueError(f"huge fill not aligned: vpn {base_vpn:#x}")
         key = self._key(pcid, base_vpn)
-        if key in self._huge_entries:
-            self._huge_entries.move_to_end(key)
-        self._huge_entries[key] = entry
+        huge = self._huge_entries
+        if self.packed:
+            slot = encode_entry(
+                entry.pfn, entry.writable, entry.generation, entry.debug_mm_id
+            )
+            if key in huge:
+                del huge[key]
+            huge[key] = slot
+        else:
+            if key in huge:
+                huge.move_to_end(key)
+            huge[key] = entry
         if self.use_index:
             self._index_add(self._huge_index, key)
-        while len(self._huge_entries) > self.huge_capacity:
-            evicted, _ = self._huge_entries.popitem(last=False)
+        while len(huge) > self.huge_capacity:
+            if self.packed:
+                evicted = next(iter(huge))
+                del huge[evicted]
+            else:
+                evicted, _ = huge.popitem(last=False)
             if self.use_index:
                 self._index_drop(self._huge_index, evicted)
             self.evictions += 1
@@ -214,6 +415,8 @@ class Tlb:
             dropped = self._invalidate_range_scan(eff_pcid, vpn_start, vpn_end)
             self.invalidations += dropped
             return dropped
+        packed = self.packed
+        key_base = eff_pcid << KEY_PCID_SHIFT
         dropped = 0
         vpns = self._index.get(eff_pcid)
         if vpns:
@@ -222,9 +425,14 @@ class Tlb:
             else:
                 victims = [v for v in vpns if vpn_start <= v < vpn_end]
             entries = self._entries
-            for vpn in victims:
-                del entries[(eff_pcid, vpn)]
-                vpns.discard(vpn)
+            if packed:
+                for vpn in victims:
+                    del entries[key_base | vpn]
+                    vpns.discard(vpn)
+            else:
+                for vpn in victims:
+                    del entries[(eff_pcid, vpn)]
+                    vpns.discard(vpn)
             if not vpns:
                 del self._index[eff_pcid]
             dropped += len(victims)
@@ -234,9 +442,14 @@ class Tlb:
                 v for v in huge_vpns if v < vpn_end and v + HUGE_SPAN > vpn_start
             ]
             huge_entries = self._huge_entries
-            for vpn in huge_victims:
-                del huge_entries[(eff_pcid, vpn)]
-                huge_vpns.discard(vpn)
+            if packed:
+                for vpn in huge_victims:
+                    del huge_entries[key_base | vpn]
+                    huge_vpns.discard(vpn)
+            else:
+                for vpn in huge_victims:
+                    del huge_entries[(eff_pcid, vpn)]
+                    huge_vpns.discard(vpn)
             if not huge_vpns:
                 del self._huge_index[eff_pcid]
             dropped += len(huge_victims)
@@ -250,6 +463,7 @@ class Tlb:
         :meth:`invalidate_range`.)"""
         self._state_version = next(_VERSIONS)
         self._entries_version = next(_VERSIONS)
+        key_base = eff_pcid << KEY_PCID_SHIFT
         dropped = 0
         vpns = self._index.get(eff_pcid)
         if vpns:
@@ -258,7 +472,7 @@ class Tlb:
             else:
                 victims = [v for v in vpns if vpn_start <= v < vpn_end]
             for vpn in victims:
-                del self._entries[(eff_pcid, vpn)]
+                del self._entries[key_base | vpn if self.packed else (eff_pcid, vpn)]
                 vpns.discard(vpn)
             if not vpns:
                 del self._index[eff_pcid]
@@ -269,7 +483,7 @@ class Tlb:
                 v for v in huge_vpns if v < vpn_end and v + HUGE_SPAN > vpn_start
             ]
             for vpn in huge_victims:
-                del self._huge_entries[(eff_pcid, vpn)]
+                del self._huge_entries[key_base | vpn if self.packed else (eff_pcid, vpn)]
                 huge_vpns.discard(vpn)
             if not huge_vpns:
                 del self._huge_index[eff_pcid]
@@ -280,18 +494,19 @@ class Tlb:
         """The original linear scan over every resident entry."""
         self._state_version = next(_VERSIONS)
         self._entries_version = next(_VERSIONS)
-        victims = [
-            key
-            for key in self._entries
-            if key[0] == eff_pcid and vpn_start <= key[1] < vpn_end
-        ]
+        split = self._split_key
+        victims = []
+        for key in self._entries:
+            pcid, vpn = split(key)
+            if pcid == eff_pcid and vpn_start <= vpn < vpn_end:
+                victims.append(key)
         for key in victims:
             del self._entries[key]
-        huge_victims = [
-            key
-            for key in self._huge_entries
-            if key[0] == eff_pcid and key[1] < vpn_end and key[1] + HUGE_SPAN > vpn_start
-        ]
+        huge_victims = []
+        for key in self._huge_entries:
+            pcid, vpn = split(key)
+            if pcid == eff_pcid and vpn < vpn_end and vpn + HUGE_SPAN > vpn_start:
+                huge_victims.append(key)
         for key in huge_victims:
             del self._huge_entries[key]
         return len(victims) + len(huge_victims)
@@ -308,18 +523,20 @@ class Tlb:
             self._index.clear()
             self._huge_index.clear()
             return count
+        key_base = pcid << KEY_PCID_SHIFT
         if self.use_index:
             vpns = self._index.pop(pcid, ())
             for vpn in vpns:
-                del self._entries[(pcid, vpn)]
+                del self._entries[key_base | vpn if self.packed else (pcid, vpn)]
             huge_vpns = self._huge_index.pop(pcid, ())
             for vpn in huge_vpns:
-                del self._huge_entries[(pcid, vpn)]
+                del self._huge_entries[key_base | vpn if self.packed else (pcid, vpn)]
             return len(vpns) + len(huge_vpns)
-        victims = [key for key in self._entries if key[0] == pcid]
+        split = self._split_key
+        victims = [key for key in self._entries if split(key)[0] == pcid]
         for key in victims:
             del self._entries[key]
-        huge_victims = [key for key in self._huge_entries if key[0] == pcid]
+        huge_victims = [key for key in self._huge_entries if split(key)[0] == pcid]
         for key in huge_victims:
             del self._huge_entries[key]
         return len(victims) + len(huge_victims)
@@ -327,18 +544,70 @@ class Tlb:
     # ---- inspection ------------------------------------------------------------
 
     def items(self) -> Iterable[Tuple[Tuple[int, int], TlbEntry]]:
-        """All 4 KiB ((pcid, vpn), entry) pairs; for invariant checkers."""
+        """All 4 KiB ((pcid, vpn), entry) pairs; for invariant checkers.
+        Decoded to tuple keys and TlbEntry values in both representations,
+        in residence (LRU) order."""
+        if self.packed:
+            return [
+                (self._split_key(key), decode_entry(slot))
+                for key, slot in self._entries.items()
+            ]
         return list(self._entries.items())
 
     def huge_items(self) -> Iterable[Tuple[Tuple[int, int], TlbEntry]]:
         """All 2 MiB ((pcid, base_vpn), entry) pairs."""
+        if self.packed:
+            return [
+                (self._split_key(key), decode_entry(slot))
+                for key, slot in self._huge_entries.items()
+            ]
         return list(self._huge_entries.items())
+
+    def canonical_rows(self) -> List[Tuple[int, int, int, bool, int]]:
+        """Sorted (pcid, vpn, pfn, writable, generation) rows of the 4 KiB
+        array -- the representation-independent form the model checker
+        hashes. Byte-identical between packed and legacy modes."""
+        if self.packed:
+            return sorted(
+                (
+                    key >> KEY_PCID_SHIFT,
+                    key & KEY_VPN_MASK,
+                    slot >> ENTRY_PFN_SHIFT,
+                    bool(slot & 1),
+                    (slot >> ENTRY_GEN_SHIFT) & ENTRY_GEN_MASK,
+                )
+                for key, slot in self._entries.items()
+            )
+        return sorted(
+            (pcid, vpn, e.pfn, e.writable, e.generation)
+            for (pcid, vpn), e in self._entries.items()
+        )
+
+    def canonical_huge_rows(self) -> List[Tuple[int, int, int, bool, int]]:
+        """Huge-array twin of :meth:`canonical_rows`."""
+        if self.packed:
+            return sorted(
+                (
+                    key >> KEY_PCID_SHIFT,
+                    key & KEY_VPN_MASK,
+                    slot >> ENTRY_PFN_SHIFT,
+                    bool(slot & 1),
+                    (slot >> ENTRY_GEN_SHIFT) & ENTRY_GEN_MASK,
+                )
+                for key, slot in self._huge_entries.items()
+            )
+        return sorted(
+            (pcid, vpn, e.pfn, e.writable, e.generation)
+            for (pcid, vpn), e in self._huge_entries.items()
+        )
 
     def cached_vpns(self, pcid: int) -> Iterable[int]:
         eff_pcid = pcid if self.pcid_enabled else NO_PCID
         if self.use_index:
             return sorted(self._index.get(eff_pcid, ()))
-        return [vpn for (p, vpn) in self._entries if p == eff_pcid]
+        return [
+            vpn for (p, vpn) in map(self._split_key, self._entries) if p == eff_pcid
+        ]
 
     def stats(self) -> Dict[str, int]:
         return {

@@ -37,6 +37,7 @@ class Kernel:
         seed: int = 1,
         use_batched_faults: Optional[bool] = None,
         use_pt_replication: Optional[bool] = None,
+        use_frame_slabs: Optional[bool] = None,
     ):
         self.machine = machine
         self.sim: Simulator = machine.sim
@@ -59,7 +60,9 @@ class Kernel:
         self.pt_home_node = 0
         #: (writer_node, replica_node) -> per-entry update cost ns memo.
         self._pt_update_costs: Dict[tuple, int] = {}
-        self.frames = FrameAllocator(machine.spec.sockets, frames_per_node)
+        self.frames = FrameAllocator(
+            machine.spec.sockets, frames_per_node, use_slabs=use_frame_slabs
+        )
         self.page_cache = PageCache(self.frames)
         self.scheduler = Scheduler(self)
         self.rng = RngStreams(seed)
@@ -132,12 +135,19 @@ class Kernel:
 
     def release_frames(self, pfns: Iterable[int]) -> None:
         """Drop the mapping reference of each frame (frees at refcount 0)."""
-        any_freed = False
-        for pfn in pfns:
-            freed = self.frames.put(pfn)
-            if freed:
-                any_freed = True
-                self.page_contents.pop(pfn, None)
+        if self.frames.use_slabs:
+            freed_pfns = self.frames.free_batch(pfns)
+            any_freed = bool(freed_pfns)
+            page_contents = self.page_contents
+            for pfn in freed_pfns:
+                page_contents.pop(pfn, None)
+        else:
+            any_freed = False
+            for pfn in pfns:
+                freed = self.frames.put(pfn)
+                if freed:
+                    any_freed = True
+                    self.page_contents.pop(pfn, None)
         if any_freed and self.invariant_monitor is not None:
             # The instant a frame returns to the allocator is exactly when a
             # still-cached translation becomes a use-after-free window.

@@ -237,16 +237,26 @@ class PageFaultHandler:
             # The mapping changed under us (lazy unmap landed); nothing to cache.
             yield from core.execute(0)
             return
-        entry = TlbEntry(
-            pfn=pte.pfn,
-            writable=pte.writable,
-            generation=kernel.frames.generation(pte.pfn),
-            debug_mm_id=mm.mm_id,
-        )
         if pte.huge:
-            core.tlb.fill_huge(mm.pcid, huge_base_vpn(vpn), entry)
+            core.tlb.fill_huge(
+                mm.pcid,
+                huge_base_vpn(vpn),
+                TlbEntry(
+                    pfn=pte.pfn,
+                    writable=pte.writable,
+                    generation=kernel.frames.generation(pte.pfn),
+                    debug_mm_id=mm.mm_id,
+                ),
+            )
         else:
-            core.tlb.fill(mm.pcid, vpn, entry)
+            core.tlb.fill_new(
+                mm.pcid,
+                vpn,
+                pte.pfn,
+                pte.writable,
+                kernel.frames.generation(pte.pfn),
+                mm.mm_id,
+            )
         extra = kernel.coherence.on_tlb_fill(core, mm, vpn)
         # Any replica fan-out the fault's PTE writes accumulated is charged
         # here, on the faulting core (0 when replication is off).

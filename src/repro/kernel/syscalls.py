@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, List, Optional
 
 from ..coherence.base import ShootdownReason
-from ..hw.tlb import TlbEntry
+from ..hw.tlb import TlbEntry, entry_pfn, entry_writable
 from ..mm.addr import PAGE_SIZE, VirtRange, page_align_up, vpn_of
 from ..mm.fault import FaultResult, SegmentationFault
 from ..mm.pte import Pte, PteFlags, make_present_pte
@@ -328,24 +328,34 @@ class Syscalls:
         mm = task.mm
         vpn = vpn_of(vaddr)
         entry = core.tlb.lookup(mm.pcid, vpn)
-        if entry is not None and (entry.writable or not write):
+        if entry is not None and (entry_writable(entry) or not write):
             return None
         # TLB refill: the hardware walk descends the core's local replica
         # (or pays the hop distance to the shared table's home node).
         pte, walk_extra = kernel.pt_hw_walk(core, mm, vpn)
         if pte is not None and pte.present and (pte.writable or not write):
-            entry = TlbEntry(
-                pfn=pte.pfn,
-                writable=pte.writable,
-                generation=kernel.frames.generation(pte.pfn),
-                debug_mm_id=mm.mm_id,
-            )
             if pte.huge:
                 from ..mm.addr import huge_base_vpn
 
-                core.tlb.fill_huge(mm.pcid, huge_base_vpn(vpn), entry)
+                core.tlb.fill_huge(
+                    mm.pcid,
+                    huge_base_vpn(vpn),
+                    TlbEntry(
+                        pfn=pte.pfn,
+                        writable=pte.writable,
+                        generation=kernel.frames.generation(pte.pfn),
+                        debug_mm_id=mm.mm_id,
+                    ),
+                )
             else:
-                core.tlb.fill(mm.pcid, vpn, entry)
+                core.tlb.fill_new(
+                    mm.pcid,
+                    vpn,
+                    pte.pfn,
+                    pte.writable,
+                    kernel.frames.generation(pte.pfn),
+                    mm.mm_id,
+                )
             extra = kernel.coherence.on_tlb_fill(core, mm, vpn)
             yield from core.execute(self._lat.tlb_miss_walk_ns + walk_extra + extra)
             return None
@@ -431,7 +441,7 @@ class Syscalls:
         mm_id = mm.mm_id
         for vpn in vrange.vpns():
             entry = tlb.lookup(pcid, vpn)
-            if entry is not None and (entry.writable or not write):
+            if entry is not None and (entry_writable(entry) or not write):
                 continue
             vaddr = vpn * PAGE_SIZE
             if walk_table.walk(vpn) is not None:
@@ -469,15 +479,8 @@ class Syscalls:
             if fast:
                 # _install_translation without the redundant walk: no yield
                 # separates set_pte from here, so the PTE is exactly ours.
-                tlb.fill(
-                    pcid,
-                    vpn,
-                    TlbEntry(
-                        pfn=pfn,
-                        writable=writable,
-                        generation=frames.generation(pfn),
-                        debug_mm_id=mm_id,
-                    ),
+                tlb.fill_new(
+                    pcid, vpn, pfn, writable, frames.generation(pfn), mm_id
                 )
                 fast_fills += 1
                 yield from core.execute(
@@ -505,8 +508,8 @@ class Syscalls:
         yield from self.access(task, core, vaddr, write=True)
         vpn = vpn_of(vaddr)
         entry = core.tlb.lookup(task.mm.pcid, vpn)
-        if entry is not None and entry.writable:
-            self.kernel.set_page_content(entry.pfn, tag)
+        if entry is not None and entry_writable(entry):
+            self.kernel.set_page_content(entry_pfn(entry), tag)
             return
         pte = task.mm.page_table.walk(vpn)
         if pte is not None and pte.present:

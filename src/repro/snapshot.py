@@ -33,6 +33,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .coherence.latr import LatrCoherence
+from .coherence.states import SoaLatrQueue, SoaLatrState
 from .mm.pagetable import PageTable, ReplicatedPageTable
 from .sim.engine import Signal, SimulationError, live_continuation
 
@@ -132,8 +133,14 @@ def _tlb_restore(tlb, snap: Tuple) -> None:
     (state_version, entries_version, entries, huge, index, huge_index,
      tlb.hits, tlb.misses, tlb.invalidations, tlb.full_flushes,
      tlb.evictions) = snap
-    tlb._entries = OrderedDict(entries)
-    tlb._huge_entries = OrderedDict(huge)
+    # Rebuild the container the TLB actually runs on: plain dicts in packed
+    # mode (int keys/slots), OrderedDicts in the legacy representation.
+    if tlb.packed:
+        tlb._entries = dict(entries)
+        tlb._huge_entries = dict(huge)
+    else:
+        tlb._entries = OrderedDict(entries)
+        tlb._huge_entries = OrderedDict(huge)
     tlb._index = {pcid: set(vpns) for pcid, vpns in index.items()}
     tlb._huge_index = {pcid: set(vpns) for pcid, vpns in huge_index.items()}
     # The content now *is* the snapshot's, so rewind the versions with it
@@ -287,17 +294,37 @@ def _latr_snapshot(coh: LatrCoherence) -> Tuple:
         states[id(state)] = state
     for state in coh._migration_states:
         states[id(state)] = state
-    state_snaps = [
-        (s, set(s.cpu_bitmask), s.pte_applied, set(s.pulled_by),
-         s.__dict__.get("_active_value", True), s.completed_at, s.reclaimed,
-         s.slot_idx, s.queue, _signal_snapshot(s.done))
-        for s in states.values()
-    ]
-    queue_snaps = {
-        core_id: (list(q._slots), q._cursor, q.posts, q.full_rejections,
-                  q.active_count, dict(q._active_map))
-        for core_id, q in coh.queues.items()
-    }
+    state_snaps = []
+    for s in states.values():
+        if type(s) is SoaLatrState:
+            # Raw mask/flag words (routed through the slot arrays while the
+            # state is attached) plus the attachment itself; restoring them
+            # as direct slot writes keeps the notifying ``active`` property
+            # from firing on a rewind.
+            state_snaps.append(
+                ("soa", s, s._mask_get(0), s._mask_get(1), s._flags_get(),
+                 s.completed_at, s.slot_idx, s.queue, s._attached,
+                 _signal_snapshot(s.done))
+            )
+        else:
+            state_snaps.append(
+                ("obj", s, set(s.cpu_bitmask), s.pte_applied, set(s.pulled_by),
+                 s.__dict__.get("_active_value", True), s.completed_at,
+                 s.reclaimed, s.slot_idx, s.queue, _signal_snapshot(s.done))
+            )
+    queue_snaps = {}
+    for core_id, q in coh.queues.items():
+        qsnap = (list(q._slots), q._cursor, q.posts, q.full_rejections,
+                 q.active_count, dict(q._active_map))
+        if type(q) is SoaLatrQueue:
+            # The parallel arrays travel wholesale; bytes() freezes the
+            # flags bytearray so later mutation can't alias the snapshot.
+            qsnap += ((
+                list(q._seq_a), list(q._mask_a), list(q._pulled_a),
+                bytes(q._flags_a), list(q._vpn_a), list(q._npages_a),
+                list(q._posted_a),
+            ),)
+        queue_snaps[core_id] = qsnap
     return (
         state_snaps, queue_snaps,
         list(coh._pending_reclaim), list(coh._migration_states),
@@ -314,28 +341,53 @@ def _latr_restore(coh: LatrCoherence, snap: Tuple) -> None:
     (state_snaps, queue_snaps, pending_reclaim, migration_states,
      reclaimd_started, active_count, last_posted_seq, sweep_cursor,
      active_queue_ids, active_sorted, cold_extra) = snap
-    for (state, bitmask, pte_applied, pulled_by, active, completed_at,
-         reclaimed, slot_idx, queue, done_snap) in state_snaps:
-        state.cpu_bitmask = set(bitmask)
-        state.pte_applied = pte_applied
-        state.pulled_by = set(pulled_by)
-        # Direct __dict__ write: the notifying property must not fire on a
-        # rewind (queue/index counts are restored wholesale below).
-        state.__dict__["_active_value"] = active
-        state.completed_at = completed_at
-        state.reclaimed = reclaimed
-        state.slot_idx = slot_idx
-        state.queue = queue
+    for row in state_snaps:
+        if row[0] == "soa":
+            (_, state, cpu_mask, pulled_mask, flags, completed_at,
+             slot_idx, queue, attached, done_snap) = row
+            # Direct slot writes: while attached the authoritative words
+            # live in the queue arrays (restored wholesale below); the
+            # handle copies only matter for detached states.
+            state._cpu_mask = cpu_mask
+            state._pulled_mask = pulled_mask
+            state._flags = flags
+            state.completed_at = completed_at
+            state.slot_idx = slot_idx
+            state.queue = queue
+            state._attached = attached
+        else:
+            (_, state, bitmask, pte_applied, pulled_by, active, completed_at,
+             reclaimed, slot_idx, queue, done_snap) = row
+            state.cpu_bitmask = set(bitmask)
+            state.pte_applied = pte_applied
+            state.pulled_by = set(pulled_by)
+            # Direct __dict__ write: the notifying property must not fire on
+            # a rewind (queue/index counts are restored wholesale below).
+            state.__dict__["_active_value"] = active
+            state.completed_at = completed_at
+            state.reclaimed = reclaimed
+            state.slot_idx = slot_idx
+            state.queue = queue
         _signal_restore(done_snap)
-    for core_id, (slots, cursor, posts, rejections, active_n,
-                  active_map) in queue_snaps.items():
+    for core_id, qsnap in queue_snaps.items():
         q = coh.queues[core_id]
+        slots, cursor, posts, rejections, active_n, active_map = qsnap[:6]
         q._slots = list(slots)
         q._cursor = cursor
         q.posts = posts
         q.full_rejections = rejections
         q.active_count = active_n
         q._active_map = dict(active_map)
+        if len(qsnap) > 6:
+            (seq_a, mask_a, pulled_a, flags_b, vpn_a, npages_a,
+             posted_a) = qsnap[6]
+            q._seq_a = list(seq_a)
+            q._mask_a = list(mask_a)
+            q._pulled_a = list(pulled_a)
+            q._flags_a = bytearray(flags_b)
+            q._vpn_a = list(vpn_a)
+            q._npages_a = list(npages_a)
+            q._posted_a = list(posted_a)
     coh._pending_reclaim = list(pending_reclaim)
     coh._migration_states = list(migration_states)
     coh._reclaimd_started = reclaimd_started

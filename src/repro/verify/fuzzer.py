@@ -97,6 +97,8 @@ def build_fuzz_system(
     use_timer_wheel: Optional[bool] = None,
     use_tlb_index: Optional[bool] = None,
     use_pt_replication: Optional[bool] = None,
+    use_packed_tlb: Optional[bool] = None,
+    use_frame_slabs: Optional[bool] = None,
 ) -> FuzzSystem:
     """Boot a system for one fuzz run, with every schedule knob applied
     *before* the kernel starts (tick offsets matter from the first tick)."""
@@ -134,7 +136,9 @@ def build_fuzz_system(
     else:
         coherence = make_mechanism(mechanism)
 
-    machine = Machine(sim, spec, use_tlb_index=use_tlb_index)
+    machine = Machine(
+        sim, spec, use_tlb_index=use_tlb_index, use_packed_tlb=use_packed_tlb
+    )
     if mutation is not None and mutation.machine_patch is not None:
         mutation.machine_patch(machine)
     kernel = Kernel(
@@ -143,6 +147,7 @@ def build_fuzz_system(
         frames_per_node=frames_per_node,
         seed=plan.seed,
         use_pt_replication=use_pt_replication,
+        use_frame_slabs=use_frame_slabs,
     )
     if mutation is not None and mutation.kernel_patch is not None:
         mutation.kernel_patch(kernel)
@@ -517,6 +522,8 @@ def run_one(
     use_timer_wheel: Optional[bool] = None,
     use_tlb_index: Optional[bool] = None,
     use_pt_replication: Optional[bool] = None,
+    use_packed_tlb: Optional[bool] = None,
+    use_frame_slabs: Optional[bool] = None,
     pool=None,
 ) -> RunResult:
     """Replay ``plan`` once on ``mechanism``; never raises -- harness
@@ -540,6 +547,8 @@ def run_one(
             use_timer_wheel=use_timer_wheel,
             use_tlb_index=use_tlb_index,
             use_pt_replication=use_pt_replication,
+            use_packed_tlb=use_packed_tlb,
+            use_frame_slabs=use_frame_slabs,
         )
 
     if pool is not None and mutate is None and not with_tracer:
@@ -553,6 +562,7 @@ def run_one(
             frames_per_node, monitor_stride,
             tuple(sorted((latr_kwargs or {}).items())),
             use_timer_wheel, use_tlb_index, use_pt_replication,
+            use_packed_tlb, use_frame_slabs,
         )
         system = pool.acquire(key, build)
     else:

@@ -55,7 +55,7 @@ from .program import McOp, generate_program, per_core_programs
 #: re-run a trace with one fast-path escape hatch or engine order flipped
 #: (identical end state required), or under a synchronous mechanism
 #: (normalized end state required).
-TOGGLE_VARIANTS = ("wheel", "tlbidx", "sweepidx")
+TOGGLE_VARIANTS = ("wheel", "tlbidx", "sweepidx", "soa", "packedtlb", "slabs")
 ORDER_VARIANTS = ("revheap",)
 
 #: LatrFlag member -> .name memo: enum attribute access goes through a
@@ -154,16 +154,19 @@ class McExecutor:
                 sweep_on_context_switch=False,
                 sweep_on_tick=False,
                 use_sweep_index=(variant != "sweepidx"),
+                use_soa_states=(variant != "soa"),
             )
         machine = Machine(
             sim,
             _build_spec(scope.cores),
             use_tlb_index=(False if variant == "tlbidx" else None),
+            use_packed_tlb=(False if variant == "packedtlb" else None),
         )
         if self.mutation is not None and self.mutation.machine_patch is not None:
             self.mutation.machine_patch(machine)
         kernel = Kernel(
-            machine, coherence, frames_per_node=scope.frames_per_node, seed=1
+            machine, coherence, frames_per_node=scope.frames_per_node, seed=1,
+            use_frame_slabs=(False if variant == "slabs" else None),
         )
         if self.mutation is not None and self.mutation.kernel_patch is not None:
             self.mutation.kernel_patch(kernel)
@@ -236,7 +239,9 @@ class McExecutor:
             for queue in self.coherence.queues.values():
                 for state in queue._slots:
                     if state is not None and state.active:
-                        cores_with_bits |= state.cpu_bitmask
+                        # update() accepts any iterable of core ids (the SoA
+                        # model's mask view included); |= needs a real set.
+                        cores_with_bits.update(state.cpu_bitmask)
             actions.extend(f"sweep:c{c}" for c in sorted(cores_with_bits))
             pending = self.coherence._pending_reclaim
             if self._eager_reclaim:
@@ -421,15 +426,9 @@ class McExecutor:
             cache_key = (core.id, include_derived)
             hit = canon_cache.get(cache_key)
             if hit is None or hit[0] != version:
-                entries = sorted(
-                    (pcid, vpn, e.pfn, e.writable, e.generation)
-                    for (pcid, vpn), e in tlb._entries.items()
-                )
-                huge = sorted(
-                    (pcid, vpn, e.pfn, e.writable, e.generation)
-                    for (pcid, vpn), e in tlb._huge_entries.items()
-                )
-                row = (core.id, entries, huge)
+                # canonical_rows() yields identical tuples from the packed
+                # and legacy representations, so toggle-variant hashes agree.
+                row = (core.id, tlb.canonical_rows(), tlb.canonical_huge_rows())
                 if include_derived and tlb.use_index:
                     row += (
                         sorted((k, sorted(v)) for k, v in tlb._index.items()),

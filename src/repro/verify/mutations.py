@@ -193,17 +193,31 @@ def desync_tlb_index(machine: Machine) -> None:
         if not tlb.use_index:
             continue
         fills = [0]
-        original_fill = tlb.fill
+        original_fill_new = tlb.fill_new
 
-        def fill(pcid, vpn, entry, _tlb=tlb, _orig=original_fill, _fills=fills):
-            _orig(pcid, vpn, entry)
+        def fill_new(pcid, vpn, pfn, writable=True, generation=0, mm_id=0,
+                     _tlb=tlb, _orig=original_fill_new, _fills=fills):
+            _orig(pcid, vpn, pfn, writable, generation, mm_id)
             _fills[0] += 1
             if _fills[0] % 2 == 0:
                 # BUG: drop the index entry the fill just added; the
                 # translation stays resident but invisible to shootdowns.
                 _tlb._index_drop(_tlb._index, _tlb._key(pcid, vpn))
 
-        tlb.fill = fill
+        tlb.fill_new = fill_new
+        if not tlb.packed:
+            # Legacy representation: ``fill`` installs entries without
+            # delegating to ``fill_new``, so it needs its own patch (packed
+            # ``fill`` routes through the instance's patched ``fill_new``).
+            original_fill = tlb.fill
+
+            def fill(pcid, vpn, entry, _tlb=tlb, _orig=original_fill, _fills=fills):
+                _orig(pcid, vpn, entry)
+                _fills[0] += 1
+                if _fills[0] % 2 == 0:
+                    _tlb._index_drop(_tlb._index, _tlb._key(pcid, vpn))
+
+            tlb.fill = fill
 
 
 class StaleActiveCacheLatr(LatrCoherence):

@@ -272,6 +272,13 @@ class MunmapMicrobench:
         else:
             pt_pages = {0: pt.table_pages_allocated}
         metrics = {"peak_lazy_mb": peak["bytes"] / (1024 * 1024)}
+        # Fixed per-core state-queue memory (paper 4.1: depth x 68 B per
+        # core), summed over the actual queues so the number tracks the
+        # live representation -- SoA or object -- not just the spec.
+        coherence = kernel.coherence
+        if hasattr(coherence, "queues"):
+            state_bytes = sum(q.footprint_bytes() for q in coherence.queues.values())
+            metrics["latr_state_kb"] = state_bytes / 1024
         for node in range(kernel.machine.spec.sockets):
             metrics[f"pt_pages_node{node}"] = float(pt_pages.get(node, 0))
         return WorkloadResult(

@@ -110,3 +110,85 @@ class TestLatrStateQueue:
     def test_bad_depth(self):
         with pytest.raises(ValueError):
             LatrStateQueue(0, depth=0)
+
+
+from repro.coherence.states import SoaLatrQueue, SoaLatrState
+
+
+def make_state_of(state_cls, sim=None, cpus=(1, 2), flag=LatrFlag.FREE):
+    sim = sim or Simulator()
+    mm = MmStruct(sim)
+    return state_cls(
+        vrange=VirtRange.from_pages(10, 1),
+        mm=mm,
+        cpu_bitmask=set(cpus),
+        flag=flag,
+        owner_core=0,
+        posted_at=0,
+        done=Signal(sim),
+    )
+
+
+@pytest.mark.parametrize(
+    "queue_cls,state_cls",
+    [(LatrStateQueue, LatrState), (SoaLatrQueue, SoaLatrState)],
+    ids=["object", "soa"],
+)
+class TestQueueDepthBoundary:
+    """The cyclic ring at its depth limit, for both representations."""
+
+    def test_overflow_rejected_at_depth(self, queue_cls, state_cls):
+        q = queue_cls(core_id=0, depth=3)
+        sim = Simulator()
+        for _ in range(3):
+            assert q.post(make_state_of(state_cls, sim)) is True
+        assert q.occupancy() == 3
+        assert q.active_count == 3
+        overflow = make_state_of(state_cls, sim)
+        assert q.post(overflow) is False
+        assert q.full_rejections == 1
+        assert q.posts == 3
+        # The rejected state never joined the ring.
+        assert overflow not in list(q.all_states())
+
+    def test_slot_reuse_after_deactivate_and_reclaim(self, queue_cls, state_cls):
+        q = queue_cls(core_id=0, depth=2)
+        sim = Simulator()
+        first = make_state_of(state_cls, sim, cpus=(1,))
+        second = make_state_of(state_cls, sim, cpus=(1,))
+        q.post(first)
+        q.post(second)
+        # Inactive alone is not reusable (FREE records must outlive the
+        # reclamation daemon); the cursor slot still blocks the post.
+        first.clear_cpu(1, now=5)
+        assert q.post(make_state_of(state_cls, sim)) is False
+        first.reclaimed = True
+        replacement = make_state_of(state_cls, sim)
+        assert q.post(replacement) is True
+        assert replacement.slot_idx == first.slot_idx
+        # The recycled state keeps its exact final values off-ring.
+        assert not first.active
+        assert first.reclaimed
+        assert first.completed_at == 5
+        assert sorted(first.cpu_bitmask) == []
+
+    def test_occupancy_counts_unreclaimed_inactive(self, queue_cls, state_cls):
+        q = queue_cls(core_id=0, depth=4)
+        sim = Simulator()
+        s1 = make_state_of(state_cls, sim, cpus=(1,))
+        s2 = make_state_of(state_cls, sim, cpus=(2,))
+        q.post(s1)
+        q.post(s2)
+        assert q.occupancy() == 2
+        s1.clear_cpu(1, now=1)
+        assert q.active_count == 1
+        # Still occupied: inactive but not yet reclaimed.
+        assert q.occupancy() == 2
+        s1.reclaimed = True
+        assert q.occupancy() == 1
+
+    def test_footprint_independent_of_occupancy(self, queue_cls, state_cls):
+        q = queue_cls(core_id=0, depth=8)
+        assert q.footprint_bytes() == 8 * STATE_BYTES
+        q.post(make_state_of(state_cls))
+        assert q.footprint_bytes() == 8 * STATE_BYTES

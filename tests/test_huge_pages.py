@@ -16,7 +16,7 @@ from repro.mm.addr import HUGE_PAGE_PAGES, HUGE_PAGE_SIZE, PAGE_SIZE, VirtRange
 from repro.mm.frames import FrameAllocator, FrameAllocatorError
 from repro.mm.pagetable import PageTable
 from repro.mm.pte import make_huge_pte, make_present_pte
-from repro.hw.tlb import Tlb, TlbEntry
+from repro.hw.tlb import Tlb, TlbEntry, entry_pfn
 from repro.sim.engine import MSEC
 
 from helpers import make_proc, run_to_completion, drain
@@ -111,8 +111,8 @@ class TestHugeTlb:
     def test_huge_fill_covers_span(self):
         tlb = Tlb(capacity=4, huge_capacity=2)
         tlb.fill_huge(1, 512, TlbEntry(pfn=100))
-        assert tlb.lookup(1, 512).pfn == 100
-        assert tlb.lookup(1, 900).pfn == 100
+        assert entry_pfn(tlb.lookup(1, 512)) == 100
+        assert entry_pfn(tlb.lookup(1, 900)) == 100
         assert tlb.lookup(1, 1024) is None
 
     def test_unaligned_huge_fill_rejected(self):

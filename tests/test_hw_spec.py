@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.hw.spec import COMMODITY_2S16C, LARGE_NUMA_8S120C, MachineSpec, preset
+from repro.hw.spec import (
+    COMMODITY_2S16C,
+    FLEET_16S960C,
+    LARGE_NUMA_8S120C,
+    MachineSpec,
+    preset,
+)
 from repro.hw.topology import Topology
 
 
@@ -47,6 +53,36 @@ class TestSpecs:
         assert twelve.sockets == 2
         with pytest.raises(ValueError):
             COMMODITY_2S16C.with_cores(17)
+
+    def test_fleet_spec(self):
+        spec = FLEET_16S960C
+        assert spec.total_cores == 960
+        assert spec.sockets == 16
+        assert spec.cores_per_socket == 60
+        assert preset("fleet-16s960c") is spec
+
+    def test_with_cores_fleet_socket_major_fill(self):
+        # 500 cores fills sockets in order: ceil(500/60) = 9 sockets,
+        # then ceil(500/9) = 56 cores each (>= the request, the way a
+        # taskset-style run rounds to even per-socket populations).
+        five_hundred = FLEET_16S960C.with_cores(500)
+        assert five_hundred.sockets == 9
+        assert five_hundred.cores_per_socket == 56
+        assert five_hundred.total_cores == 504
+        assert five_hundred.name == "fleet-16s960c@500c"
+        # The full fleet is the identity restriction.
+        full = FLEET_16S960C.with_cores(960)
+        assert full.sockets == 16
+        assert full.cores_per_socket == 60
+        assert full.total_cores == 960
+
+    def test_with_cores_fleet_invalid_restrictions(self):
+        with pytest.raises(ValueError):
+            FLEET_16S960C.with_cores(0)
+        with pytest.raises(ValueError):
+            FLEET_16S960C.with_cores(-1)
+        with pytest.raises(ValueError):
+            FLEET_16S960C.with_cores(961)
 
     def test_preset_lookup(self):
         assert preset("commodity-2s16c") is COMMODITY_2S16C

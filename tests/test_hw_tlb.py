@@ -4,7 +4,7 @@ import hypothesis.strategies as st
 import pytest
 from hypothesis import HealthCheck, given, settings
 
-from repro.hw.tlb import HUGE_SPAN, NO_PCID, Tlb, TlbEntry
+from repro.hw.tlb import HUGE_SPAN, NO_PCID, Tlb, TlbEntry, entry_pfn
 
 SETTINGS = settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
@@ -19,7 +19,7 @@ class TestLookupFill:
         assert tlb.lookup(1, 0x10) is None
         fill(tlb, 0x10)
         entry = tlb.lookup(1, 0x10)
-        assert entry is not None and entry.pfn == 0x10 + 1000
+        assert entry is not None and entry_pfn(entry) == 0x10 + 1000
         assert tlb.hits == 1 and tlb.misses == 1
 
     def test_lru_eviction(self):
@@ -85,14 +85,14 @@ class TestPcid:
         fill(tlb, 7, pcid=1, pfn=100)
         # Another process's fill for the same vpn overwrites.
         fill(tlb, 7, pcid=2, pfn=200)
-        assert tlb.lookup(1, 7).pfn == 200
+        assert entry_pfn(tlb.lookup(1, 7)) == 200
 
     def test_with_pcid_entries_are_tagged(self):
         tlb = Tlb(capacity=8, pcid_enabled=True)
         fill(tlb, 7, pcid=1, pfn=100)
         fill(tlb, 7, pcid=2, pfn=200)
-        assert tlb.lookup(1, 7).pfn == 100
-        assert tlb.lookup(2, 7).pfn == 200
+        assert entry_pfn(tlb.lookup(1, 7)) == 100
+        assert entry_pfn(tlb.lookup(2, 7)) == 200
 
     def test_pcid_scoped_flush(self):
         tlb = Tlb(capacity=8, pcid_enabled=True)

@@ -41,3 +41,33 @@ class TestShapes:
         ).run("latr")
         assert result.metric("munmap_us") > 0
         assert result.counters["sys.munmap"] == 6
+
+
+class TestStateFootprintMetric:
+    def test_memoverhead_reports_latr_state_kb(self):
+        """The fixed state-queue memory metric cross-checks the spec's
+        closed form (total_cores x 64 slots x 68 B, paper 4.1)."""
+        from repro.hw import preset
+        from repro.workloads.microbench import run_memoverhead
+
+        cores = 8
+        result = run_memoverhead("latr", cores=cores, reps=6)
+        spec = preset("commodity-2s16c").with_cores(cores)
+        assert result.metrics["latr_state_kb"] == pytest.approx(
+            spec.latr_state_footprint_bytes / 1024
+        )
+
+    def test_soa_and_object_queues_report_identical_footprint(self):
+        from repro.workloads.microbench import run_memoverhead
+
+        soa = run_memoverhead("latr", cores=4, reps=6)
+        obj = run_memoverhead(
+            "latr", mechanism_kwargs={"use_soa_states": False}, cores=4, reps=6
+        )
+        assert soa.metrics["latr_state_kb"] == obj.metrics["latr_state_kb"]
+
+    def test_numapte_has_no_state_queue_metric(self):
+        from repro.workloads.microbench import run_memoverhead
+
+        result = run_memoverhead("numapte", cores=4, reps=6)
+        assert "latr_state_kb" not in result.metrics

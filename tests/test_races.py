@@ -10,6 +10,7 @@
 import pytest
 
 from repro import build_system
+from repro.hw.tlb import entry_pfn, entry_writable
 from repro.kernel.invariants import check_tlb_frame_safety
 from repro.mm.addr import PAGE_SIZE
 from repro.mm.fault import SegmentationFault
@@ -48,10 +49,10 @@ class TestUseAfterFreeWindow:
         entry = remote_core.tlb.lookup(proc.mm.pcid, vrange.vpn_start)
         assert entry is not None
         if write:
-            assert entry.writable
+            assert entry_writable(entry)
         # The frame it names is still allocated (pinned by the lazy list).
-        assert kernel.frames.is_allocated(entry.pfn)
-        assert entry.pfn in proc.mm.lazy_frames
+        assert kernel.frames.is_allocated(entry_pfn(entry))
+        assert entry_pfn(entry) in proc.mm.lazy_frames
         assert check_tlb_frame_safety(kernel) == []
 
     @pytest.mark.parametrize("write", [False, True])

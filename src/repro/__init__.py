@@ -77,6 +77,7 @@ def build_system(
     use_pt_replication: Optional[bool] = None,
     use_packed_tlb: Optional[bool] = None,
     use_frame_slabs: Optional[bool] = None,
+    use_virtualization: Optional[bool] = None,
     **mechanism_kwargs,
 ) -> System:
     """Build and boot a simulated machine running one coherence mechanism.
@@ -109,6 +110,11 @@ def build_system(
         use_frame_slabs: frame allocator escape hatch -- False frees
             frames one ``put`` at a time instead of through the batched
             slab path (default slabs).
+        use_virtualization: two-level (EPT/NPT) translation -- True makes
+            processes VM tasks with gPA->hPA host tables, 2D walk costs,
+            and host-level invalidation on free (policy chosen by the
+            mechanism's ``host_invalidation`` attribute); False/None keeps
+            the flat single-level model byte-identically.
         mechanism_kwargs: forwarded to the mechanism constructor (e.g.
             ``queue_depth=`` for LATR ablations, ``use_soa_states=`` for
             the LATR queue representation).
@@ -135,6 +141,8 @@ def build_system(
         kwargs["use_pt_replication"] = use_pt_replication
     if use_frame_slabs is not None:
         kwargs["use_frame_slabs"] = use_frame_slabs
+    if use_virtualization is not None:
+        kwargs["use_virtualization"] = use_virtualization
     kernel = Kernel(hw, mech, seed=seed, **kwargs)
     kernel.start()
     return System(sim=sim, machine=hw, kernel=kernel)

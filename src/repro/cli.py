@@ -418,6 +418,79 @@ def _numapte_smoke() -> int:
     return 0
 
 
+def _virt_smoke() -> int:
+    """Two-level translation gate: a virtualized run actually pays 2D
+    walks and host-level (EPT) invalidations and stays invariant-clean
+    (HATRIC included); the ``use_virtualization`` escape hatch is
+    byte-identical to the flat baseline; and the broken-EPT-shootdown
+    mutation is caught by both the continuous invariant monitor (fuzz
+    leg) and the model checker's mutation audit."""
+    from .verify import generate_plan, mutation_spec, run_one
+    from .verify.mc import McConfig, McScope, run_mc
+
+    plan = generate_plan(1, 60)
+    on = run_one("linux", plan, use_virtualization=True)
+    if not on.clean:
+        print("virt-smoke: virtualized run had findings", file=sys.stderr)
+        return 1
+    summary = on.stats_summary
+    if not summary.get("count.virt.walk.2d", 0) or not summary.get(
+        "count.virt.host_inval.entries", 0
+    ):
+        print(
+            "virt-smoke: virtualized run paid no 2D walks or no host "
+            "invalidations",
+            file=sys.stderr,
+        )
+        return 1
+    hat = run_one("hatric", plan, use_virtualization=True)
+    if not hat.clean:
+        print("virt-smoke: virtualized hatric run had findings", file=sys.stderr)
+        return 1
+    if not hat.stats_summary.get("count.virt.host_inval.entries", 0):
+        print("virt-smoke: hatric snooped no host invalidations", file=sys.stderr)
+        return 1
+    off = run_one("linux", plan, use_virtualization=False)
+    base = run_one("linux", plan)
+    if off.stats_summary != base.stats_summary or off.snapshot != base.snapshot:
+        print(
+            "virt-smoke: use_virtualization=False is not byte-identical "
+            "to the flat baseline",
+            file=sys.stderr,
+        )
+        return 1
+    if any(k.startswith("count.virt.") for k in off.stats_summary):
+        print(
+            "virt-smoke: flat run carries virt.* counters", file=sys.stderr
+        )
+        return 1
+    mutation = mutation_spec("broken_ept_shootdown")
+    bad = run_one("latr", plan, mutate=mutation.name)
+    if not any(v.check == "ept_coherence" for v in bad.violations):
+        print(
+            "virt-smoke: monitor missed the broken_ept_shootdown mutation",
+            file=sys.stderr,
+        )
+        return 1
+    audit = run_mc(
+        McConfig(scope=McScope(cores=2, pages=2, ops=5, mutate=mutation.name))
+    )
+    if audit.verdict != "violation":
+        print(
+            f"virt-smoke: mc audit missed broken_ept_shootdown "
+            f"(verdict {audit.verdict})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"virt ok: {int(summary['count.virt.walk.2d'])} 2D walks, "
+        f"{int(summary['count.virt.host_inval.entries'])} host invalidations, "
+        f"hatric clean; escape hatch byte-identical; broken_ept_shootdown "
+        f"caught by monitor and mc"
+    )
+    return 0
+
+
 def _fleet_smoke() -> int:
     """Fleet gate: the 960-core spec boots and runs the stress churn
     cleanly, and the packed hot-state representations (SoA LATR queues,
@@ -458,6 +531,9 @@ def _run_ci_command(args) -> int:
     """``python -m repro ci``: the full local gate -- tier-1 pytest, a
     small exhaustive mc scope, the snapshot-vs-replay differential, the
     numaPTE smoke (replication/escape-hatch/mutation-audit gate), the
+    virt smoke (two-level translation: 2D-walk/host-invalidation
+    accounting, escape-hatch byte-identity, broken-EPT-shootdown
+    mutation audit), the
     fleet smoke (960-core boot + packed-vs-object byte-identity), a
     parallel fast-mode smoke of every experiment, and the quick wall-clock
     bench (which gates the mc-snapshot speedup/hash equality and the
@@ -507,6 +583,7 @@ def _run_ci_command(args) -> int:
         ),
         ("snapshot differential (3c/2p/5ops)", _snapshot_differential),
         ("numapte-smoke", _numapte_smoke),
+        ("virt-smoke", _virt_smoke),
         ("fleet-smoke", _fleet_smoke),
         ("repro all --fast --jobs 2", lambda: main(["all", "--fast", "--jobs", "2"])),
         (

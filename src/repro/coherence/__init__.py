@@ -11,6 +11,7 @@ from .base import (
     ShootdownReason,
     TLBCoherence,
 )
+from .hatric import HatricCoherence
 from .hw_assisted import DidiShootdown, UnitdCoherence
 from .latr import LatrCoherence
 from .linux import LinuxShootdown
@@ -25,6 +26,7 @@ MECHANISMS = {
     "didi": DidiShootdown,
     "unitd": UnitdCoherence,
     "numapte": NumaPteCoherence,
+    "hatric": HatricCoherence,
 }
 
 
@@ -43,6 +45,7 @@ __all__ = [
     "UnitdCoherence",
     "BarrelfishShootdown",
     "DEFAULT_QUEUE_DEPTH",
+    "HatricCoherence",
     "LatrCoherence",
     "LatrFlag",
     "LatrState",

@@ -109,6 +109,13 @@ class TLBCoherence:
     #: The kernel consults this when ``use_pt_replication`` is unset; only
     #: the replica-coherence policy in ``coherence/numapte.py`` opts in.
     wants_pt_replicas = False
+    #: How host-level (EPT) invalidations are performed when this mechanism
+    #: runs under ``use_virtualization``: ``"sync"`` kicks every vCPU with
+    #: INVEPT (virtualized Linux's cost explosion), ``"snoop"`` rides the
+    #: cache-coherence fabric (HATRIC), ``"lazy"`` defers like LATR's guest
+    #: path. Consulted only by ``Kernel.host_invalidation_work``; with
+    #: virtualization off it is never read.
+    host_invalidation = "sync"
 
     def __init__(self):
         self.kernel: Optional["Kernel"] = None

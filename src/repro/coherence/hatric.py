@@ -1,0 +1,120 @@
+"""HATRIC: hardware translation coherence for virtualized systems.
+
+Yan et al. (*Hardware Translation Coherence for Virtualized Systems*,
+PAPERS.md) observe that under virtualization every translation structure
+-- guest TLB entries, host (EPT/NPT) entries, paging-structure caches --
+must be kept coherent, and that doing it in software multiplies the
+shootdown explosion: the hypervisor INVEPT-kicks every vCPU on top of the
+guest's own IPI round. HATRIC instead *tags* cached translations with the
+physical address of the page-table line they came from and lets the
+existing cache-coherence fabric snoop them out when that line is written.
+
+We model both halves:
+
+* guest-level coherence becomes a directory-style precise invalidation
+  (no IPIs, no interrupt entry -- like DiDi, but tag-snooped), and
+* host-level invalidation rides the fabric too: the mechanism declares
+  ``host_invalidation = "snoop"``, so ``Kernel.host_invalidation_work``
+  charges a per-entry snoop instead of the INVEPT-per-vCPU round.
+
+This is mechanism #8; like the other Table 2 hardware comparators it
+exists so the `virt` experiment can ask how close LATR's software-only
+laziness gets to dedicated coherence hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Set, Tuple
+
+from ..mm.addr import VirtRange
+from ..mm.frames import FrameBatch
+from ..mm.mmstruct import MmStruct
+from ..sim.engine import Signal
+from .base import MECHANISM_PROPERTIES, ShootdownReason, TLBCoherence
+
+
+class HatricCoherence(TLBCoherence):
+    """Tag-snooped translation coherence (guest and host level)."""
+
+    name = "hatric"
+    properties = MECHANISM_PROPERTIES["HATRIC"]
+    #: Host (EPT) invalidations are snooped through the coherence fabric;
+    #: no vCPU kicks, no VM exits (the paper's headline saving).
+    host_invalidation = "snoop"
+
+    #: Tag-directory lookup (per page): an LLC-adjacent SRAM access.
+    tag_lookup_ns = 40
+    #: Snooping one remote core's tagged entry out, by hops (a directed
+    #: coherence message; the remote pipeline never stops).
+    snoop_port_ns = (95, 230, 380)
+
+    def __init__(self):
+        super().__init__()
+        #: (mm_id, vpn) -> cores holding a tagged copy of the translation.
+        self._directory: Dict[Tuple[int, int], Set[int]] = {}
+
+    def on_tlb_fill(self, core, mm: MmStruct, vpn: int) -> int:
+        self._directory.setdefault((mm.mm_id, vpn), set()).add(core.id)
+        # The tag rides the fill's existing cacheline; no extra cost.
+        return 0
+
+    def _snoop_invalidate(self, core, mm: MmStruct, vrange: VirtRange) -> Generator:
+        """Write the translation's tag line; the fabric snoops every
+        tagged copy out. The initiator waits only for the slowest snoop
+        round-trip -- precise, synchronous, interrupt-free."""
+        topo = self.kernel.machine.topology
+        lookup_cost = vrange.n_pages * self.tag_lookup_ns
+        worst = 0
+        snooped = 0
+        for vpn in vrange.vpns():
+            sharers = self._directory.pop((mm.mm_id, vpn), set())
+            for core_id in sharers:
+                if core_id == core.id:
+                    continue
+                target = self.kernel.machine.core(core_id)
+                target.tlb.invalidate_page(mm.pcid, vpn)
+                hops = topo.core_hops(core.id, core_id)
+                worst = max(worst, self.snoop_port_ns[min(hops, 2)])
+                snooped += 1
+        self._stats.counter("hatric.snooped_entries").add(snooped)
+        yield from core.execute(lookup_cost + worst)
+
+    def shootdown_free(
+        self,
+        core,
+        mm: MmStruct,
+        vrange: VirtRange,
+        pfns: List[int],
+        vrange_to_free: Optional[VirtRange],
+    ) -> Generator:
+        start = self.kernel.sim.now
+        yield from core.execute(self.local_invalidate(core, mm, vrange))
+        self._stats.counter("shootdown.initiated").add()
+        self._stats.rate("shootdowns").hit()
+        yield from self._snoop_invalidate(core, mm, vrange)
+        self._stats.latency("shootdown.free").record(self.kernel.sim.now - start)
+        yield from core.execute(FrameBatch.units_of(pfns) * self._lat.page_free_ns)
+        self.kernel.release_frames(pfns)
+        if vrange_to_free is not None:
+            mm.release_vrange(vrange_to_free)
+
+    def shootdown_sync(
+        self, core, mm: MmStruct, vrange: VirtRange, reason: ShootdownReason
+    ) -> Generator:
+        yield from core.execute(self.local_invalidate(core, mm, vrange))
+        self._stats.counter(f"shootdown.sync.{reason.value}").add()
+        yield from self._snoop_invalidate(core, mm, vrange)
+
+    def migration_unmap(
+        self,
+        core,
+        mm: MmStruct,
+        vrange: VirtRange,
+        apply_pte_change: Callable[[], None],
+    ) -> Generator:
+        apply_pte_change()
+        yield from core.execute(self.local_invalidate(core, mm, vrange))
+        self._stats.counter("shootdown.initiated").add()
+        self._stats.rate("shootdowns").hit()
+        yield from self._snoop_invalidate(core, mm, vrange)
+        return Signal(self.kernel.sim).succeed(None)

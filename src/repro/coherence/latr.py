@@ -72,6 +72,10 @@ class LatrCoherence(TLBCoherence):
 
     name = "latr"
     properties = MECHANISM_PROPERTIES["LATR"]
+    #: Under virtualization the host (EPT) invalidation rides the lazy
+    #: reclaim like the guest one: a state write on the critical path,
+    #: the per-entry upkeep stolen off it (see Kernel.host_invalidation_work).
+    host_invalidation = "lazy"
 
     def __init__(
         self,

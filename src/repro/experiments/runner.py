@@ -461,4 +461,5 @@ def _load_all() -> None:
         tail_latency,
         thp,
         tables,
+        virt,
     )

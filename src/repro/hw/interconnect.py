@@ -139,3 +139,10 @@ class Interconnect:
         return self.latency.pt_replica_update(
             self.topology.socket_hops(writer_node, replica_node)
         )
+
+    def ept_invept_cost(self, src_node: int, dst_node: int) -> int:
+        """INVEPT kick from the hypervisor on ``src_node`` to one vCPU on
+        ``dst_node`` (the per-core half of a host-level invalidation)."""
+        return self.latency.ept_invept_vcpu(
+            self.topology.socket_hops(src_node, dst_node)
+        )

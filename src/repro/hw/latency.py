@@ -87,6 +87,24 @@ class LatencyModel:
     #: to the replica's node (a directed cacheline write + bookkeeping).
     pt_replica_update_ns: Tuple[int, int, int] = (45, 130, 250)
 
+    # --- Two-level translation (EPT/NPT virtualization model) ---
+    #: Per-step cost of a 2D walk's extra memory references. A native
+    #: n-level walk issues n reads; under virtualization every guest step
+    #: plus the final gPA needs a full m-level host walk, so an n-over-m
+    #: walk issues n*m + n + m reads (24 for 4/4; SDM Vol 3C 28.2.2).
+    ept_walk_step_ns: int = 28
+    #: INVEPT-style per-vCPU host invalidation kick, by socket hops: the
+    #: hypervisor must reach every core the VM runs on (the virtualized
+    #: analogue of the IPI round -- this is the cost explosion).
+    ept_invept_vcpu_ns: Tuple[int, int, int] = (180, 520, 1100)
+    #: Per-entry host (EPT) table maintenance on invalidation.
+    ept_inval_entry_ns: int = 95
+    #: EPT-violation VM exit + host-table fill on first guest access.
+    ept_violation_fill_ns: int = 1400
+    #: HATRIC: per-entry snoop of a host-level translation update through
+    #: the cache-coherence fabric (no vCPU kicks, no VM exits).
+    hatric_snoop_entry_ns: int = 70
+
     # --- Memory hierarchy ---
     cacheline_local_ns: int = 40
     cacheline_remote_ns: Tuple[int, int, int] = (45, 130, 250)
@@ -121,6 +139,23 @@ class LatencyModel:
 
     def pt_replica_update(self, hops: int) -> int:
         return self.pt_replica_update_ns[self._clamp(hops)]
+
+    def ept_invept_vcpu(self, hops: int) -> int:
+        return self.ept_invept_vcpu_ns[self._clamp(hops)]
+
+    @staticmethod
+    def twod_walk_steps(guest_levels: int, host_levels: int) -> int:
+        """Memory references of a 2D walk: every guest step needs a host
+        walk to find the guest-table page, plus the guest steps themselves,
+        plus the final gPA->hPA host walk -- n*m + n + m (24 for 4/4,
+        vs n = 4 native)."""
+        return guest_levels * host_levels + guest_levels + host_levels
+
+    def twod_walk_extra(self, guest_levels: int, host_levels: int) -> int:
+        """Extra ns of a 2D walk beyond the native walk already charged as
+        ``tlb_miss_walk_ns`` (which covers the guest_levels references)."""
+        steps = self.twod_walk_steps(guest_levels, host_levels)
+        return (steps - guest_levels) * self.ept_walk_step_ns
 
     def ipi_handler(self, pages: int, full_flush_threshold: int) -> int:
         """Remote handler cost: entry/exit + per-page INVLPG or full flush."""

@@ -130,6 +130,36 @@ def check_replica_coherence(kernel: "Kernel") -> List[str]:
     return violations
 
 
+def check_ept_coherence(kernel: "Kernel") -> List[str]:
+    """Two-level translation invariant: no host (EPT) entry outlives its
+    frame. A stale host entry is the virtualized twin of invariant 1 --
+    a guest walk would compose through it into a frame that was freed
+    (and possibly handed to another VM) since the entry was installed.
+
+    Host entries are demand-populated with the frame's free-generation
+    and must be detached the instant the frame actually frees, so this
+    holds at every instant and is continuous-safe.
+    """
+    violations = []
+    for mm in kernel.mm_registry.values():
+        host = mm.host_table
+        if host is None:
+            continue
+        for pfn, gfn in host.gfn_of_pfn.items():
+            if not kernel.frames.is_allocated(pfn):
+                violations.append(
+                    f"{mm.name}: host (EPT) entry gfn={gfn:#x} maps FREED "
+                    f"frame {pfn}"
+                )
+            elif kernel.frames.generation(pfn) != host.generation_of_gfn.get(gfn):
+                violations.append(
+                    f"{mm.name}: host (EPT) entry gfn={gfn:#x} maps RECYCLED "
+                    f"frame {pfn} (gen {host.generation_of_gfn.get(gfn)} -> "
+                    f"{kernel.frames.generation(pfn)})"
+                )
+    return violations
+
+
 def check_no_stale_entries_for(kernel: "Kernel", mm, vrange) -> List[str]:
     """Bounded-staleness helper: assert no core still caches a translation
     for ``vrange`` (call after the staleness bound elapsed)."""
@@ -152,4 +182,5 @@ def check_all(kernel: "Kernel") -> List[str]:
         + check_frame_refcounts(kernel)
         + check_lazy_vrange_isolation(kernel)
         + check_replica_coherence(kernel)
+        + check_ept_coherence(kernel)
     )

@@ -14,7 +14,8 @@ from ..hw.machine import Machine
 from ..mm.frames import FrameAllocator
 from ..mm.mmstruct import MmStruct
 from ..mm.pagecache import PageCache
-from ..mm.pagetable import ReplicatedPageTable
+from ..mm.pagetable import LEVELS, ReplicatedPageTable
+from ..mm.pte import PteFlags
 from ..sim.engine import Simulator
 from ..sim.rng import RngStreams
 from .scheduler import Scheduler
@@ -38,6 +39,7 @@ class Kernel:
         use_batched_faults: Optional[bool] = None,
         use_pt_replication: Optional[bool] = None,
         use_frame_slabs: Optional[bool] = None,
+        use_virtualization: Optional[bool] = None,
     ):
         self.machine = machine
         self.sim: Simulator = machine.sim
@@ -60,10 +62,29 @@ class Kernel:
         self.pt_home_node = 0
         #: (writer_node, replica_node) -> per-entry update cost ns memo.
         self._pt_update_costs: Dict[tuple, int] = {}
+        #: Two-level (EPT/NPT) translation: processes become VM tasks whose
+        #: guest tables sit over a gPA->hPA host table, hardware walks pay
+        #: 2D step costs, and guest-visible frees additionally invalidate
+        #: the host level. Off (the default) is byte-identical to the flat
+        #: model: no host tables exist, every added charge is 0, and no
+        #: virt counter is ever touched.
+        self.use_virtualization = bool(use_virtualization)
+        #: pfn -> {mm_id: MmStruct} reverse map of host-table (EPT) entries,
+        #: so a frame free can find every host translation to invalidate.
+        #: Insertion-ordered for determinism.
+        self._ept_rmap: Dict[int, Dict[int, MmStruct]] = {}
+        #: Extra ns a 2D walk adds over the native walk (4-level over
+        #: 4-level unless a hugepage short-circuits a level).
+        self._twod_extra = machine.latency.twod_walk_extra(LEVELS, LEVELS)
+        self._twod_extra_huge = machine.latency.twod_walk_extra(LEVELS - 1, LEVELS)
         self.frames = FrameAllocator(
             machine.spec.sockets, frames_per_node, use_slabs=use_frame_slabs
         )
         self.page_cache = PageCache(self.frames)
+        if self.use_virtualization:
+            # An eviction that actually frees a cached frame must drop its
+            # host (EPT) translations too; flat runs leave the hook unset.
+            self.page_cache.on_free = self._ept_detach
         self.scheduler = Scheduler(self)
         self.rng = RngStreams(seed)
         #: pcid -> MmStruct, for invariant checkers and PCID handling.
@@ -108,12 +129,15 @@ class Kernel:
 
     # ---- processes -------------------------------------------------------------
 
-    def create_process(self, name: str) -> KProcess:
+    def create_process(self, name: str, virtualized: Optional[bool] = None) -> KProcess:
+        if virtualized is None:
+            virtualized = self.use_virtualization
         mm = MmStruct(
             self.sim,
             name=name,
             pt_nodes=self.machine.spec.sockets if self.pt_replicas_enabled else None,
             pt_home_node=self.pt_home_node,
+            virtualized=virtualized,
         )
         self.mm_registry[mm.pcid] = mm
         proc = KProcess(name, mm)
@@ -143,11 +167,18 @@ class Kernel:
                 page_contents.pop(pfn, None)
         else:
             any_freed = False
+            freed_pfns = []
             for pfn in pfns:
                 freed = self.frames.put(pfn)
                 if freed:
                     any_freed = True
+                    freed_pfns.append(pfn)
                     self.page_contents.pop(pfn, None)
+        if freed_pfns and self._ept_rmap:
+            # Only once a frame actually frees (refcount 0) do its host
+            # translations go stale: a CoW/shared drop keeps them valid.
+            for pfn in freed_pfns:
+                self._ept_detach(pfn)
         if any_freed and self.invariant_monitor is not None:
             # The instant a frame returns to the allocator is exactly when a
             # still-cached translation becomes a use-after-free window.
@@ -193,10 +224,23 @@ class Kernel:
             self.stats.counter("pt.walk.local").add(n)
 
     def pt_hw_walk(self, core, mm: MmStruct, vpn: int):
-        """One counted hardware walk: ``(pte, extra_ns)``."""
+        """One counted hardware walk: ``(pte, extra_ns)``.
+
+        For a VM task the walk is two-dimensional: every guest level pays
+        a host walk, so ``extra`` additionally carries the 2D step cost
+        (a guest hugepage short-circuits one guest level)."""
         table, extra = self.pt_walk_table(core, mm)
         self.note_pt_walks(1, extra)
-        return table.walk(vpn), extra
+        pte = table.walk(vpn)
+        if self.use_virtualization and mm.host_table is not None:
+            twod = (
+                self._twod_extra_huge
+                if pte is not None and pte.flags & PteFlags.HUGE
+                else self._twod_extra
+            )
+            self.note_2d_walks(1, twod)
+            extra += twod
+        return pte, extra
 
     def drain_replica_work(self, core, mm: MmStruct) -> int:
         """Hop-aware ns of pending replica fan-out work for ``mm``.
@@ -232,6 +276,98 @@ class Kernel:
         self.stats.counter("pt.replica.updates").add(entries)
         self.stats.counter("pt.replica.update_ns").add(total)
         return total
+
+    # ---- two-level translation (EPT/NPT virtualization) ------------------------------
+
+    def ept_fill(self, mm: MmStruct, pfn: int) -> int:
+        """Demand-populate the host (EPT) entry backing ``pfn`` for a VM
+        task's mm; returns the EPT-violation exit cost (0 when the entry
+        already exists, or with virtualization off -- flat model exact).
+
+        Called wherever a guest translation is installed: the first guest
+        access to a frame takes an EPT violation, the hypervisor fills the
+        gPA->hPA entry, and later guest walks hit it (paying only the 2D
+        step cost).
+        """
+        if not self.use_virtualization:
+            return 0
+        host = mm.host_table
+        if host is None:
+            return 0
+        if not host.populate(pfn, self.frames.generation(pfn)):
+            return 0
+        self._ept_rmap.setdefault(pfn, {})[mm.mm_id] = mm
+        self.stats.counter("virt.ept.populations").add()
+        return self.machine.latency.ept_violation_fill_ns
+
+    def _ept_detach(self, pfn: int) -> int:
+        """Drop every host-table (EPT) entry translating to ``pfn``; called
+        the instant the frame actually frees. Returns entries dropped."""
+        mms = self._ept_rmap.pop(pfn, None)
+        if not mms:
+            return 0
+        dropped = 0
+        for mm in mms.values():
+            if mm.host_table is not None and mm.host_table.invalidate_pfn(pfn) is not None:
+                dropped += 1
+        return dropped
+
+    def twod_walk_extra_ns(self, mm: MmStruct) -> int:
+        """Extra ns a hardware walk of ``mm`` pays for two-dimensional
+        (guest-over-host) translation; 0 for native mms or with the
+        escape hatch off. Batched fault paths hoist this per batch."""
+        if not self.use_virtualization or mm.host_table is None:
+            return 0
+        return self._twod_extra
+
+    def note_2d_walks(self, n: int, extra_ns: int) -> None:
+        """Count ``n`` two-dimensional hardware walks charged ``extra_ns``
+        each (no-op when that extra is 0, so the flat model's counter set
+        is untouched)."""
+        if n <= 0 or extra_ns <= 0:
+            return
+        self.stats.counter("virt.walk.2d").add(n)
+        self.stats.counter("virt.walk.2d_ns").add(n * extra_ns)
+
+    def host_invalidation_work(self, core, mm: MmStruct, n_entries: int) -> int:
+        """Synchronous ns of host-level (EPT) invalidation for a guest
+        munmap/madvise clearing ``n_entries`` translations; 0 for native
+        mms and with virtualization off, so call sites can fold it into
+        existing ``core.execute`` sums without changing event schedules.
+
+        Dispatch on the mechanism's ``host_invalidation`` policy:
+
+        * ``"sync"`` (default, virtualized Linux): per-entry EPT upkeep
+          plus an INVEPT kick to *every* vCPU the VM has run on -- the
+          shootdown-cost explosion of Yan et al.
+        * ``"snoop"`` (HATRIC): translation-coherence hardware snoops the
+          host-table updates through the cache fabric; per-entry cost
+          only, no vCPU kicks, no VM exits.
+        * ``"lazy"`` (LATR): the host invalidation rides the lazy reclaim
+          like the guest one -- a state write on the critical path, the
+          per-entry upkeep stolen off it.
+        """
+        if not self.use_virtualization or n_entries <= 0:
+            return 0
+        if mm.host_table is None:
+            return 0
+        lat = self.machine.latency
+        policy = self.coherence.host_invalidation
+        if policy == "snoop":
+            cost = n_entries * lat.hatric_snoop_entry_ns
+        elif policy == "lazy":
+            deferred = n_entries * lat.ept_inval_entry_ns
+            core.steal_time(deferred)
+            self.stats.counter("virt.host_inval.deferred_ns").add(deferred)
+            cost = lat.latr_state_write_ns
+        else:  # "sync"
+            cost = n_entries * lat.ept_inval_entry_ns + lat.ept_invept_vcpu(0)
+            topo = self.machine.topology
+            for hops, count in topo.sharer_hop_counts(core.id, mm.cpumask).items():
+                cost += count * lat.ept_invept_vcpu(hops)
+        self.stats.counter("virt.host_inval.entries").add(n_entries)
+        self.stats.counter("virt.host_inval.ns").add(cost)
+        return cost
 
     # ---- convenience ----------------------------------------------------------------
 

@@ -217,7 +217,11 @@ class PageFaultHandler:
             if tag is not None:
                 kernel.page_contents[new_pfn] = tag
             mm.page_table.set_pte(vpn, make_present_pte(new_pfn, writable=True))
-            kernel.frames.put(old_pfn)
+            old_freed = kernel.frames.put(old_pfn)
+            if old_freed and kernel.use_virtualization:
+                # The shared original actually freed: its host (EPT)
+                # translations are stale now (flat runs: dead branch).
+                kernel._ept_detach(old_pfn)
         vrange = VirtRange.from_pages(vpn, 1)
         yield from kernel.coherence.shootdown_sync(core, mm, vrange, ShootdownReason.COW)
         return FaultResult(FaultKind.COW_BREAK, vpn, pfn=new_pfn)
@@ -259,6 +263,9 @@ class PageFaultHandler:
             )
         extra = kernel.coherence.on_tlb_fill(core, mm, vpn)
         # Any replica fan-out the fault's PTE writes accumulated is charged
-        # here, on the faulting core (0 when replication is off).
+        # here, on the faulting core (0 when replication is off), as is the
+        # EPT-violation fill for a VM task's first access to this frame
+        # (0 when flat).
         extra += kernel.drain_replica_work(core, mm)
+        extra += kernel.ept_fill(mm, pte.pfn)
         yield from core.execute(kernel.machine.latency.tlb_miss_walk_ns + walk_extra + extra)

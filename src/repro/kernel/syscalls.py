@@ -122,6 +122,7 @@ class Syscalls:
             pfns = FrameBatch()
             pfns.free_units = 0
             pte_work = 0
+            cleared_entries = 0
             # Huge mappings first: one PD-level clear releases 512 frames
             # (partially-covered huge mappings would need a THP split,
             # which we don't model -- unmap them whole). A compound page
@@ -129,6 +130,7 @@ class Syscalls:
             for base_vpn, hpte in list(mm.page_table.huge_in_range(vrange)):
                 mm.page_table.clear_huge_pte(base_vpn)
                 pte_work += lat.pte_clear_ns
+                cleared_entries += 1
                 pfns.extend(range(hpte.pfn, hpte.pfn + HUGE_PAGE_PAGES))
                 pfns.free_units += 8
             for vpn in vrange.vpns():
@@ -142,6 +144,7 @@ class Syscalls:
                     )
                 mm.page_table.clear_pte(vpn)
                 pte_work += lat.pte_clear_ns
+                cleared_entries += 1
                 if pte.swapped:
                     swap = getattr(kernel, "swap", None)
                     if swap is not None:
@@ -162,8 +165,14 @@ class Syscalls:
                     core.id, mm.cpumask
                 ).items()
             )
+            # A VM task's free is nested: after the guest-side PTE clears,
+            # the hypervisor must invalidate the host (EPT) level too --
+            # synchronously (virtualized Linux's INVEPT-per-vCPU explosion),
+            # by hardware snoop (HATRIC), or lazily (LATR). Exactly 0 with
+            # virtualization off.
             yield from core.execute(
                 pte_work + sharer_work + kernel.drain_replica_work(core, mm)
+                + kernel.host_invalidation_work(core, mm, cleared_entries)
             )
 
             vrange_to_free = vrange if remove_vma else None
@@ -357,7 +366,12 @@ class Syscalls:
                     mm.mm_id,
                 )
             extra = kernel.coherence.on_tlb_fill(core, mm, vpn)
-            yield from core.execute(self._lat.tlb_miss_walk_ns + walk_extra + extra)
+            # First guest access to a frame takes an EPT violation; the
+            # hypervisor demand-fills the gPA->hPA entry (0 when flat).
+            yield from core.execute(
+                self._lat.tlb_miss_walk_ns + walk_extra + extra
+                + kernel.ept_fill(mm, pte.pfn)
+            )
             return None
         result = yield from kernel.fault_handler.handle(task, core, vaddr, write)
         if result.fatal:
@@ -435,8 +449,12 @@ class Syscalls:
         # (numaPTE) or pay the shared table's hop distance; both hoisted
         # once per batch. Off-mode: walk_table is page_table, extra is 0.
         walk_table, walk_extra = kernel.pt_walk_table(core, mm)
-        walk_ns = lat.tlb_miss_walk_ns + walk_extra
+        # VM tasks pay the 2D (guest-over-host) step cost per walk and an
+        # EPT fill per fresh frame; both are identically 0 when flat.
+        twod_extra = kernel.twod_walk_extra_ns(mm)
+        walk_ns = lat.tlb_miss_walk_ns + walk_extra + twod_extra
         drain_replica_work = kernel.drain_replica_work
+        ept_fill = kernel.ept_fill
         fast_fills = 0
         mm_id = mm.mm_id
         for vpn in vrange.vpns():
@@ -485,6 +503,7 @@ class Syscalls:
                 fast_fills += 1
                 yield from core.execute(
                     walk_ns + on_tlb_fill(core, mm, vpn) + drain_replica_work(core, mm)
+                    + ept_fill(mm, pfn)
                 )
                 faults_anon.add()
                 continue
@@ -496,6 +515,7 @@ class Syscalls:
                 )
             stats.counter(f"faults.{result.kind.value}").add()
         kernel.note_pt_walks(fast_fills, walk_extra)
+        kernel.note_2d_walks(fast_fills, twod_extra)
 
     def write_with_content(self, task: Task, core, vaddr: int, tag: str) -> Generator:
         """Write to a page and tag the backing frame's content (KSM hook).

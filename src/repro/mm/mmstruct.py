@@ -18,7 +18,7 @@ from typing import List, Optional, Set
 from ..sim.engine import Simulator
 from ..sim.resources import Lock
 from .addr import PAGE_SIZE, VirtRange, page_align_up
-from .pagetable import PageTable, ReplicatedPageTable
+from .pagetable import HostPageTable, PageTable, ReplicatedPageTable
 from .vma import Vma, VmaSet
 
 #: Default base of the mmap area (like x86-64 mmap_base, simplified).
@@ -36,6 +36,7 @@ class MmStruct:
         name: str = "",
         pt_nodes: Optional[int] = None,
         pt_home_node: int = 0,
+        virtualized: bool = False,
     ):
         self.mm_id = next(_mm_ids)
         self.name = name or f"mm{self.mm_id}"
@@ -48,6 +49,11 @@ class MmStruct:
             )
         else:
             self.page_table = PageTable()
+        #: gPA->hPA table for a VM task's address space (None for native
+        #: processes -- the flat model carries literally no extra state).
+        self.host_table: Optional[HostPageTable] = (
+            HostPageTable() if virtualized else None
+        )
         self.vmas = VmaSet()
         self.mmap_sem = Lock(sim, name=f"{self.name}.mmap_sem")
         #: Cores that have run a thread of this mm since its last full flush
@@ -71,6 +77,12 @@ class MmStruct:
     def pcid(self) -> int:
         """Process-context identifier == mm id (paper section 4.5)."""
         return self.mm_id
+
+    @property
+    def virtualized(self) -> bool:
+        """True when this address space belongs to a VM task (guest walks
+        are two-dimensional; frees need host-level invalidation)."""
+        return self.host_table is not None
 
     # ---- cpumask management -------------------------------------------------
 

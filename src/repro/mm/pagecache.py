@@ -21,6 +21,10 @@ class PageCache:
         self._pages: Dict[Tuple[str, int], int] = {}
         self.hits = 0
         self.fills = 0
+        #: Optional hook called with the pfn when an eviction actually
+        #: frees the frame (the kernel installs its EPT detach here for
+        #: virtualized runs; None keeps the flat path byte-identical).
+        self.on_free = None
 
     def lookup(self, file_key: str, page_index: int) -> Optional[int]:
         pfn = self._pages.get((file_key, page_index))
@@ -45,7 +49,9 @@ class PageCache:
         pfn = self._pages.pop((file_key, page_index), None)
         if pfn is None:
             return False
-        self.frames.put(pfn)
+        freed = self.frames.put(pfn)
+        if freed and self.on_free is not None:
+            self.on_free(pfn)
         return True
 
     def cached_pages(self) -> int:

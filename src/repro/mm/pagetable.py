@@ -12,7 +12,7 @@ from itertools import count
 from typing import Dict, Iterator, Optional, Tuple
 
 from .addr import HUGE_PAGE_PAGES, VirtRange, huge_base_vpn, is_huge_aligned
-from .pte import Pte
+from .pte import Pte, make_present_pte
 
 LEVELS = 4
 BITS_PER_LEVEL = 9
@@ -522,3 +522,58 @@ class ReplicatedPageTable(PageTable):
     def replicas(self) -> Dict[int, PageTable]:
         """Live remote replicas by node (read-only view for checkers)."""
         return dict(self._replicas)
+
+
+class HostPageTable(PageTable):
+    """gPA->hPA (EPT/NPT-style) translation table for a virtualized mm.
+
+    Entries are keyed by guest frame number (gfn); each present entry's
+    ``Pte.pfn`` is the backing *host* frame. Guest frames are minted
+    sequentially per mm as host frames get exposed to the guest, and the
+    gfn<->pfn pairing is tracked both ways so the hypervisor side (frame
+    reclamation) can find and invalidate the host entry for a freed frame
+    without scanning.
+
+    The table reuses :class:`PageTable`'s radix storage and version mint,
+    so snapshot/restore and the model checker's version-keyed canonical
+    hashing cover host state with the same machinery as guest state.
+    """
+
+    def __init__(self, levels: int = LEVELS):
+        super().__init__()
+        #: Host-table depth (m of the n-over-m 2D walk cost model).
+        self.levels = levels
+        #: host pfn -> gfn for every populated entry.
+        self.gfn_of_pfn: Dict[int, int] = {}
+        #: Next guest frame number to mint.
+        self.next_gfn = 0
+        #: gfn -> frame free-generation recorded at populate time; the
+        #: ept_coherence invariant proves no entry outlives its frame.
+        self.generation_of_gfn: Dict[int, int] = {}
+
+    def populate(self, pfn: int, generation: int) -> bool:
+        """Install the gfn->pfn entry for ``pfn`` (EPT-violation fill).
+        Returns True when a new entry was created, False if already
+        populated (idempotent -- TLB fills hit this on every miss)."""
+        if pfn in self.gfn_of_pfn:
+            return False
+        gfn = self.next_gfn
+        self.next_gfn = gfn + 1
+        self.gfn_of_pfn[pfn] = gfn
+        self.generation_of_gfn[gfn] = generation
+        self.set_pte(gfn, make_present_pte(pfn))
+        return True
+
+    def invalidate_pfn(self, pfn: int) -> Optional[int]:
+        """Tear down the host entry backing ``pfn`` (host-side INVEPT on
+        frame reclamation). Returns the gfn removed, or None."""
+        gfn = self.gfn_of_pfn.pop(pfn, None)
+        if gfn is None:
+            return None
+        self.generation_of_gfn.pop(gfn, None)
+        self.clear_pte(gfn)
+        return gfn
+
+    def walk_gfn(self, gfn: int) -> Optional[Pte]:
+        """The host half of a 2D walk: gfn -> host Pte (or None)."""
+        return self.walk(gfn)

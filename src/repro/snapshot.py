@@ -65,6 +65,7 @@ class SystemSnapshot:
         "engine", "stats", "rng", "cores", "llc", "frames", "page_cache",
         "page_contents", "mms", "processes", "task_fields", "scheduler",
         "coherence", "autonuma", "swap", "monitor", "kernel_started",
+        "ept_rmap",
     )
 
     def __init__(self, **fields: Any):
@@ -177,6 +178,19 @@ def _mm_snapshot(mm) -> Tuple:
             pt._version, _copy_pt_root(pt._root), pt._count, dict(pt._huge),
             pt.table_pages_allocated, replicas,
         )
+    # Host (EPT) slot for VM tasks: None for native mms, so flat
+    # snapshots are shaped exactly as before with one trailing None.
+    host = mm.host_table
+    host_snap = None
+    if host is not None:
+        host_snap = getattr(host, "_snap_cache", None)
+        if host_snap is None or host_snap[0] != host._version:
+            host_snap = host._snap_cache = (
+                host._version, _copy_pt_root(host._root), host._count,
+                dict(host._huge), host.table_pages_allocated,
+                dict(host.gfn_of_pfn), host.next_gfn,
+                dict(host.generation_of_gfn),
+            )
     vmas = list(mm.vmas._vmas)
     return (
         pt_snap,
@@ -186,12 +200,13 @@ def _mm_snapshot(mm) -> Tuple:
         (mm.mmap_sem.acquisitions, mm.mmap_sem.contended_acquisitions),
         set(mm.cpumask), mm.users, mm._bump, list(mm._free_ranges),
         list(mm.lazy_vranges), list(mm.lazy_frames), mm.map_generation,
+        host_snap,
     )
 
 
 def _mm_restore(mm, snap: Tuple) -> None:
     (pt_snap, vma_snap, sem_counts, cpumask, users, bump, free_ranges,
-     lazy_vranges, lazy_frames, map_generation) = snap
+     lazy_vranges, lazy_frames, map_generation, host_snap) = snap
     pt = mm.page_table
     version, root, count, huge, table_pages, replicas = pt_snap
     if pt._version != version:
@@ -245,6 +260,20 @@ def _mm_restore(mm, snap: Tuple) -> None:
     mm.lazy_vranges = list(lazy_vranges)
     mm.lazy_frames = list(lazy_frames)
     mm.map_generation = map_generation
+    host = mm.host_table
+    if host_snap is not None and host is not None:
+        (h_version, h_root, h_count, h_huge, h_pages,
+         gfn_of_pfn, next_gfn, generation_of_gfn) = host_snap
+        if host._version != h_version:
+            host._root = _copy_pt_root(h_root)
+            host._count = h_count
+            host._huge = dict(h_huge)
+            host.table_pages_allocated = h_pages
+            host.gfn_of_pfn = dict(gfn_of_pfn)
+            host.next_gfn = next_gfn
+            host.generation_of_gfn = dict(generation_of_gfn)
+            host._version = h_version
+            host._snap_cache = host_snap
 
 
 def _frames_snapshot(frames) -> Tuple:
@@ -485,6 +514,9 @@ def snapshot_kernel(kernel) -> SystemSnapshot:
             monitor.notifications, monitor._saturated,
         ),
         kernel_started=kernel._started,
+        # Host (EPT) reverse map: {} for flat kernels, so flat snapshots
+        # carry no extra state beyond the empty sentinel.
+        ept_rmap={pfn: dict(mms) for pfn, mms in kernel._ept_rmap.items()},
     )
 
 
@@ -555,6 +587,7 @@ def restore_kernel(kernel, snap: SystemSnapshot) -> None:
         monitor.notifications = notifications
         monitor._saturated = saturated
     kernel._started = snap.kernel_started
+    kernel._ept_rmap = {pfn: dict(mms) for pfn, mms in snap.ept_rmap.items()}
 
 
 # ---- warm-boot pooling --------------------------------------------------------

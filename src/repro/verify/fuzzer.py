@@ -99,6 +99,7 @@ def build_fuzz_system(
     use_pt_replication: Optional[bool] = None,
     use_packed_tlb: Optional[bool] = None,
     use_frame_slabs: Optional[bool] = None,
+    use_virtualization: Optional[bool] = None,
 ) -> FuzzSystem:
     """Boot a system for one fuzz run, with every schedule knob applied
     *before* the kernel starts (tick offsets matter from the first tick)."""
@@ -148,6 +149,7 @@ def build_fuzz_system(
         seed=plan.seed,
         use_pt_replication=use_pt_replication,
         use_frame_slabs=use_frame_slabs,
+        use_virtualization=use_virtualization,
     )
     if mutation is not None and mutation.kernel_patch is not None:
         mutation.kernel_patch(kernel)
@@ -524,6 +526,7 @@ def run_one(
     use_pt_replication: Optional[bool] = None,
     use_packed_tlb: Optional[bool] = None,
     use_frame_slabs: Optional[bool] = None,
+    use_virtualization: Optional[bool] = None,
     pool=None,
 ) -> RunResult:
     """Replay ``plan`` once on ``mechanism``; never raises -- harness
@@ -549,6 +552,7 @@ def run_one(
             use_pt_replication=use_pt_replication,
             use_packed_tlb=use_packed_tlb,
             use_frame_slabs=use_frame_slabs,
+            use_virtualization=use_virtualization,
         )
 
     if pool is not None and mutate is None and not with_tracer:
@@ -562,7 +566,7 @@ def run_one(
             frames_per_node, monitor_stride,
             tuple(sorted((latr_kwargs or {}).items())),
             use_timer_wheel, use_tlb_index, use_pt_replication,
-            use_packed_tlb, use_frame_slabs,
+            use_packed_tlb, use_frame_slabs, use_virtualization,
         )
         system = pool.acquire(key, build)
     else:

@@ -119,8 +119,9 @@ class McExecutor:
         self._tlb_canon: Dict[Tuple[int, bool], Tuple[int, bytes]] = {}
         #: (allocator version, pickled canonical fragment) or None.
         self._frames_canon: Optional[Tuple[int, bytes]] = None
-        #: (page table version, pickled canonical fragment) or None.
-        self._pt_canon: Optional[Tuple[int, bytes]] = None
+        #: ((page table version, host table version), pickled canonical
+        #: fragment) or None; the host version is -1 for native mms.
+        self._pt_canon: Optional[Tuple[Tuple[int, int], bytes]] = None
         #: LATR queues sorted by core id (the set is fixed at boot), or
         #: None for non-LATR mechanisms / before first use.
         self._latr_queues: Optional[List[Tuple[int, Any]]] = None
@@ -437,7 +438,11 @@ class McExecutor:
             pieces.append(hit[1])
 
         page_table = mm.page_table
-        pt_version = page_table._version
+        host = mm.host_table
+        pt_version = (
+            page_table._version,
+            -1 if host is None else host._version,
+        )
         cached_pt = self._pt_canon
         if cached_pt is None or cached_pt[0] != pt_version:
             rows = sorted(
@@ -462,6 +467,23 @@ class McExecutor:
                 )
             else:
                 frag = rows
+            if host is not None:
+                # Two-level translation: host (EPT) rows are functional
+                # state (guest 2D walks compose through them), so fold
+                # them in -- a stale host entry (the broken_ept_shootdown
+                # mutation) desyncs the hash. The host table mints its own
+                # version (it reuses PageTable storage), and every aux-dict
+                # mutation co-occurs with a set_pte/clear_pte bump, so the
+                # two-version cache key stays sound.
+                frag = (
+                    frag,
+                    sorted(
+                        (gfn, pte.pfn, int(pte.flags))
+                        for gfn, pte in host.all_entries()
+                    ),
+                    sorted(host.generation_of_gfn.items()),
+                    host.next_gfn,
+                )
             cached_pt = self._pt_canon = (pt_version, dumps(frag, 4))
         pieces.append(cached_pt[1])
         vmas = sorted(

@@ -39,6 +39,10 @@ CONTINUOUS_CHECKS: Dict[str, Callable] = {
     # Replica fan-out is applied synchronously with the canonical mutation
     # (only its cost is deferred), so divergence is a bug at any instant.
     "replica_coherence": invariants.check_replica_coherence,
+    # Host (EPT) entries are detached the instant their frame frees, so a
+    # stale one is a bug at any instant (the virtualized twin of
+    # tlb_frame_safety).
+    "ept_coherence": invariants.check_ept_coherence,
 }
 
 #: Checkers valid only at quiescent points (run via :meth:`check_quiescent`).
@@ -77,7 +81,8 @@ class InvariantMonitor:
         self,
         kernel: "Kernel",
         checks: Sequence[str] = (
-            "tlb_frame_safety", "lazy_vrange_isolation", "replica_coherence"
+            "tlb_frame_safety", "lazy_vrange_isolation", "replica_coherence",
+            "ept_coherence",
         ),
         max_violations: int = 50,
         raise_on_violation: bool = False,

@@ -30,12 +30,19 @@ bug lives (coherence algorithm, simulator engine, or TLB hardware model):
   that node's replica keeps mappings the canonical table tore down, so
   hardware walks from node-1 cores translate through stale entries (the
   exact bug class the replica-coherence policy layer exists to prevent).
+* ``broken_ept_shootdown`` -- under two-level translation
+  (``use_virtualization``), the host-level (EPT) invalidation is skipped
+  on guest-visible frees: gPA->hPA entries outlive their frames, so a
+  guest 2D walk composes through a host entry into a frame already freed
+  (and possibly handed to another VM) -- the virtualized twin of the
+  stale-TLB bug class LATR's design rules exist to prevent.
 
-The first two, ``tlb_index_desync``, and ``broken_replica`` must be
-caught by the :class:`~repro.verify.monitor.InvariantMonitor`; the engine
-and cache mutations are liveness/equivalence bugs caught by the drain
-guards and the differential oracles. The mutation tests and the model
-checker's mutation-audit experiment gate on exactly that.
+The first two, ``tlb_index_desync``, ``broken_replica``, and
+``broken_ept_shootdown`` must be caught by the
+:class:`~repro.verify.monitor.InvariantMonitor`; the engine and cache
+mutations are liveness/equivalence bugs caught by the drain guards and
+the differential oracles. The mutation tests and the model checker's
+mutation-audit experiment gate on exactly that.
 """
 
 from __future__ import annotations
@@ -56,6 +63,7 @@ MUTATIONS = (
     "tlb_index_desync",
     "active_cache_stale",
     "broken_replica",
+    "broken_ept_shootdown",
 )
 
 
@@ -288,6 +296,26 @@ def skip_node1_replica(kernel) -> None:
     kernel.create_process = create_process
 
 
+def break_ept_detach(kernel) -> None:
+    """Mutation: turn two-level translation on, then make the hypervisor
+    "forget" the host-level (EPT) invalidation that must accompany every
+    frame free. Guest-side coherence stays healthy (TLBs are shot down /
+    lazily reclaimed as usual), but gPA->hPA entries outlive their frames,
+    so a guest 2D walk composes through a host entry into a freed -- and
+    possibly recycled -- frame. Caught by ``check_ept_coherence`` at the
+    ``frame.free`` instant.
+
+    Runs on the freshly-built kernel before any process exists, so every
+    mm the harness creates gets a host table (``create_process`` defaults
+    ``virtualized`` to ``kernel.use_virtualization``)."""
+    kernel.use_virtualization = True
+    # BUG: host (EPT) entries are never detached when their frame frees.
+    # (The page-cache on_free hook was never installed -- the kernel
+    # booted with virtualization off -- which is the same skipped
+    # invalidation on the eviction path.)
+    kernel._ept_detach = lambda pfn: 0
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
@@ -331,6 +359,12 @@ MUTATION_SPECS: Dict[str, Mutation] = {
             description="numaPTE replica fan-out drops PTE clears for node 1",
             coherence_cls=BrokenReplicaNumaPte,
             kernel_patch=skip_node1_replica,
+            detected_by="monitor",
+        ),
+        Mutation(
+            name="broken_ept_shootdown",
+            description="host (EPT) invalidation skipped on guest-visible free",
+            kernel_patch=break_ept_detach,
             detected_by="monitor",
         ),
     )

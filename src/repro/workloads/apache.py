@@ -143,6 +143,11 @@ class ApacheWorkload:
             "latency_p99_us": request_latency.percentile(99) / 1000.0,
             "latency_p999_us": request_latency.percentile(99.9) / 1000.0,
         }
+        # Per-munmap critical-section cost (the virt experiment's headline:
+        # two-level translation inflates this via host-level invalidation).
+        munmap_lat = kernel.stats.latency("munmap")
+        if munmap_lat.count:
+            metrics["munmap_us"] = munmap_lat.mean / 1000.0
         # Table 5 breakdown inputs.
         sync_wait = kernel.stats.latency("shootdown.sync_wait")
         if sync_wait.count:

@@ -20,6 +20,13 @@ def serial_tables():
     return ids, {exp_id: run_experiment(exp_id, fast=True).render() for exp_id in ids}
 
 
+def test_virt_experiment_is_registered(serial_tables):
+    # The two-level-translation cell experiment must ride the determinism
+    # sweep like every other registered experiment.
+    ids, _tables = serial_tables
+    assert "virt" in ids
+
+
 def test_every_experiment_fast_rerun_and_jobs2_byte_identical(serial_tables):
     ids, tables = serial_tables
     runs = run_many(ids, fast=True, jobs=2)

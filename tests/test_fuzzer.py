@@ -134,10 +134,10 @@ class TestMutationDetection:
         result = run_one("latr", plan, mutate=mutation)
         if spec.detected_by == "monitor":
             assert result.violations, f"mutation {mutation} was not detected"
-            expected_check = (
-                "replica_coherence" if mutation == "broken_replica"
-                else "tlb_frame_safety"
-            )
+            expected_check = {
+                "broken_replica": "replica_coherence",
+                "broken_ept_shootdown": "ept_coherence",
+            }.get(mutation, "tlb_frame_safety")
             assert any(v.check == expected_check for v in result.violations)
             return
         findings = list(result.errors)

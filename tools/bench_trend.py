@@ -123,8 +123,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     history = load_history(args.dir)
     if not history:
+        # Exit 2 (not 1): "no baselines yet" is a setup condition, not a
+        # regression -- callers gating on failures can tell them apart.
         print(f"no BENCH_*.json files under {args.dir}", file=sys.stderr)
-        return 1
+        return 2
     return render(history, args.case)
 
 
